@@ -1,0 +1,159 @@
+package rebloc
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/figures"
+)
+
+// benchOut prints figure tables under -v, stays quiet otherwise.
+func benchOut() io.Writer {
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// benchParams keeps the per-iteration cost of a whole-figure benchmark in
+// the seconds range; run cmd/rebloc-bench with -scale for longer runs.
+func benchParams() figures.Params {
+	return figures.Params{Scale: 0.5, OSDs: 3, Jobs: 8, QueueDepth: 8, ImageMB: 32}
+}
+
+// BenchmarkFig1RooflineModes regenerates Figure 1: the roofline probes
+// (Original, RTC-v1, RTC-v2, RTC-v3) under 4KB random writes.
+func BenchmarkFig1RooflineModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig1(benchOut(), benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1HostWAF regenerates Table I: baseline write amplification.
+func BenchmarkTable1HostWAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.Table1(benchOut(), benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7aRandWrite regenerates Figure 7(a): 4KB random writes,
+// Original vs Proposed vs Ideal with CPU breakdowns.
+func BenchmarkFig7aRandWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig7(benchOut(), benchParams(), bench.RandWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7bRandRead regenerates Figure 7(b): 4KB random reads.
+func BenchmarkFig7bRandRead(b *testing.B) {
+	p := benchParams()
+	p.ImageMB = 16 // the read figure pre-fills every block
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig7(benchOut(), p, bench.RandRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Ablation regenerates Table II: Original → +COS → +PTC →
+// +DOP.
+func BenchmarkTable2Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.Table2(benchOut(), benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8WAF regenerates Figure 8: WAF of the baseline vs COS with
+// and without pre-allocation and the NVM metadata cache.
+func BenchmarkFig8WAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig8(benchOut(), benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9LargeSeq regenerates Figure 9: 128KB sequential throughput
+// scaling on profile-paced devices.
+func BenchmarkFig9LargeSeq(b *testing.B) {
+	p := benchParams()
+	p.Scale = 0.25
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig9(benchOut(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10YCSB regenerates Figure 10: YCSB A/B/C/D/F.
+func BenchmarkFig10YCSB(b *testing.B) {
+	p := benchParams()
+	p.Scale = 0.25
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig10(benchOut(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11PartitionScaling regenerates Figure 11: IOPS vs sharded
+// partition count.
+func BenchmarkFig11PartitionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig11(benchOut(), benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12TailLatency regenerates Figure 12: p95 latency vs op-log
+// flush threshold under a constant-rate mixed workload.
+func BenchmarkFig12TailLatency(b *testing.B) {
+	p := benchParams()
+	p.Scale = 0.25
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig12(benchOut(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTransport compares in-process channels with loopback
+// TCP for the proposed design (extension beyond the paper).
+func BenchmarkAblationTransport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.AblationTransport(benchOut(), benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReplication sweeps the replication factor (extension
+// beyond the paper).
+func BenchmarkAblationReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.AblationReplication(benchOut(), benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNonPriorityThreads sweeps the non-priority thread
+// count at fixed partitions (extension beyond the paper).
+func BenchmarkAblationNonPriorityThreads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := figures.AblationNonPriorityThreads(benchOut(), benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command rebloc-bench regenerates the paper's tables and figures against
+// an in-process rebloc cluster.
+//
+// Usage:
+//
+//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|all
+//
+// Flags scale the experiments; see -h. Paper-vs-measured notes live in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rebloc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rebloc-bench", flag.ContinueOnError)
+	var p figures.Params
+	fs.Float64Var(&p.Scale, "scale", 1, "operation-count multiplier")
+	fs.IntVar(&p.OSDs, "osds", 3, "number of OSD daemons")
+	fs.IntVar(&p.Replicas, "replicas", 2, "replication factor")
+	pgs := fs.Uint("pgs", 32, "placement groups")
+	fs.Uint64Var(&p.ImageMB, "image-mb", 64, "block image size (MiB)")
+	fs.Uint64Var(&p.ObjectMB, "object-mb", 1, "object/stripe size (MiB)")
+	fs.IntVar(&p.Jobs, "jobs", 8, "fio jobs (one image+connection each)")
+	fs.IntVar(&p.QueueDepth, "qd", 8, "outstanding ops per job")
+	fs.BoolVar(&p.UseTCP, "tcp", false, "use loopback TCP instead of the in-process transport")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p.PGs = uint32(*pgs)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected one experiment name, got %d args (try: all)", fs.NArg())
+	}
+
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	experiments := []experiment{
+		{"fig1", func() error { return figures.Fig1(os.Stdout, p) }},
+		{"table1", func() error { return figures.Table1(os.Stdout, p) }},
+		{"fig7", func() error { return figures.Fig7(os.Stdout, p, bench.RandWrite) }},
+		{"fig7b", func() error { return figures.Fig7(os.Stdout, p, bench.RandRead) }},
+		{"table2", func() error { return figures.Table2(os.Stdout, p) }},
+		{"fig8", func() error { return figures.Fig8(os.Stdout, p) }},
+		{"fig9", func() error { return figures.Fig9(os.Stdout, p) }},
+		{"fig10", func() error { return figures.Fig10(os.Stdout, p) }},
+		{"fig11", func() error { return figures.Fig11(os.Stdout, p) }},
+		{"fig12", func() error { return figures.Fig12(os.Stdout, p) }},
+		{"ablation-transport", func() error { return figures.AblationTransport(os.Stdout, p) }},
+		{"ablation-replication", func() error { return figures.AblationReplication(os.Stdout, p) }},
+		{"ablation-npt", func() error { return figures.AblationNonPriorityThreads(os.Stdout, p) }},
+	}
+
+	want := fs.Arg(0)
+	if want == "all" {
+		for _, e := range experiments {
+			if err := e.run(); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	for _, e := range experiments {
+		if e.name == want {
+			return e.run()
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", want)
+}

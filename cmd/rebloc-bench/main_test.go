@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no experiment", []string{}, "expected one experiment"},
+		{"unknown experiment", []string{"fig99"}, "unknown experiment"},
+		{"two experiments", []string{"fig1", "fig7"}, "expected one experiment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope", "fig1"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}

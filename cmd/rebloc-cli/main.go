@@ -1,0 +1,146 @@
+// Command rebloc-cli is the admin and data-path client: cluster status,
+// image management, and object/block I/O against a running cluster.
+//
+// Usage:
+//
+//	rebloc-cli -mon 127.0.0.1:6789 status
+//	rebloc-cli -mon ... create-image disk1 1024        (MiB)
+//	rebloc-cli -mon ... write disk1 4096 "hello"
+//	rebloc-cli -mon ... read  disk1 4096 5
+//	rebloc-cli -mon ... rm-image disk1
+//	rebloc-cli -mon ... flush
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"rebloc/internal/client"
+	"rebloc/internal/messenger"
+	"rebloc/internal/rbd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rebloc-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rebloc-cli", flag.ContinueOnError)
+	mon := fs.String("mon", "127.0.0.1:6789", "monitor address")
+	objectMB := fs.Uint64("object-mb", 4, "stripe unit for create-image (MiB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: rebloc-cli [flags] status|create-image|rm-image|write|read|flush ...")
+	}
+
+	cl, err := client.New(messenger.TCP{}, *mon, client.Options{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "status":
+		m := cl.Map()
+		fmt.Printf("epoch %d, %d PGs, %d replicas\n", m.Epoch, m.PGCount, m.Replicas)
+		ids := make([]int, 0, len(m.OSDs))
+		for id := range m.OSDs {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			info := m.OSDs[uint32(id)]
+			state := "down"
+			if info.Up {
+				state = "up"
+			}
+			fmt.Printf("  osd.%d\t%s\t%s\tweight %.1f\n", id, state, info.Addr, info.Weight)
+		}
+		return nil
+
+	case "create-image":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: create-image <name> <size-mb>")
+		}
+		sizeMB, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("size: %w", err)
+		}
+		img, err := rbd.Create(cl, rest[0], sizeMB<<20, rbd.CreateOptions{ObjectBytes: *objectMB << 20})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created image %s: %d MiB, %d MiB objects\n", img.Name(), sizeMB, *objectMB)
+		return nil
+
+	case "rm-image":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: rm-image <name>")
+		}
+		if err := rbd.Remove(cl, rest[0], 1); err != nil {
+			return err
+		}
+		fmt.Println("removed", rest[0])
+		return nil
+
+	case "write":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: write <image> <offset> <data>")
+		}
+		off, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("offset: %w", err)
+		}
+		img, err := rbd.Open(cl, rest[0], 1)
+		if err != nil {
+			return err
+		}
+		if err := img.WriteAt([]byte(rest[2]), off); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes at %d\n", len(rest[2]), off)
+		return nil
+
+	case "read":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: read <image> <offset> <length>")
+		}
+		off, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("offset: %w", err)
+		}
+		n, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return fmt.Errorf("length: %w", err)
+		}
+		img, err := rbd.Open(cl, rest[0], 1)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, n)
+		if err := img.ReadAt(buf, off); err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", buf)
+		return nil
+
+	case "flush":
+		if err := cl.FlushOSDs(); err != nil {
+			return err
+		}
+		fmt.Println("flushed")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	// No command at all fails before any network activity.
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("run() = %v, want usage error", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope", "status"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}
+
+func TestRunUnreachableMonitor(t *testing.T) {
+	err := run([]string{"-mon", "127.0.0.1:1", "status"})
+	if err == nil {
+		t.Fatal("unreachable monitor must error")
+	}
+}

@@ -1,0 +1,58 @@
+// Command rebloc-mon runs the cluster monitor: the map authority that
+// admits OSDs, detects failures and serves maps to clients.
+//
+// Usage:
+//
+//	rebloc-mon -listen 127.0.0.1:6789 -pgs 64 -replicas 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rebloc/internal/messenger"
+	"rebloc/internal/monitor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rebloc-mon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rebloc-mon", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:6789", "listen address")
+	pgs := fs.Uint("pgs", 64, "placement-group count (power of two)")
+	replicas := fs.Int("replicas", 2, "replication factor")
+	hbTimeout := fs.Duration("heartbeat-timeout", 1500*time.Millisecond, "mark an OSD down after this silence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mon, err := monitor.New(monitor.Config{
+		Transport:        messenger.TCP{},
+		ListenAddr:       *listen,
+		PGCount:          uint32(*pgs),
+		Replicas:         *replicas,
+		HeartbeatTimeout: *hbTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	if err := mon.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("rebloc-mon listening on %s (pgs=%d replicas=%d)\n", mon.Addr(), *pgs, *replicas)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return mon.Close()
+}

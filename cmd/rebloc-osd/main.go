@@ -1,0 +1,122 @@
+// Command rebloc-osd runs one object storage daemon against a monitor.
+//
+// Usage:
+//
+//	rebloc-osd -id 0 -listen 127.0.0.1:6800 -mon 127.0.0.1:6789 \
+//	           -data /var/lib/rebloc/osd0.img -size 8GiB -mode proposed
+//
+// The device is a file; the NVM bank (operation log + metadata cache) is
+// emulated in RAM, like the paper's ramdisk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"rebloc/internal/device"
+	"rebloc/internal/messenger"
+	"rebloc/internal/nvm"
+	"rebloc/internal/osd"
+	"rebloc/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rebloc-osd:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMode(s string) (osd.Mode, error) {
+	switch strings.ToLower(s) {
+	case "original":
+		return osd.ModeOriginal, nil
+	case "cos":
+		return osd.ModeCOSOnly, nil
+	case "ptc":
+		return osd.ModePTC, nil
+	case "proposed", "dop":
+		return osd.ModeProposed, nil
+	case "rtc-v1":
+		return osd.ModeRTCv1, nil
+	case "rtc-v2":
+		return osd.ModeRTCv2, nil
+	case "rtc-v3":
+		return osd.ModeRTCv3, nil
+	case "ideal":
+		return osd.ModeIdeal, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (original|cos|ptc|proposed|rtc-v1|rtc-v2|rtc-v3|ideal)", s)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rebloc-osd", flag.ContinueOnError)
+	id := fs.Uint("id", 0, "OSD id (unique per cluster)")
+	listen := fs.String("listen", "127.0.0.1:0", "listen address")
+	mon := fs.String("mon", "127.0.0.1:6789", "monitor address")
+	data := fs.String("data", "", "device file path (empty: RAM device)")
+	sizeMB := fs.Int64("size-mb", 4096, "device size (MiB)")
+	nvmMB := fs.Int64("nvm-mb", 512, "NVM bank size (MiB)")
+	modeStr := fs.String("mode", "proposed", "architecture: original|cos|ptc|proposed|rtc-v1|rtc-v2|rtc-v3|ideal")
+	partitions := fs.Int("partitions", 8, "COS sharded partitions")
+	flushThreshold := fs.Int("flush-threshold", 16, "op-log flush threshold")
+	pin := fs.Bool("pin", false, "pin priority/non-priority workers to CPU pools")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		return err
+	}
+
+	var dev device.Device
+	if *data == "" {
+		dev = device.NewMem(*sizeMB << 20)
+	} else {
+		fdev, err := device.OpenFile(*data, *sizeMB<<20)
+		if err != nil {
+			return err
+		}
+		dev = fdev
+	}
+
+	cfg := osd.Config{
+		ID:             uint32(*id),
+		Mode:           mode,
+		Transport:      messenger.TCP{},
+		ListenAddr:     *listen,
+		MonAddr:        *mon,
+		Dev:            dev,
+		Bank:           nvm.NewBank(*nvmMB<<20, nvm.WithCrashSim(false)),
+		Partitions:     *partitions,
+		FlushThreshold: *flushThreshold,
+	}
+	if *pin {
+		cfg.Pools = schedPools()
+	}
+	o, err := osd.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("rebloc-osd %d (%s) listening on %s, monitor %s\n", *id, mode, o.Addr(), *mon)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return o.Close()
+}
+
+// schedPools splits the first cores between priority and non-priority
+// workers (2 priority + 6 non-priority, scaled down on small machines).
+func schedPools() sched.CPUPools {
+	return sched.SplitCores(2, 6)
+}

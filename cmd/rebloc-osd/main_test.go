@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"rebloc/internal/osd"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]osd.Mode{
+		"original": osd.ModeOriginal,
+		"cos":      osd.ModeCOSOnly,
+		"ptc":      osd.ModePTC,
+		"proposed": osd.ModeProposed,
+		"dop":      osd.ModeProposed,
+		"rtc-v1":   osd.ModeRTCv1,
+		"rtc-v2":   osd.ModeRTCv2,
+		"rtc-v3":   osd.ModeRTCv3,
+		"ideal":    osd.ModeIdeal,
+		"PROPOSED": osd.ModeProposed, // case-insensitive
+	}
+	for in, want := range cases {
+		got, err := parseMode(in)
+		if err != nil || got != want {
+			t.Fatalf("parseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseMode("bogus"); err == nil {
+		t.Fatal("bogus mode must error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Fatal("bad mode must error")
+	}
+}

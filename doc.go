@@ -1,0 +1,23 @@
+// Package rebloc is a from-scratch Go reproduction of "Re-architecting
+// Distributed Block Storage System for Improving Random Write
+// Performance" (Oh et al., ICDCS 2021): a Ceph-like replicated block
+// store whose write path is re-architected around three techniques —
+// decoupled operation processing through an NVM operation log, prioritized
+// thread control, and an in-place-update CPU-efficient object store.
+//
+// Layout:
+//
+//	internal/core       in-process cluster assembly (the public facade)
+//	internal/osd        the OSD daemon: every architecture under test
+//	internal/oplog      NVM operation log + index cache (DOP)
+//	internal/sched      prioritized thread control primitives (PTC)
+//	internal/store/cos  CPU-efficient object store (COS)
+//	internal/store/...  baseline BlueStore model + from-scratch LSM KV
+//	internal/...        monitor, client, rbd, crush, messenger, device, nvm
+//	cmd/rebloc-*        daemons, CLI, and the benchmark harness
+//	examples/           runnable walkthroughs
+//
+// The benchmarks in bench_test.go regenerate the paper's tables and
+// figures; see DESIGN.md for the experiment inventory and EXPERIMENTS.md
+// for paper-vs-measured results.
+package rebloc

@@ -1,0 +1,71 @@
+// Quickstart: bring up a complete in-process rebloc cluster (monitor +
+// three proposed-architecture OSDs), provision a block image, write and
+// read back through the block API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rebloc/internal/core"
+	"rebloc/internal/osd"
+	"rebloc/internal/rbd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 3-OSD cluster with 2× replication, the paper's proposed
+	// architecture (NVM op log + prioritized threads + COS).
+	cluster, err := core.New(core.Options{
+		OSDs:     3,
+		Mode:     osd.ModeProposed,
+		Replicas: 2,
+		PGs:      32,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Printf("cluster up: epoch %d, OSDs %v\n", cluster.Map().Epoch, cluster.Map().UpOSDs())
+
+	cl, err := cluster.Client()
+	if err != nil {
+		return err
+	}
+
+	// A 64 MiB block image striped over 4 MiB objects (Ceph RBD layout).
+	img, err := rbd.Create(cl, "demo", 64<<20, rbd.CreateOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("image %q: %d MiB, %d MiB objects\n", img.Name(), img.Size()>>20, img.ObjectBytes()>>20)
+
+	// Block-device semantics: write at an arbitrary byte offset, read it
+	// back. The write is acknowledged once it is replicated and persisted
+	// in the NVM operation logs — the backend store commit is async.
+	payload := []byte("hello, decoupled operation processing!")
+	if err := img.WriteAt(payload, 1<<20); err != nil {
+		return err
+	}
+	got := make([]byte, len(payload))
+	if err := img.ReadAt(got, 1<<20); err != nil {
+		return err
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("read back mismatch: %q", got)
+	}
+	fmt.Printf("read back: %q\n", got)
+
+	// Force the bottom half: drain the op logs into the object store.
+	if err := cl.FlushOSDs(); err != nil {
+		return err
+	}
+	fmt.Println("staged operations flushed to the CPU-efficient object store")
+	return nil
+}

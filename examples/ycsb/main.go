@@ -1,0 +1,62 @@
+// YCSB example: the paper's §V-E experiment in miniature — workload A
+// (50% reads, 50% updates, zipfian keys) with small unaligned records
+// over a block image, baseline vs proposed architecture.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/core"
+	"rebloc/internal/osd"
+	"rebloc/internal/rbd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, mode := range []osd.Mode{osd.ModeOriginal, osd.ModeProposed} {
+		cluster, err := core.New(core.Options{
+			OSDs:        3,
+			Mode:        mode,
+			Replicas:    2,
+			PGs:         32,
+			ObjectBytes: 1 << 20,
+			DeviceBytes: 2 << 30,
+		})
+		if err != nil {
+			return err
+		}
+		cl, err := cluster.Client()
+		if err != nil {
+			cluster.Close()
+			return err
+		}
+		img, err := rbd.Create(cl, "ycsb", 32<<20, rbd.CreateOptions{ObjectBytes: 1 << 20})
+		if err != nil {
+			cluster.Close()
+			return err
+		}
+
+		opts := bench.YCSBOptions{
+			Workload:    bench.YCSBA,
+			RecordBytes: 1000, // deliberately unaligned: RMW in the store
+			RecordCount: 8000,
+			Ops:         6000,
+			Threads:     10,
+		}
+		if err := bench.LoadYCSB(img, opts); err != nil {
+			cluster.Close()
+			return err
+		}
+		res := bench.RunYCSB(img, opts)
+		fmt.Printf("%-9s %s\n", mode, res)
+		cluster.Close()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module rebloc
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package alloc provides a B+tree-backed extent allocator for device
+// space, used by the baseline store's data area and by the CPU-efficient
+// object store's per-partition free-block tracking (paper §IV-C.2:
+// "like XFS, COS constructs a b+tree to track all of the free data
+// blocks").
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rebloc/internal/btree"
+)
+
+// ErrNoSpace is returned when no free extent can satisfy an allocation.
+var ErrNoSpace = errors.New("alloc: out of space")
+
+// Extent is a contiguous range of device space.
+type Extent struct {
+	Off uint64
+	Len uint64
+}
+
+// Allocator hands out contiguous extents first-fit and coalesces frees.
+// It is safe for concurrent use.
+type Allocator struct {
+	mu    sync.Mutex
+	byOff *btree.Tree[uint64, uint64] // start -> length
+	byEnd *btree.Tree[uint64, uint64] // end -> start
+	total uint64
+	inUse uint64
+}
+
+// New covers [start, end).
+func New(start, end uint64) *Allocator {
+	a := &Allocator{
+		byOff: btree.New[uint64, uint64](),
+		byEnd: btree.New[uint64, uint64](),
+	}
+	if end > start {
+		a.insertFree(start, end-start)
+		a.total = end - start
+	}
+	return a
+}
+
+func (a *Allocator) insertFree(off, length uint64) {
+	a.byOff.Set(off, length)
+	a.byEnd.Set(off+length, off)
+}
+
+func (a *Allocator) removeFree(off, length uint64) {
+	a.byOff.Delete(off)
+	a.byEnd.Delete(off + length)
+}
+
+// Alloc returns the offset of a free extent of exactly size bytes.
+func (a *Allocator) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("alloc: zero-size alloc")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for it := a.byOff.Min(); it.Valid(); it.Next() {
+		off, length := it.Key(), it.Value()
+		if length < size {
+			continue
+		}
+		a.removeFree(off, length)
+		if length > size {
+			a.insertFree(off+size, length-size)
+		}
+		a.inUse += size
+		return off, nil
+	}
+	return 0, fmt.Errorf("%w: need %d, free %d", ErrNoSpace, size, a.total-a.inUse)
+}
+
+// Free returns [off, off+size) to the pool, coalescing with neighbours.
+func (a *Allocator) Free(off, size uint64) {
+	if size == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inUse -= size
+	if succLen, ok := a.byOff.Get(off + size); ok {
+		a.removeFree(off+size, succLen)
+		size += succLen
+	}
+	if predOff, ok := a.byEnd.Get(off); ok {
+		predLen := off - predOff
+		a.removeFree(predOff, predLen)
+		off = predOff
+		size += predLen
+	}
+	a.insertFree(off, size)
+}
+
+// Reserve removes the specific range [off, off+size) from the free pool;
+// recovery uses it to re-mark extents referenced by durable metadata.
+func (a *Allocator) Reserve(off, size uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	it := a.byEnd.SeekGE(off + 1)
+	if !it.Valid() {
+		return fmt.Errorf("alloc: reserve [%d,%d): not free", off, off+size)
+	}
+	extEnd, extOff := it.Key(), it.Value()
+	if extOff > off || extEnd < off+size {
+		return fmt.Errorf("alloc: reserve [%d,%d): overlaps allocated space", off, off+size)
+	}
+	a.removeFree(extOff, extEnd-extOff)
+	if extOff < off {
+		a.insertFree(extOff, off-extOff)
+	}
+	if off+size < extEnd {
+		a.insertFree(off+size, extEnd-(off+size))
+	}
+	a.inUse += size
+	return nil
+}
+
+// FreeBytes reports the remaining free space.
+func (a *Allocator) FreeBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.inUse
+}
+
+// FreeExtentCount reports fragmentation (number of free extents).
+func (a *Allocator) FreeExtentCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.byOff.Len()
+}
+
+// Snapshot returns the free extents in offset order, for persistence.
+func (a *Allocator) Snapshot() []Extent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Extent, 0, a.byOff.Len())
+	a.byOff.Ascend(func(off, length uint64) bool {
+		out = append(out, Extent{Off: off, Len: length})
+		return true
+	})
+	return out
+}
+
+// Restore replaces the allocator state with the given free extents over
+// [start, end).
+func (a *Allocator) Restore(start, end uint64, free []Extent) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.byOff = btree.New[uint64, uint64]()
+	a.byEnd = btree.New[uint64, uint64]()
+	a.total = end - start
+	var freeTotal uint64
+	for _, e := range free {
+		a.insertFree(e.Off, e.Len)
+		freeTotal += e.Len
+	}
+	a.inUse = a.total - freeTotal
+}

@@ -1,0 +1,163 @@
+package alloc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeCoalesce(t *testing.T) {
+	a := New(0, 1<<20)
+	o1, err := a.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := a.Alloc(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 == o2 {
+		t.Fatal("overlapping allocations")
+	}
+	a.Free(o1, 1000)
+	a.Free(o2, 2000)
+	if a.FreeBytes() != 1<<20 {
+		t.Fatalf("FreeBytes = %d", a.FreeBytes())
+	}
+	if a.FreeExtentCount() != 1 {
+		t.Fatalf("FreeExtentCount = %d, want coalesced 1", a.FreeExtentCount())
+	}
+	if _, err := a.Alloc(1 << 20); err != nil {
+		t.Fatalf("full-size alloc after coalesce: %v", err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := New(0, 100)
+	if _, err := a.Alloc(101); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	a := New(0, 1000)
+	if err := a.Reserve(100, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reserve(120, 10); err == nil {
+		t.Fatal("overlapping reserve must fail")
+	}
+	if a.FreeBytes() != 950 {
+		t.Fatalf("FreeBytes = %d", a.FreeBytes())
+	}
+	a.Free(100, 50)
+	if a.FreeBytes() != 1000 || a.FreeExtentCount() != 1 {
+		t.Fatal("free after reserve did not coalesce")
+	}
+}
+
+func TestReserveEdges(t *testing.T) {
+	a := New(0, 1000)
+	if err := a.Reserve(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reserve(900, 100); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeBytes() != 800 {
+		t.Fatalf("FreeBytes = %d", a.FreeBytes())
+	}
+	if err := a.Reserve(950, 100); err == nil {
+		t.Fatal("reserve past end must fail")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	a := New(0, 1000)
+	o, _ := a.Alloc(300)
+	_ = o
+	snap := a.Snapshot()
+	b := New(0, 0)
+	b.Restore(0, 1000, snap)
+	if b.FreeBytes() != a.FreeBytes() {
+		t.Fatalf("restored FreeBytes = %d, want %d", b.FreeBytes(), a.FreeBytes())
+	}
+	// The restored allocator must refuse the allocated range.
+	if err := b.Reserve(0, 300); err == nil {
+		t.Fatal("restored allocator must not have [0,300) free")
+	}
+}
+
+// Model-based test: track allocations; invariants — no overlap, free bytes
+// conserved.
+func TestRandomAllocFreeNoOverlap(t *testing.T) {
+	const space = 1 << 16
+	a := New(0, space)
+	rng := rand.New(rand.NewSource(123))
+	type ext struct{ off, size uint64 }
+	var live []ext
+	for i := 0; i < 20000; i++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			size := uint64(rng.Intn(512) + 1)
+			off, err := a.Alloc(size)
+			if errors.Is(err, ErrNoSpace) {
+				if len(live) == 0 {
+					t.Fatal("no space with nothing allocated")
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range live {
+				if off < e.off+e.size && e.off < off+size {
+					t.Fatalf("overlap: [%d,%d) with [%d,%d)", off, off+size, e.off, e.off+e.size)
+				}
+			}
+			live = append(live, ext{off, size})
+		} else {
+			j := rng.Intn(len(live))
+			a.Free(live[j].off, live[j].size)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		var used uint64
+		for _, e := range live {
+			used += e.size
+		}
+		if a.FreeBytes() != space-used {
+			t.Fatalf("step %d: FreeBytes=%d want %d", i, a.FreeBytes(), space-used)
+		}
+	}
+}
+
+// Property: alloc never returns an extent outside [start, end).
+func TestQuickAllocInRange(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := New(4096, 4096+1<<16)
+		for _, s := range sizes {
+			size := uint64(s%2048) + 1
+			off, err := a.Alloc(size)
+			if errors.Is(err, ErrNoSpace) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			if off < 4096 || off+size > 4096+1<<16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

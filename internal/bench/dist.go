@@ -1,0 +1,117 @@
+// Package bench provides the workload machinery behind every figure and
+// table in the paper's evaluation: fio-style fixed-block generators
+// (random/sequential read/write mixes at a queue depth), a YCSB core
+// (zipfian, latest and uniform request distributions; workloads A, B, C,
+// D and F), open-loop constant-rate issue (Figure 12) and closed-loop
+// runners, plus latency/throughput recording.
+package bench
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipfian generates keys in [0, n) with the YCSB zipfian distribution
+// (theta 0.99 by default): a small set of hot keys receives most of the
+// traffic. Not safe for concurrent use; give each worker its own.
+type Zipfian struct {
+	rng   *rand.Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipfian returns a zipfian generator over [0, n).
+func NewZipfian(rng *rand.Rand, n uint64, theta float64) *Zipfian {
+	if theta <= 0 {
+		theta = 0.99
+	}
+	z := &Zipfian{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next key.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Latest skews towards recently inserted keys (YCSB workload D): key =
+// insertCount-1 - zipf(insertCount).
+type Latest struct {
+	z *Zipfian
+	n uint64
+}
+
+// NewLatest returns a latest-distribution generator over the first n
+// inserted keys; call Grow when inserts extend the key space.
+func NewLatest(rng *rand.Rand, n uint64) *Latest {
+	if n == 0 {
+		n = 1
+	}
+	return &Latest{z: NewZipfian(rng, n, 0.99), n: n}
+}
+
+// Next returns a recent key.
+func (l *Latest) Next() uint64 {
+	k := l.z.Next()
+	if k >= l.n {
+		k = l.n - 1
+	}
+	return l.n - 1 - k
+}
+
+// Grow extends the key space after count inserts. Regenerating the
+// zipfian tables on every insert is too costly, so Grow resizes lazily in
+// 10% steps, matching YCSB's behaviour closely enough.
+func (l *Latest) Grow(newN uint64) {
+	if newN <= l.n {
+		return
+	}
+	if float64(newN) > float64(l.n)*1.1 {
+		l.z = NewZipfian(l.z.rng, newN, 0.99)
+		l.n = newN
+	} else {
+		l.n = newN // reuse tables; clamp in Next keeps keys valid
+		l.z.n = newN
+	}
+}
+
+// Uniform generates uniformly distributed keys in [0, n).
+type Uniform struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(rng *rand.Rand, n uint64) *Uniform {
+	if n == 0 {
+		n = 1
+	}
+	return &Uniform{rng: rng, n: n}
+}
+
+// Next returns the next key.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"rebloc/internal/metrics"
+	"rebloc/internal/rbd"
+)
+
+// OpenLoopOptions drives a mixed workload at a constant offered rate
+// (paper Figure 12: 80:20 write:read at a fixed request rate, reporting
+// p95 latency).
+type OpenLoopOptions struct {
+	RatePerSec   int
+	Duration     time.Duration
+	WritePercent int // default 80
+	BlockBytes   int
+	Workers      int // concurrent issuers draining the tick queue
+	// WorkingSetBlocks restricts I/O to the image's first N blocks so
+	// reads actually collide with staged writes (0: whole image).
+	WorkingSetBlocks uint64
+	Seed             int64
+}
+
+func (o *OpenLoopOptions) fill() {
+	if o.RatePerSec <= 0 {
+		o.RatePerSec = 1000
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.WritePercent == 0 {
+		o.WritePercent = 80
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 4096
+	}
+	if o.Workers <= 0 {
+		o.Workers = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 3
+	}
+}
+
+// OpenLoopResult reports offered vs achieved rate and the latency
+// distribution including queueing delay (open-loop semantics: a request's
+// latency starts at its scheduled issue time).
+type OpenLoopResult struct {
+	Offered  int64
+	Achieved int64
+	Dropped  int64 // scheduled ticks nobody could pick up in time
+	Lat      *metrics.Histogram
+	Elapsed  time.Duration
+}
+
+// RunOpenLoop issues the mix at the configured rate.
+func RunOpenLoop(img *rbd.Image, opts OpenLoopOptions) OpenLoopResult {
+	opts.fill()
+	res := OpenLoopResult{Lat: metrics.NewHistogram()}
+	blocks := img.Size() / uint64(opts.BlockBytes)
+	if opts.WorkingSetBlocks > 0 && opts.WorkingSetBlocks < blocks {
+		blocks = opts.WorkingSetBlocks
+	}
+	if blocks == 0 {
+		blocks = 1
+	}
+
+	type tick struct{ scheduled time.Time }
+	// Queue sized for one second of backlog: beyond that the system is
+	// hopelessly behind and ticks count as dropped.
+	queue := make(chan tick, opts.RatePerSec)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var achieved, dropped int64
+
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+			buf := make([]byte, opts.BlockBytes)
+			rng.Read(buf)
+			for tk := range queue {
+				off := uint64(rng.Int63n(int64(blocks))) * uint64(opts.BlockBytes)
+				var err error
+				if rng.Intn(100) < opts.WritePercent {
+					err = img.WriteAt(buf, off)
+				} else {
+					err = img.ReadAt(buf, off)
+				}
+				res.Lat.Observe(time.Since(tk.scheduled))
+				if err == nil {
+					mu.Lock()
+					achieved++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	interval := time.Second / time.Duration(opts.RatePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var offered int64
+	next := start
+	for time.Now().Before(deadline) {
+		now := time.Now()
+		// Emit every tick scheduled up to now (catch-up keeps the offered
+		// rate honest even when the ticker oversleeps).
+		for !next.After(now) {
+			offered++
+			select {
+			case queue <- tick{scheduled: next}:
+			default:
+				dropped++
+			}
+			next = next.Add(interval)
+		}
+		time.Sleep(interval)
+	}
+	close(queue)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Offered = offered
+	res.Achieved = achieved
+	res.Dropped = dropped
+	return res
+}

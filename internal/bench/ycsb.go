@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rebloc/internal/metrics"
+	"rebloc/internal/rbd"
+)
+
+// YCSBWorkload names a standard YCSB mix.
+type YCSBWorkload string
+
+// The workloads the paper evaluates (Figure 10).
+const (
+	YCSBA YCSBWorkload = "a" // 50% read / 50% update, zipfian
+	YCSBB YCSBWorkload = "b" // 95% read / 5% update, zipfian
+	YCSBC YCSBWorkload = "c" // 100% read, zipfian
+	YCSBD YCSBWorkload = "d" // 95% read / 5% insert, latest
+	YCSBF YCSBWorkload = "f" // 50% read / 50% read-modify-write, zipfian
+)
+
+// YCSBOptions configures a run over a block image: records live at
+// record-size strides, so operations are small and unaligned exactly as
+// the paper describes ("each client issues small and unaligned I/O").
+type YCSBOptions struct {
+	Workload    YCSBWorkload
+	RecordBytes int // default 1000 (unaligned on purpose)
+	RecordCount uint64
+	Ops         int
+	Threads     int // paper: 10
+	Seed        int64
+}
+
+func (o *YCSBOptions) fill() {
+	if o.Workload == "" {
+		o.Workload = YCSBA
+	}
+	if o.RecordBytes <= 0 {
+		o.RecordBytes = 1000
+	}
+	if o.RecordCount == 0 {
+		o.RecordCount = 10000
+	}
+	if o.Ops <= 0 {
+		o.Ops = 10000
+	}
+	if o.Threads <= 0 {
+		o.Threads = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+}
+
+// YCSBResult carries per-operation-class latencies plus throughput.
+type YCSBResult struct {
+	Workload  YCSBWorkload
+	ReadLat   *metrics.Histogram
+	UpdateLat *metrics.Histogram // updates, inserts and RMWs
+	Elapsed   time.Duration
+	Ops       int64
+	Errors    int64
+}
+
+// Throughput returns operations per second.
+func (r YCSBResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// String renders the Figure-10 style row.
+func (r YCSBResult) String() string {
+	return fmt.Sprintf("ycsb-%s: %.0f ops/s, read mean %v p95 %v, update mean %v p95 %v (%d ops, %d errors)",
+		r.Workload, r.Throughput(), r.ReadLat.Mean(), r.ReadLat.Quantile(0.95),
+		r.UpdateLat.Mean(), r.UpdateLat.Quantile(0.95), r.Ops, r.Errors)
+}
+
+// LoadYCSB writes the initial records (the YCSB load phase).
+func LoadYCSB(img *rbd.Image, opts YCSBOptions) error {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	buf := make([]byte, opts.RecordBytes)
+	rng.Read(buf)
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Threads)
+	per := opts.RecordCount / uint64(opts.Threads)
+	for t := 0; t < opts.Threads; t++ {
+		start := uint64(t) * per
+		end := start + per
+		if t == opts.Threads-1 {
+			end = opts.RecordCount
+		}
+		wg.Add(1)
+		go func(start, end uint64) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				if err := img.WriteAt(buf, i*uint64(opts.RecordBytes)); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// RunYCSB executes the run phase.
+func RunYCSB(img *rbd.Image, opts YCSBOptions) YCSBResult {
+	opts.fill()
+	res := YCSBResult{
+		Workload:  opts.Workload,
+		ReadLat:   metrics.NewHistogram(),
+		UpdateLat: metrics.NewHistogram(),
+	}
+	maxRecords := img.Size() / uint64(opts.RecordBytes)
+	if opts.RecordCount > maxRecords {
+		opts.RecordCount = maxRecords
+	}
+
+	var (
+		mu       sync.Mutex
+		issued   int
+		errs     int64
+		inserted = opts.RecordCount
+	)
+	takeOp := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if issued >= opts.Ops {
+			return false
+		}
+		issued++
+		return true
+	}
+	nextInsert := func() (uint64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if inserted >= maxRecords {
+			return 0, false
+		}
+		k := inserted
+		inserted++
+		return k, true
+	}
+	currentCount := func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return inserted
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(t)*7919))
+			zip := NewZipfian(rng, opts.RecordCount, 0.99)
+			latest := NewLatest(rng, opts.RecordCount)
+			buf := make([]byte, opts.RecordBytes)
+			rng.Read(buf)
+			readBuf := make([]byte, opts.RecordBytes)
+			for takeOp() {
+				var key uint64
+				var isRead, isRMW, isInsert bool
+				switch opts.Workload {
+				case YCSBA:
+					isRead = rng.Intn(100) < 50
+					key = zip.Next()
+				case YCSBB:
+					isRead = rng.Intn(100) < 95
+					key = zip.Next()
+				case YCSBC:
+					isRead = true
+					key = zip.Next()
+				case YCSBD:
+					isInsert = rng.Intn(100) >= 95
+					isRead = !isInsert
+					latest.Grow(currentCount())
+					key = latest.Next()
+				case YCSBF:
+					isRMW = rng.Intn(100) >= 50
+					isRead = !isRMW
+					key = zip.Next()
+				}
+				if key >= opts.RecordCount {
+					key = opts.RecordCount - 1
+				}
+				off := key * uint64(opts.RecordBytes)
+				t0 := time.Now()
+				var err error
+				switch {
+				case isInsert:
+					if k, ok := nextInsert(); ok {
+						err = img.WriteAt(buf, k*uint64(opts.RecordBytes))
+					} else {
+						err = img.WriteAt(buf, off) // key space full: update
+					}
+					res.UpdateLat.Observe(time.Since(t0))
+				case isRMW:
+					err = img.ReadAt(readBuf, off)
+					if err == nil {
+						readBuf[0]++
+						err = img.WriteAt(readBuf, off)
+					}
+					res.UpdateLat.Observe(time.Since(t0))
+				case isRead:
+					err = img.ReadAt(readBuf, off)
+					res.ReadLat.Observe(time.Since(t0))
+				default: // update
+					err = img.WriteAt(buf, off)
+					res.UpdateLat.Observe(time.Since(t0))
+				}
+				if err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Ops = res.ReadLat.Count() + res.UpdateLat.Count()
+	res.Errors = errs
+	return res
+}

@@ -1,0 +1,339 @@
+// Package btree implements an in-memory B+tree, the index structure the
+// CPU-efficient object store uses for free-block tracking and extended
+// attribute maps (paper §IV-C: "like XFS, COS constructs a b+tree to track
+// all of the free data blocks").
+//
+// Leaves are chained for cheap ordered iteration; internal nodes hold
+// separator keys. The tree is not safe for concurrent mutation — COS
+// shards partitions so each tree is owned by one non-priority thread.
+package btree
+
+import "cmp"
+
+const (
+	maxItems = 32 // max keys per node; split at this count
+	minItems = maxItems / 2
+)
+
+// Tree is a B+tree mapping ordered keys to values.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+	size int
+}
+
+type node[K cmp.Ordered, V any] struct {
+	leaf     bool
+	keys     []K
+	vals     []V           // leaves only
+	children []*node[K, V] // internal only; len = len(keys)+1
+	next     *node[K, V]   // leaf chain
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	return &Tree[K, V]{root: &node[K, V]{leaf: true}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// search returns the index of the first key >= k in keys.
+func search[K cmp.Ordered](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an internal node covers k.
+func childIndex[K cmp.Ordered](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under k.
+func (t *Tree[K, V]) Get(k K) (V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, k)]
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Set inserts or replaces the value under k. It reports whether the key
+// was newly inserted.
+func (t *Tree[K, V]) Set(k K, v V) bool {
+	inserted, split, sepKey, right := t.insert(t.root, k, v)
+	if split {
+		newRoot := &node[K, V]{
+			keys:     []K{sepKey},
+			children: []*node[K, V]{t.root, right},
+		}
+		t.root = newRoot
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+func (t *Tree[K, V]) insert(n *node[K, V], k K, v V) (inserted, split bool, sepKey K, right *node[K, V]) {
+	if n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			n.vals[i] = v
+			return false, false, sepKey, nil
+		}
+		n.keys = insertAt(n.keys, i, k)
+		n.vals = insertAt(n.vals, i, v)
+		if len(n.keys) > maxItems {
+			sepKey, right = t.splitLeaf(n)
+			return true, true, sepKey, right
+		}
+		return true, false, sepKey, nil
+	}
+	ci := childIndex(n.keys, k)
+	inserted, childSplit, childSep, childRight := t.insert(n.children[ci], k, v)
+	if childSplit {
+		n.keys = insertAt(n.keys, ci, childSep)
+		n.children = insertAt(n.children, ci+1, childRight)
+		if len(n.keys) > maxItems {
+			sepKey, right = t.splitInternal(n)
+			return inserted, true, sepKey, right
+		}
+	}
+	return inserted, false, sepKey, nil
+}
+
+func (t *Tree[K, V]) splitLeaf(n *node[K, V]) (K, *node[K, V]) {
+	mid := len(n.keys) / 2
+	right := &node[K, V]{
+		leaf: true,
+		keys: append([]K(nil), n.keys[mid:]...),
+		vals: append([]V(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (t *Tree[K, V]) splitInternal(n *node[K, V]) (K, *node[K, V]) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node[K, V]{
+		keys:     append([]K(nil), n.keys[mid+1:]...),
+		children: append([]*node[K, V](nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sep, right
+}
+
+// Delete removes k and reports whether it was present.
+func (t *Tree[K, V]) Delete(k K) bool {
+	deleted := t.remove(t.root, k)
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[K, V]) remove(n *node[K, V], k K) bool {
+	if n.leaf {
+		i := search(n.keys, k)
+		if i >= len(n.keys) || n.keys[i] != k {
+			return false
+		}
+		n.keys = removeAt(n.keys, i)
+		n.vals = removeAt(n.vals, i)
+		return true
+	}
+	ci := childIndex(n.keys, k)
+	deleted := t.remove(n.children[ci], k)
+	if deleted && underflow(n.children[ci]) {
+		t.rebalance(n, ci)
+	}
+	return deleted
+}
+
+func underflow[K cmp.Ordered, V any](n *node[K, V]) bool {
+	if n.leaf {
+		return len(n.keys) < minItems
+	}
+	return len(n.children) < minItems+1
+}
+
+// rebalance fixes an underflowing child ci of parent n by borrowing from a
+// sibling or merging with one.
+func (t *Tree[K, V]) rebalance(n *node[K, V], ci int) {
+	child := n.children[ci]
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		left := n.children[ci-1]
+		if canLend(left) {
+			if child.leaf {
+				last := len(left.keys) - 1
+				child.keys = insertAt(child.keys, 0, left.keys[last])
+				child.vals = insertAt(child.vals, 0, left.vals[last])
+				left.keys = left.keys[:last]
+				left.vals = left.vals[:last]
+				n.keys[ci-1] = child.keys[0]
+			} else {
+				lastK := len(left.keys) - 1
+				lastC := len(left.children) - 1
+				child.keys = insertAt(child.keys, 0, n.keys[ci-1])
+				child.children = insertAt(child.children, 0, left.children[lastC])
+				n.keys[ci-1] = left.keys[lastK]
+				left.keys = left.keys[:lastK]
+				left.children = left.children[:lastC]
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 {
+		rightSib := n.children[ci+1]
+		if canLend(rightSib) {
+			if child.leaf {
+				child.keys = append(child.keys, rightSib.keys[0])
+				child.vals = append(child.vals, rightSib.vals[0])
+				rightSib.keys = removeAt(rightSib.keys, 0)
+				rightSib.vals = removeAt(rightSib.vals, 0)
+				n.keys[ci] = rightSib.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[ci])
+				child.children = append(child.children, rightSib.children[0])
+				n.keys[ci] = rightSib.keys[0]
+				rightSib.keys = removeAt(rightSib.keys, 0)
+				rightSib.children = removeAt(rightSib.children, 0)
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		t.merge(n, ci-1)
+	} else {
+		t.merge(n, ci)
+	}
+}
+
+func canLend[K cmp.Ordered, V any](n *node[K, V]) bool {
+	if n.leaf {
+		return len(n.keys) > minItems
+	}
+	return len(n.children) > minItems+1
+}
+
+// merge combines children i and i+1 of n into children[i].
+func (t *Tree[K, V]) merge(n *node[K, V], i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = removeAt(n.keys, i)
+	n.children = removeAt(n.children, i+1)
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// Iterator walks keys in ascending order.
+type Iterator[K cmp.Ordered, V any] struct {
+	n *node[K, V]
+	i int
+}
+
+// SeekGE returns an iterator positioned at the first key >= k.
+func (t *Tree[K, V]) SeekGE(k K) Iterator[K, V] {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, k)]
+	}
+	i := search(n.keys, k)
+	it := Iterator[K, V]{n: n, i: i}
+	it.skipEmpty()
+	return it
+}
+
+// Min returns an iterator at the smallest key.
+func (t *Tree[K, V]) Min() Iterator[K, V] {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	it := Iterator[K, V]{n: n}
+	it.skipEmpty()
+	return it
+}
+
+func (it *Iterator[K, V]) skipEmpty() {
+	for it.n != nil && it.i >= len(it.n.keys) {
+		it.n = it.n.next
+		it.i = 0
+	}
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it *Iterator[K, V]) Valid() bool { return it.n != nil && it.i < len(it.n.keys) }
+
+// Key returns the current key. Valid must be true.
+func (it *Iterator[K, V]) Key() K { return it.n.keys[it.i] }
+
+// Value returns the current value. Valid must be true.
+func (it *Iterator[K, V]) Value() V { return it.n.vals[it.i] }
+
+// Next advances to the following key.
+func (it *Iterator[K, V]) Next() {
+	it.i++
+	it.skipEmpty()
+}
+
+// Ascend calls fn for each key/value in order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
+	for it := t.Min(); it.Valid(); it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetSmall(t *testing.T) {
+	tr := New[uint64, string]()
+	if !tr.Set(5, "five") || !tr.Set(3, "three") || !tr.Set(8, "eight") {
+		t.Fatal("fresh inserts must report true")
+	}
+	if tr.Set(5, "FIVE") {
+		t.Fatal("overwrite must report false")
+	}
+	if v, ok := tr.Get(5); !ok || v != "FIVE" {
+		t.Fatalf("Get(5) = %q,%v", v, ok)
+	}
+	if _, ok := tr.Get(4); ok {
+		t.Fatal("Get(4) should miss")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteSmall(t *testing.T) {
+	tr := New[uint64, int]()
+	for i := uint64(0); i < 10; i++ {
+		tr.Set(i, int(i))
+	}
+	if !tr.Delete(5) {
+		t.Fatal("Delete(5) should succeed")
+	}
+	if tr.Delete(5) {
+		t.Fatal("double delete should fail")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("5 still present")
+	}
+	if tr.Len() != 9 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	tr := New[uint64, uint64]()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		tr.Set(i, i*2)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tr.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestLargeReverseInsertThenDeleteAll(t *testing.T) {
+	tr := New[uint64, uint64]()
+	const n = 5000
+	for i := n; i > 0; i-- {
+		tr.Set(uint64(i), uint64(i))
+	}
+	for i := 1; i <= n; i++ {
+		if !tr.Delete(uint64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if it := tr.Min(); it.Valid() {
+		t.Fatal("iterator on empty tree must be invalid")
+	}
+}
+
+func TestAscendOrdered(t *testing.T) {
+	tr := New[uint64, uint64]()
+	rng := rand.New(rand.NewSource(42))
+	keys := rng.Perm(2000)
+	for _, k := range keys {
+		tr.Set(uint64(k), uint64(k))
+	}
+	var got []uint64
+	tr.Ascend(func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2000 {
+		t.Fatalf("Ascend visited %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Ascend out of order")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[uint64, uint64]()
+	for i := uint64(0); i < 100; i++ {
+		tr.Set(i, i)
+	}
+	count := 0
+	tr.Ascend(func(k, v uint64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	tr := New[uint64, uint64]()
+	for i := uint64(0); i < 100; i += 10 {
+		tr.Set(i, i)
+	}
+	it := tr.SeekGE(35)
+	if !it.Valid() || it.Key() != 40 {
+		t.Fatalf("SeekGE(35) = %v", it.Key())
+	}
+	it = tr.SeekGE(90)
+	if !it.Valid() || it.Key() != 90 {
+		t.Fatalf("SeekGE(90) = %v", it.Key())
+	}
+	it = tr.SeekGE(91)
+	if it.Valid() {
+		t.Fatal("SeekGE(91) must be invalid")
+	}
+	it = tr.SeekGE(0)
+	if !it.Valid() || it.Key() != 0 {
+		t.Fatal("SeekGE(0) wrong")
+	}
+}
+
+func TestIteratorWalksLeafChain(t *testing.T) {
+	tr := New[uint64, uint64]()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Set(i, i)
+	}
+	it := tr.SeekGE(500)
+	var n int
+	for ; it.Valid(); it.Next() {
+		if it.Key() != uint64(500+n) {
+			t.Fatalf("key %d at step %d", it.Key(), n)
+		}
+		if it.Value() != it.Key() {
+			t.Fatal("value mismatch")
+		}
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("walked %d entries", n)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string, []byte]()
+	tr.Set("user.owner", []byte("alice"))
+	tr.Set("user.mode", []byte("0644"))
+	if v, ok := tr.Get("user.owner"); !ok || string(v) != "alice" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	var keys []string
+	tr.Ascend(func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 2 || keys[0] != "user.mode" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+// Model-based random operations test: the tree must agree with a map at
+// every step, across interleaved inserts, overwrites and deletes.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	tr := New[uint64, uint64]()
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(7))
+	const ops = 50000
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(5000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			_, existed := model[k]
+			inserted := tr.Set(k, v)
+			if inserted == existed {
+				t.Fatalf("op %d: Set(%d) inserted=%v existed=%v", i, k, inserted, existed)
+			}
+			model[k] = v
+		case 2:
+			_, existed := model[k]
+			deleted := tr.Delete(k)
+			if deleted != existed {
+				t.Fatalf("op %d: Delete(%d) deleted=%v existed=%v", i, k, deleted, existed)
+			}
+			delete(model, k)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d model=%d", i, tr.Len(), len(model))
+		}
+	}
+	// Final full comparison, including iteration order.
+	var treeKeys []uint64
+	tr.Ascend(func(k, v uint64) bool {
+		if mv, ok := model[k]; !ok || mv != v {
+			t.Fatalf("tree has %d=%d, model %d,%v", k, v, mv, ok)
+		}
+		treeKeys = append(treeKeys, k)
+		return true
+	})
+	if len(treeKeys) != len(model) {
+		t.Fatalf("iterated %d keys, model has %d", len(treeKeys), len(model))
+	}
+	if !sort.SliceIsSorted(treeKeys, func(i, j int) bool { return treeKeys[i] < treeKeys[j] }) {
+		t.Fatal("final iteration out of order")
+	}
+}
+
+// Property: after inserting any set of keys, every key is retrievable and
+// iteration yields exactly the deduplicated sorted keys.
+func TestQuickInsertAll(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tr := New[uint64, uint64]()
+		set := make(map[uint64]bool)
+		for _, k := range keys {
+			tr.Set(k, k+1)
+			set[k] = true
+		}
+		if tr.Len() != len(set) {
+			return false
+		}
+		for k := range set {
+			if v, ok := tr.Get(k); !ok || v != k+1 {
+				return false
+			}
+		}
+		count := 0
+		prevSet := false
+		var prev uint64
+		okOrder := true
+		tr.Ascend(func(k, v uint64) bool {
+			if prevSet && k <= prev {
+				okOrder = false
+				return false
+			}
+			prev, prevSet = k, true
+			count++
+			return true
+		})
+		return okOrder && count == len(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetRandom(b *testing.B) {
+	tr := New[uint64, uint64]()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(rng.Uint64()%1e6, uint64(i))
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	tr := New[uint64, uint64]()
+	for i := uint64(0); i < 1e5; i++ {
+		tr.Set(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) % 1e5)
+	}
+}

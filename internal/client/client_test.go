@@ -1,0 +1,148 @@
+package client_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rebloc/internal/client"
+	"rebloc/internal/core"
+	"rebloc/internal/osd"
+	"rebloc/internal/wire"
+)
+
+func testCluster(t *testing.T, opts core.Options) (*core.Cluster, *client.Client) {
+	t.Helper()
+	if opts.OSDs == 0 {
+		opts.OSDs = 2
+	}
+	if opts.Mode == 0 {
+		opts.Mode = osd.ModeProposed
+	}
+	if opts.Replicas == 0 {
+		opts.Replicas = 2
+	}
+	if opts.PGs == 0 {
+		opts.PGs = 16
+	}
+	opts.DeviceBytes = 512 << 20
+	c, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cl
+}
+
+func oid(name string) wire.ObjectID { return wire.ObjectID{Pool: 1, Name: name} }
+
+func TestWriteReadDelete(t *testing.T) {
+	_, cl := testCluster(t, core.Options{})
+	data := []byte("payload")
+	v, err := cl.Write(oid("o"), 0, data)
+	if err != nil || v == 0 {
+		t.Fatalf("Write: v=%d err=%v", v, err)
+	}
+	got, err := cl.Read(oid("o"), 0, uint32(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Read: %q %v", got, err)
+	}
+	if err := cl.Delete(oid("o")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FlushOSDs(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Read(oid("o"), 0, 1); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("read deleted: %v", err)
+	}
+}
+
+func TestReadMissingObject(t *testing.T) {
+	_, cl := testCluster(t, core.Options{})
+	if _, err := cl.Read(oid("missing"), 0, 8); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentOpsOneClient(t *testing.T) {
+	_, cl := testCluster(t, core.Options{OSDs: 3})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{byte(w + 1)}, 1024)
+			for i := 0; i < 25; i++ {
+				name := fmt.Sprintf("w%d-o%d", w, i%4)
+				if _, err := cl.Write(oid(name), 0, data); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				got, err := cl.Read(oid(name), 0, 1024)
+				if err != nil || got[0] != byte(w+1) {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestRetryAfterRemap(t *testing.T) {
+	c, cl := testCluster(t, core.Options{OSDs: 3, HeartbeatTimeout: 500 * time.Millisecond})
+	if _, err := cl.Write(oid("pre"), 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FlushOSDs(); err != nil {
+		t.Fatal(err)
+	}
+	epoch := c.Map().Epoch
+	c.KillOSD(1)
+	if err := c.WaitEpochAtLeast(epoch+1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The client's cached map is stale; writes must transparently refresh
+	// and retry.
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Write(oid(fmt.Sprintf("post-%d", i)), 0, []byte("y")); err != nil {
+			t.Fatalf("write after remap: %v", err)
+		}
+	}
+	got, err := cl.Read(oid("pre"), 0, 1)
+	if err != nil || got[0] != 'x' {
+		t.Fatalf("old data after remap: %v", err)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	_, cl := testCluster(t, core.Options{})
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Write(oid("x"), 0, nil); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal("double close must be nil")
+	}
+}
+
+func TestMapAccessor(t *testing.T) {
+	c, cl := testCluster(t, core.Options{})
+	m := cl.Map()
+	if m == nil || m.Epoch == 0 {
+		t.Fatal("client has no map")
+	}
+	if m.Epoch > c.Map().Epoch {
+		t.Fatal("client map newer than monitor")
+	}
+}

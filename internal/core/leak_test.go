@@ -1,0 +1,46 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"rebloc/internal/osd"
+)
+
+// TestNoGoroutineLeakAfterClose ensures a cluster winds down all its
+// goroutines: conn loops, PG workers, non-priority threads, heartbeats,
+// background flush/compaction.
+func TestNoGoroutineLeakAfterClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, mode := range []osd.Mode{osd.ModeOriginal, osd.ModeProposed} {
+		c, err := New(Options{OSDs: 2, Mode: mode, Replicas: 2, PGs: 8, DeviceBytes: 256 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := c.Client()
+		if err != nil {
+			c.Close()
+			t.Fatal(err)
+		}
+		if _, err := cl.Write(oid("leak"), 0, []byte("x")); err != nil {
+			c.Close()
+			t.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow stragglers to exit.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 64<<10)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+}

@@ -1,0 +1,290 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testDeviceRoundTrip(t *testing.T, d Device) {
+	t.Helper()
+	in := []byte("hello block device")
+	if _, err := d.WriteAt(in, 4096); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	out := make([]byte, len(in))
+	if _, err := d.ReadAt(out, 4096); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("read back %q, want %q", out, in)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	d := NewMem(1 << 20)
+	defer d.Close()
+	testDeviceRoundTrip(t, d)
+	st := d.Stats().Snapshot()
+	if st.WriteOps != 1 || st.ReadOps != 1 || st.Flushes != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+	if st.BytesWritten != 18 || st.BytesRead != 18 {
+		t.Fatalf("byte stats = %v", st)
+	}
+}
+
+func TestMemOutOfRange(t *testing.T) {
+	d := NewMem(1024)
+	defer d.Close()
+	if _, err := d.WriteAt(make([]byte, 16), 1020); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := d.ReadAt(make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if d.Size() != 1024 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+}
+
+func TestMemClosed(t *testing.T) {
+	d := NewMem(1024)
+	d.Close()
+	if _, err := d.WriteAt([]byte{1}, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := d.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemConcurrentDisjoint(t *testing.T) {
+	d := NewMem(1 << 20)
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(i)}, 4096)
+			off := int64(i) * 4096
+			for j := 0; j < 50; j++ {
+				if _, err := d.WriteAt(buf, off); err != nil {
+					t.Error(err)
+					return
+				}
+				out := make([]byte, 4096)
+				if _, err := d.ReadAt(out, off); err != nil {
+					t.Error(err)
+					return
+				}
+				if out[0] != byte(i) {
+					t.Errorf("lane %d corrupted", i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	testDeviceRoundTrip(t, d)
+}
+
+func TestFileReopenKeepsData(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte("persist"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	out := make([]byte, 7)
+	if _, err := d2.ReadAt(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "persist" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestFileDoubleCloseSafe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestSimPassesThrough(t *testing.T) {
+	d := NewSim(NewMem(1<<20), Profile{}) // unconstrained
+	defer d.Close()
+	testDeviceRoundTrip(t, d)
+	if d.Size() != 1<<20 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+}
+
+func TestSimBandwidthCap(t *testing.T) {
+	// 10 MB/s write cap; writing 1 MB must take >= ~90ms.
+	d := NewSim(NewMem(4<<20), Profile{WriteBandwidth: 10 << 20, QueueDepth: 8})
+	defer d.Close()
+	buf := make([]byte, 64<<10)
+	start := time.Now()
+	for off := int64(0); off < 1<<20; off += int64(len(buf)) {
+		if _, err := d.WriteAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	el := time.Since(start)
+	if el < 80*time.Millisecond {
+		t.Fatalf("1MB at 10MB/s finished in %v, pacing not applied", el)
+	}
+}
+
+func TestSimLatencyAmortized(t *testing.T) {
+	// Tiny per-op costs must not sleep per op: 1000 ops with 1µs/128 cost
+	// should finish almost instantly.
+	d := NewSim(NewMem(1<<20), Profile{WriteLatency: time.Microsecond, QueueDepth: 128})
+	defer d.Close()
+	buf := make([]byte, 512)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if _, err := d.WriteAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("amortised pacing too slow: %v", el)
+	}
+}
+
+func TestSimProfiles(t *testing.T) {
+	p := PM1725a()
+	if p.QueueDepth != 128 || p.WriteLatency != 400*time.Microsecond {
+		t.Fatalf("PM1725a = %+v", p)
+	}
+	s := PM1725aSteady()
+	if s.WriteLatency <= p.WriteLatency {
+		t.Fatal("steady-state must be slower than FOB")
+	}
+	d := NewSim(NewMem(1024), Profile{})
+	if d.Profile().QueueDepth != 128 {
+		t.Fatal("default queue depth not applied")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	errBoom := errors.New("boom")
+	f := NewFault(NewMem(1 << 16))
+	defer f.Close()
+	if _, err := f.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Arm(2, errBoom) // next write ok, second fails
+	if _, err := f.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatalf("first armed write should pass: %v", err)
+	}
+	if _, err := f.WriteAt([]byte{1}, 0); !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := f.WriteAt([]byte{1}, 0); !errors.Is(err, errBoom) {
+		t.Fatal("failures must persist")
+	}
+	if err := f.Flush(); !errors.Is(err, errBoom) {
+		t.Fatal("flush must fail while armed and tripped")
+	}
+	f.Disarm()
+	if _, err := f.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatalf("after Disarm: %v", err)
+	}
+	if f.WriteCount() != 5 {
+		t.Fatalf("WriteCount = %d", f.WriteCount())
+	}
+}
+
+func TestFaultReads(t *testing.T) {
+	errBoom := errors.New("boom")
+	f := NewFault(NewMem(1 << 16))
+	defer f.Close()
+	f.Arm(1, errBoom)
+	f.ArmReads()
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, errBoom) {
+		t.Fatalf("read err = %v", err)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	a := Snapshot{WriteOps: 10, BytesWritten: 100}
+	b := Snapshot{WriteOps: 4, BytesWritten: 40}
+	d := a.Sub(b)
+	if d.WriteOps != 6 || d.BytesWritten != 60 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: writes then reads at arbitrary (valid) offsets round-trip.
+func TestQuickMemRoundTrip(t *testing.T) {
+	d := NewMem(1 << 16)
+	defer d.Close()
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off) % (d.Size() - int64(len(data)))
+		if o < 0 {
+			o = 0
+		}
+		if _, err := d.WriteAt(data, o); err != nil {
+			return false
+		}
+		out := make([]byte, len(data))
+		if _, err := d.ReadAt(out, o); err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package device
+
+import (
+	"sync/atomic"
+)
+
+// Fault wraps a device and injects errors for failure testing: after Arm(n)
+// is called, the n-th subsequent write (1-based) and all writes after it
+// fail with the armed error until Disarm.
+type Fault struct {
+	inner Device
+
+	armed      atomic.Bool
+	failAfter  atomic.Int64 // writes remaining before failures begin
+	err        atomic.Value // error
+	readsFail  atomic.Bool
+	writeCount atomic.Int64
+}
+
+var _ Device = (*Fault)(nil)
+
+// NewFault wraps inner.
+func NewFault(inner Device) *Fault {
+	return &Fault{inner: inner}
+}
+
+// Arm makes the n-th write from now (1-based) and all later writes fail
+// with err. Arm(1, err) fails immediately.
+func (f *Fault) Arm(n int64, err error) {
+	f.err.Store(err)
+	f.failAfter.Store(n - 1)
+	f.armed.Store(true)
+}
+
+// ArmReads additionally makes reads fail once writes start failing.
+func (f *Fault) ArmReads() { f.readsFail.Store(true) }
+
+// Disarm stops injecting errors.
+func (f *Fault) Disarm() {
+	f.armed.Store(false)
+	f.readsFail.Store(false)
+}
+
+// WriteCount reports the number of writes attempted.
+func (f *Fault) WriteCount() int64 { return f.writeCount.Load() }
+
+func (f *Fault) failing() error {
+	if !f.armed.Load() {
+		return nil
+	}
+	if f.failAfter.Load() > 0 {
+		return nil
+	}
+	err, _ := f.err.Load().(error)
+	return err
+}
+
+// ReadAt implements Device.
+func (f *Fault) ReadAt(p []byte, off int64) (int, error) {
+	if f.readsFail.Load() {
+		if err := f.failing(); err != nil {
+			return 0, err
+		}
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+// WriteAt implements Device.
+func (f *Fault) WriteAt(p []byte, off int64) (int, error) {
+	f.writeCount.Add(1)
+	if f.armed.Load() {
+		if remaining := f.failAfter.Add(-1); remaining < 0 {
+			err, _ := f.err.Load().(error)
+			return 0, err
+		}
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+// Flush implements Device.
+func (f *Fault) Flush() error {
+	if err := f.failing(); err != nil {
+		return err
+	}
+	return f.inner.Flush()
+}
+
+// Size implements Device.
+func (f *Fault) Size() int64 { return f.inner.Size() }
+
+// Stats implements Device.
+func (f *Fault) Stats() *Stats { return f.inner.Stats() }
+
+// Close implements Device.
+func (f *Fault) Close() error { return f.inner.Close() }

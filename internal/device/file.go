@@ -1,0 +1,92 @@
+package device
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// File is a device backed by a regular file, for durable runs of the
+// daemons (cmd/rebloc-osd). os.File's ReadAt/WriteAt are concurrency-safe.
+type File struct {
+	f      *os.File
+	size   int64
+	stats  Stats
+	closed atomic.Bool
+}
+
+var _ Device = (*File)(nil)
+
+// OpenFile opens (creating and truncating to size if needed) a file-backed
+// device at path.
+func OpenFile(path string, size int64) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open device file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stat device file: %w", err)
+	}
+	if st.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("size device file: %w", err)
+		}
+	} else if st.Size() > size {
+		size = st.Size()
+	}
+	return &File{f: f, size: size}, nil
+}
+
+// ReadAt implements Device.
+func (d *File) ReadAt(p []byte, off int64) (int, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	if err := checkRange(d.size, off, len(p)); err != nil {
+		return 0, err
+	}
+	n, err := d.f.ReadAt(p, off)
+	d.stats.ReadOps.Inc()
+	d.stats.BytesRead.Add(int64(n))
+	return n, err
+}
+
+// WriteAt implements Device.
+func (d *File) WriteAt(p []byte, off int64) (int, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	if err := checkRange(d.size, off, len(p)); err != nil {
+		return 0, err
+	}
+	n, err := d.f.WriteAt(p, off)
+	d.stats.WriteOps.Inc()
+	d.stats.BytesWritten.Add(int64(n))
+	return n, err
+}
+
+// Flush implements Device by fsyncing the backing file.
+func (d *File) Flush() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	d.stats.Flushes.Inc()
+	return d.f.Sync()
+}
+
+// Size implements Device.
+func (d *File) Size() int64 { return d.size }
+
+// Stats implements Device.
+func (d *File) Stats() *Stats { return &d.stats }
+
+// Close implements Device.
+func (d *File) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	return d.f.Close()
+}

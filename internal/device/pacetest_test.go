@@ -1,0 +1,35 @@
+package device
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimBandwidthCapConcurrent(t *testing.T) {
+	d := NewSim(NewMem(1<<30), Profile{WriteBandwidth: 100 << 20, QueueDepth: 8})
+	defer d.Close()
+	buf := make([]byte, 64<<10)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var total int64 = 0
+	const workers = 8
+	const per = 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.WriteAt(buf, int64((w*per+i))*int64(len(buf)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	total = int64(workers * per * len(buf))
+	el := time.Since(start)
+	mbps := float64(total) / el.Seconds() / 1e6
+	t.Logf("wrote %d MB in %v = %.0f MB/s (cap 105)", total>>20, el, mbps)
+	if mbps > 130 {
+		t.Fatalf("bandwidth cap violated: %.0f MB/s", mbps)
+	}
+}

@@ -1,0 +1,107 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/osd"
+)
+
+// AblationTransport compares the in-process transport against loopback
+// TCP for the proposed architecture (not in the paper; quantifies how
+// much of the commit path is kernel networking versus the storage stack).
+func AblationTransport(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Ablation — transport: in-process channels vs loopback TCP (Proposed, 4KB randwrite)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "transport\tKIOPS\tmean\tp95")
+
+	for _, useTCP := range []bool{false, true} {
+		pp := p
+		pp.UseTCP = useTCP
+		u, err := setup(osd.ModeProposed, pp, nil)
+		if err != nil {
+			return err
+		}
+		opts := bench.FioOptions{
+			Pattern:    bench.RandWrite,
+			Ops:        p.ops(5000),
+			Jobs:       p.Jobs,
+			QueueDepth: p.QueueDepth,
+		}
+		res, _, _ := u.measureFio(opts, p.ops(1000))
+		name := "inproc"
+		if useTCP {
+			name = "tcp"
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\n",
+			name, res.IOPS()/1000, ms(res.Lat.Mean()), ms(res.Lat.Quantile(0.95)))
+		u.close()
+	}
+	return tw.Flush()
+}
+
+// AblationReplication sweeps the replication factor (not in the paper,
+// which fixes 2×): each extra replica adds one NVM log append + ack to
+// the commit path, so latency should grow roughly linearly and IOPS fall.
+func AblationReplication(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Ablation — replication factor (Proposed, 4KB randwrite)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "replicas\tKIOPS\tmean\tp95")
+
+	for _, replicas := range []int{1, 2, 3} {
+		pp := p
+		pp.Replicas = replicas
+		if pp.OSDs < replicas {
+			pp.OSDs = replicas
+		}
+		u, err := setup(osd.ModeProposed, pp, nil)
+		if err != nil {
+			return err
+		}
+		opts := bench.FioOptions{
+			Pattern:    bench.RandWrite,
+			Ops:        p.ops(5000),
+			Jobs:       p.Jobs,
+			QueueDepth: p.QueueDepth,
+		}
+		res, _, _ := u.measureFio(opts, p.ops(1000))
+		fmt.Fprintf(tw, "%d\t%.1f\t%s\t%s\n",
+			replicas, res.IOPS()/1000, ms(res.Lat.Mean()), ms(res.Lat.Quantile(0.95)))
+		u.close()
+	}
+	return tw.Flush()
+}
+
+// AblationNonPriorityThreads sweeps the non-priority thread count at a
+// fixed partition count (paper §V-A uses 10 NPT for 8 partitions; this
+// shows the sensitivity).
+func AblationNonPriorityThreads(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Ablation — non-priority threads for 8 partitions (Proposed, 4KB randwrite)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "npt\tKIOPS\tmean\tp95")
+
+	for _, npt := range []int{1, 2, 4, 8} {
+		u, err := setup(osd.ModeProposed, p, func(o *coreOptions) {
+			o.Partitions = 8
+			o.NonPriority = npt
+		})
+		if err != nil {
+			return err
+		}
+		opts := bench.FioOptions{
+			Pattern:    bench.RandWrite,
+			Ops:        p.ops(5000),
+			Jobs:       p.Jobs,
+			QueueDepth: p.QueueDepth,
+		}
+		res, _, _ := u.measureFio(opts, p.ops(1000))
+		fmt.Fprintf(tw, "%d\t%.1f\t%s\t%s\n",
+			npt, res.IOPS()/1000, ms(res.Lat.Mean()), ms(res.Lat.Quantile(0.95)))
+		u.close()
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,47 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/osd"
+)
+
+// Fig1 reproduces the roofline analysis (paper Figure 1): latency and CPU
+// usage of Original, RTC-v1, RTC-v2 and RTC-v3 under a 4 KB random-write
+// workload with a constrained worker count (Original: 2 messenger-
+// equivalent conns + 2 PG threads; RTC probes: 4 run-to-completion
+// threads).
+//
+// Paper shape: Original and RTC-v1 are slow at high CPU; removing the
+// object store (RTC-v2) helps; even bare message+replication processing
+// (RTC-v3) has latency above the raw device at ~200% CPU.
+func Fig1(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Figure 1 — roofline probes, 4KB random write")
+	fmt.Fprintln(w, "(paper: Original ≈ RTC-v1 ≪ RTC-v2 < RTC-v3; RTC-v3 latency still above the raw NVMe)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "config\tKIOPS\tmean\tp95\tCPU")
+
+	modes := []osd.Mode{osd.ModeOriginal, osd.ModeRTCv1, osd.ModeRTCv2, osd.ModeRTCv3}
+	for _, mode := range modes {
+		u, err := setup(mode, p, func(o *coreOptions) {
+			o.PGWorkers = 2
+		})
+		if err != nil {
+			return err
+		}
+		opts := bench.FioOptions{
+			Pattern:    bench.RandWrite,
+			Ops:        p.ops(4000),
+			Jobs:       2, // the paper pins Original to 2 msgr + 2 PG threads
+			QueueDepth: p.QueueDepth,
+		}
+		res, usage, _ := u.measureFio(opts, p.ops(500))
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\t%s\n",
+			mode, res.IOPS()/1000, ms(res.Lat.Mean()), ms(res.Lat.Quantile(0.95)), cpuRow(usage))
+		u.close()
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/osd"
+)
+
+// Fig10 reproduces the YCSB comparison (paper Figure 10): workloads A, B,
+// C, D and F over a block image, Original vs Proposed, reporting read and
+// update latency plus throughput.
+//
+// Paper shape: Proposed's update latency is significantly lower on every
+// write-bearing workload (A, B, D, F — F most of all, since RMW pays the
+// update path twice); read latencies are close, with Proposed slightly
+// ahead except on A where the baseline's data cache helps it.
+func Fig10(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Figure 10 — YCSB A/B/C/D/F over the block device")
+	fmt.Fprintln(w, "(paper: Proposed wins updates everywhere; reads roughly at parity)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "workload\tconfig\tops/s\tread mean\tread p95\tupdate mean\tupdate p95")
+
+	workloads := []bench.YCSBWorkload{bench.YCSBA, bench.YCSBB, bench.YCSBC, bench.YCSBD, bench.YCSBF}
+	for _, mode := range []osd.Mode{osd.ModeOriginal, osd.ModeProposed} {
+		u, err := setup(mode, p, nil)
+		if err != nil {
+			return err
+		}
+		yopts := bench.YCSBOptions{
+			RecordCount: uint64(p.ops(4000)),
+			Ops:         p.ops(3000),
+			Threads:     10, // paper: 10 client threads
+		}
+		if err := bench.LoadYCSB(u.img, yopts); err != nil {
+			u.close()
+			return err
+		}
+		for _, wl := range workloads {
+			yopts.Workload = wl
+			res := bench.RunYCSB(u.img, yopts)
+			readMean, readP95 := "-", "-"
+			if res.ReadLat.Count() > 0 {
+				readMean, readP95 = ms(res.ReadLat.Mean()), ms(res.ReadLat.Quantile(0.95))
+			}
+			updMean, updP95 := "-", "-"
+			if res.UpdateLat.Count() > 0 {
+				updMean, updP95 = ms(res.UpdateLat.Mean()), ms(res.UpdateLat.Quantile(0.95))
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.0f\t%s\t%s\t%s\t%s\n",
+				wl, mode, res.Throughput(), readMean, readP95, updMean, updP95)
+		}
+		u.close()
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,47 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/osd"
+)
+
+// Fig11 reproduces the partition-scalability experiment (paper Figure
+// 11): 4 KB random-write IOPS as the sharded-partition count grows, with
+// the client load growing alongside (the paper adds six connections per
+// partition step).
+//
+// Paper shape: IOPS improves monotonically with the partition count,
+// since partitions are independently locked and flushed in parallel.
+// NOTE: the parallelism win requires real cores; on a GOMAXPROCS=1 host
+// the sweep mainly shows that more partitions do not hurt.
+func Fig11(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Figure 11 — partition scalability, 4KB random write")
+	fmt.Fprintln(w, "(paper: IOPS grows with the sharded-partition count)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "partitions\tclients\tKIOPS\tmean")
+
+	for _, parts := range []int{1, 2, 4, 8} {
+		u, err := setup(osd.ModeProposed, p, func(o *coreOptions) {
+			o.Partitions = parts
+			o.NonPriority = parts
+		})
+		if err != nil {
+			return err
+		}
+		jobs := 2 * parts // scale offered load with partitions, as the paper does
+		opts := bench.FioOptions{
+			Pattern:    bench.RandWrite,
+			Ops:        p.ops(3000) * parts,
+			Jobs:       jobs,
+			QueueDepth: 8,
+		}
+		res, _, _ := u.measureFio(opts, p.ops(500))
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%s\n", parts, jobs, res.IOPS()/1000, ms(res.Lat.Mean()))
+		u.close()
+	}
+	return tw.Flush()
+}

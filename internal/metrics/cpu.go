@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Category identifies a class of CPU work, mirroring the paper's breakdown
+// of OSD CPU time (Figures 1 and 7).
+type Category int
+
+// Work categories. NP (network processing) = MP+RP; SP (storage
+// processing) = TP+OS. PT/NPT are the proposed design's thread classes.
+const (
+	CatMP    Category = iota + 1 // message processing (messenger)
+	CatRP                        // replication processing
+	CatTP                        // transaction processing (OSD core)
+	CatOS                        // object store foreground work
+	CatMT                        // maintenance (compaction, sync)
+	CatPT                        // priority thread (proposed: MP+RP+logging)
+	CatNPT                       // non-priority thread (proposed: flush/IO completion)
+	CatOther                     // anything else (heartbeats, map handling)
+	catMax
+)
+
+var categoryNames = map[Category]string{
+	CatMP:    "MP",
+	CatRP:    "RP",
+	CatTP:    "TP",
+	CatOS:    "OS",
+	CatMT:    "MT",
+	CatPT:    "PT",
+	CatNPT:   "NPT",
+	CatOther: "other",
+}
+
+// String returns the category's short name as used in the paper's figures.
+func (c Category) String() string {
+	if n, ok := categoryNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("cat(%d)", int(c))
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	return []Category{CatMP, CatRP, CatTP, CatOS, CatMT, CatPT, CatNPT, CatOther}
+}
+
+// CPUAccount accumulates busy nanoseconds per work category. One account is
+// shared per OSD daemon; workers time their work units against it.
+//
+// CPU usage in "percent of a logical core" for a category is
+// busy(cat) / wall * 100, matching how the paper reports e.g. "CPU usage of
+// 346%" for multi-core consumption.
+type CPUAccount struct {
+	busy  [catMax]atomic.Int64
+	start atomic.Int64 // wall-clock origin, ns since process epoch
+}
+
+// NewCPUAccount returns an account with its wall-clock origin set to now.
+func NewCPUAccount() *CPUAccount {
+	a := &CPUAccount{}
+	a.ResetWindow()
+	return a
+}
+
+// Add records d of busy time under cat.
+func (a *CPUAccount) Add(cat Category, d time.Duration) {
+	if cat <= 0 || cat >= catMax {
+		cat = CatOther
+	}
+	a.busy[cat].Add(int64(d))
+}
+
+// Timer measures one unit of work: t := acct.Start(cat); ...; t.Stop().
+type Timer struct {
+	acct  *CPUAccount
+	cat   Category
+	begin time.Time
+}
+
+// Start begins timing a unit of work in cat.
+func (a *CPUAccount) Start(cat Category) Timer {
+	return Timer{acct: a, cat: cat, begin: time.Now()}
+}
+
+// Stop ends the unit of work and accumulates its duration.
+func (t Timer) Stop() {
+	if t.acct != nil {
+		t.acct.Add(t.cat, time.Since(t.begin))
+	}
+}
+
+// Busy returns accumulated busy time for cat in the current window.
+func (a *CPUAccount) Busy(cat Category) time.Duration {
+	if cat <= 0 || cat >= catMax {
+		return 0
+	}
+	return time.Duration(a.busy[cat].Load())
+}
+
+// TotalBusy sums busy time across all categories.
+func (a *CPUAccount) TotalBusy() time.Duration {
+	var sum int64
+	for i := 1; i < int(catMax); i++ {
+		sum += a.busy[i].Load()
+	}
+	return time.Duration(sum)
+}
+
+// Wall returns the elapsed wall time of the current accounting window.
+func (a *CPUAccount) Wall() time.Duration {
+	return time.Duration(nowNanos() - a.start.Load())
+}
+
+// ResetWindow zeroes all busy counters and restarts the wall clock, so a
+// benchmark can exclude warm-up work.
+func (a *CPUAccount) ResetWindow() {
+	for i := range a.busy {
+		a.busy[i].Store(0)
+	}
+	a.start.Store(nowNanos())
+}
+
+var processEpoch = time.Now()
+
+func nowNanos() int64 { return int64(time.Since(processEpoch)) }
+
+// Usage holds a CPU utilisation snapshot in percent-of-a-core units.
+type Usage struct {
+	ByCategory map[Category]float64
+	Total      float64
+	Wall       time.Duration
+}
+
+// Snapshot computes utilisation for the current window.
+func (a *CPUAccount) Snapshot() Usage {
+	wall := a.Wall()
+	u := Usage{ByCategory: make(map[Category]float64, int(catMax)), Wall: wall}
+	if wall <= 0 {
+		return u
+	}
+	for _, c := range Categories() {
+		pct := 100 * float64(a.Busy(c)) / float64(wall)
+		if pct > 0 {
+			u.ByCategory[c] = pct
+		}
+		u.Total += pct
+	}
+	return u
+}
+
+// String renders the snapshot like "total=346% MP=120% RP=80% ...".
+func (u Usage) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%.0f%%", u.Total)
+	cats := make([]Category, 0, len(u.ByCategory))
+	for c := range u.ByCategory {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		fmt.Fprintf(&b, " %s=%.0f%%", c, u.ByCategory[c])
+	}
+	return b.String()
+}

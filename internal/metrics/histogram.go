@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-bucketed latency histogram.
+//
+// Buckets are spaced at ~7.2% resolution (16 sub-buckets per power of two)
+// covering 1ns to ~292s, which is enough precision for the percentile
+// figures the paper reports (average, p95, p99).
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64
+	min     atomic.Int64
+}
+
+const (
+	histSubBits = 4 // 16 sub-buckets per octave
+	histSub     = 1 << histSubBits
+	histOctaves = 40 // 2^40 ns ≈ 18 minutes
+	histBuckets = histOctaves * histSub
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a duration in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	// Position of the highest set bit.
+	exp := 63 - bits.LeadingZeros64(uint64(ns))
+	var idx int
+	if exp < histSubBits {
+		idx = int(ns)
+	} else {
+		sub := (ns >> (exp - histSubBits)) - histSub
+		idx = int((exp-histSubBits+1))*histSub + int(sub)
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the upper bound (ns) represented by bucket i.
+func bucketUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	oct := i/histSub - 1
+	sub := i % histSub
+	return (int64(histSub) + int64(sub) + 1) << uint(oct)
+}
+
+// Observe records a single duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Min returns the smallest observed duration.
+func (h *Histogram) Min() time.Duration {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Quantile returns the approximate q-quantile (0 < q <= 1) of the observed
+// durations, e.g. Quantile(0.95) for p95.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.min.Store(math.MaxInt64)
+}
+
+// String summarises the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}

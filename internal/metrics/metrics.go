@@ -1,0 +1,126 @@
+// Package metrics provides low-overhead counters, latency histograms and
+// per-category CPU busy-time accounting used by every layer of rebloc.
+//
+// The paper reports logical-core utilisation per software module (MP, RP,
+// TP, OS, MT, priority/non-priority threads). We reproduce the same
+// quantity as busy-seconds per category divided by wall-clock seconds,
+// measured with monotonic clocks around units of work.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an atomically updated instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v as the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry is a named collection of counters and histograms, used by
+// components that want to expose their metrics for reporting.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// String renders all registered metrics sorted by name.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counts))
+	for n := range r.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d ", n, r.counts[n].Load())
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Rate tracks events over a wall-clock window to report ops/sec.
+type Rate struct {
+	start time.Time
+	n     Counter
+}
+
+// NewRate returns a rate meter starting now.
+func NewRate() *Rate { return &Rate{start: time.Now()} }
+
+// Mark records n events.
+func (r *Rate) Mark(n int64) { r.n.Add(n) }
+
+// PerSecond returns the average events per second since creation.
+func (r *Rate) PerSecond() float64 {
+	el := time.Since(r.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(r.n.Load()) / el
+}

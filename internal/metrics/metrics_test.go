@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load() = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Reset Load() = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load() = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load() = %d, want 7", got)
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("Counter(x) returned distinct instances")
+	}
+	h1 := r.Histogram("lat")
+	h2 := r.Histogram("lat")
+	if h1 != h2 {
+		t.Fatal("Histogram(lat) returned distinct instances")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile on empty = %v, want 0", q)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 100*time.Microsecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	q := h.Quantile(0.99)
+	// Bucketed quantile has ~7% resolution.
+	if q < 100*time.Microsecond || q > 110*time.Microsecond {
+		t.Fatalf("Quantile(0.99) = %v, want ~100µs", q)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.50)
+	p95 := h.Quantile(0.95)
+	p99 := h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotonic: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if p95 < 900*time.Microsecond || p95 > 1100*time.Microsecond {
+		t.Fatalf("p95 = %v, want ~950µs", p95)
+	}
+	if h.Min() != 1*time.Microsecond {
+		t.Fatalf("Min = %v", h.Min())
+	}
+	if h.Max() != 1000*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Property: for any duration, the bucket's upper bound is >= the value
+	// and within ~7.2% (one sub-bucket) of it.
+	f := func(ns int64) bool {
+		if ns < 1 {
+			ns = 1
+		}
+		ns %= int64(time.Hour)
+		if ns < 1 {
+			ns = 1
+		}
+		idx := bucketIndex(ns)
+		up := bucketUpper(idx)
+		if up < ns {
+			return false
+		}
+		return float64(up) <= float64(ns)*1.08+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketMonotone(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if up < prev {
+			t.Fatalf("bucketUpper not monotone at %d: %d < %d", i, up, prev)
+		}
+		prev = up
+	}
+}
+
+func TestHistogramNegativeObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second) // clamped, must not panic
+	if h.Count() != 1 {
+		t.Fatal("negative observation not counted")
+	}
+}
+
+func TestCPUAccountBasics(t *testing.T) {
+	a := NewCPUAccount()
+	a.Add(CatMP, 30*time.Millisecond)
+	a.Add(CatOS, 70*time.Millisecond)
+	if got := a.Busy(CatMP); got != 30*time.Millisecond {
+		t.Fatalf("Busy(MP) = %v", got)
+	}
+	if got := a.TotalBusy(); got != 100*time.Millisecond {
+		t.Fatalf("TotalBusy = %v", got)
+	}
+}
+
+func TestCPUAccountTimer(t *testing.T) {
+	a := NewCPUAccount()
+	tm := a.Start(CatTP)
+	time.Sleep(5 * time.Millisecond)
+	tm.Stop()
+	if a.Busy(CatTP) < 4*time.Millisecond {
+		t.Fatalf("timer recorded %v, want >=4ms", a.Busy(CatTP))
+	}
+}
+
+func TestCPUAccountSnapshot(t *testing.T) {
+	a := NewCPUAccount()
+	time.Sleep(10 * time.Millisecond)
+	a.Add(CatMT, a.Wall()) // exactly one core busy on MT
+	s := a.Snapshot()
+	if s.Total < 90 || s.Total > 115 {
+		t.Fatalf("Total = %.1f%%, want ~100%%", s.Total)
+	}
+	if s.ByCategory[CatMT] < 90 {
+		t.Fatalf("MT = %.1f%%, want ~100%%", s.ByCategory[CatMT])
+	}
+}
+
+func TestCPUAccountResetWindow(t *testing.T) {
+	a := NewCPUAccount()
+	a.Add(CatOS, time.Second)
+	a.ResetWindow()
+	if a.TotalBusy() != 0 {
+		t.Fatal("ResetWindow did not clear busy time")
+	}
+	if a.Wall() > 100*time.Millisecond {
+		t.Fatal("ResetWindow did not restart wall clock")
+	}
+}
+
+func TestCPUAccountInvalidCategory(t *testing.T) {
+	a := NewCPUAccount()
+	a.Add(Category(0), time.Second)   // routed to Other
+	a.Add(Category(999), time.Second) // routed to Other
+	if got := a.Busy(CatOther); got != 2*time.Second {
+		t.Fatalf("Busy(Other) = %v, want 2s", got)
+	}
+	if a.Busy(Category(999)) != 0 {
+		t.Fatal("Busy of invalid category should be 0")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatMP.String() != "MP" || CatNPT.String() != "NPT" {
+		t.Fatal("category names wrong")
+	}
+	if Category(42).String() == "" {
+		t.Fatal("unknown category must still render")
+	}
+}
+
+func TestRatePerSecond(t *testing.T) {
+	r := NewRate()
+	r.Mark(100)
+	time.Sleep(10 * time.Millisecond)
+	ps := r.PerSecond()
+	if ps <= 0 || math.IsInf(ps, 0) {
+		t.Fatalf("PerSecond = %v", ps)
+	}
+}
+
+func TestUsageString(t *testing.T) {
+	a := NewCPUAccount()
+	a.Add(CatMP, time.Millisecond)
+	time.Sleep(2 * time.Millisecond)
+	s := a.Snapshot().String()
+	if s == "" {
+		t.Fatal("empty usage string")
+	}
+}

@@ -1,0 +1,272 @@
+// Package monitor implements the cluster-map authority (paper §II-B):
+// it admits booting OSDs, detects failures through heartbeats and broken
+// connections, bumps the map epoch, and pushes updated maps to the OSDs.
+// Clients poll it with GetMap.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rebloc/internal/crush"
+	"rebloc/internal/messenger"
+	"rebloc/internal/sched"
+	"rebloc/internal/wire"
+)
+
+// Config configures a Monitor.
+type Config struct {
+	Transport  messenger.Transport
+	ListenAddr string
+	// PGCount is the number of placement groups (power of two).
+	PGCount uint32
+	// Replicas is the replication factor (paper evaluation: 2).
+	Replicas int
+	// HeartbeatTimeout marks an OSD down when no ping arrives within it.
+	HeartbeatTimeout time.Duration
+	// CheckInterval is the failure-detector period.
+	CheckInterval time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.Transport == nil {
+		return fmt.Errorf("monitor: Transport required")
+	}
+	if c.PGCount == 0 {
+		c.PGCount = 64
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 1500 * time.Millisecond
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 200 * time.Millisecond
+	}
+	return nil
+}
+
+// Monitor is the cluster-map authority.
+type Monitor struct {
+	cfg   Config
+	ln    messenger.Listener
+	group *sched.Group
+
+	mu       sync.Mutex
+	m        *crush.Map
+	lastPing map[uint32]time.Time
+	osdConns map[uint32]messenger.Conn
+	accepted messenger.ConnSet
+}
+
+// New creates a Monitor; call Start.
+func New(cfg Config) (*Monitor, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		cfg:      cfg,
+		group:    sched.NewGroup(),
+		m:        crush.NewMap(cfg.PGCount, cfg.Replicas),
+		lastPing: make(map[uint32]time.Time),
+		osdConns: make(map[uint32]messenger.Conn),
+	}, nil
+}
+
+// Start begins serving.
+func (mon *Monitor) Start() error {
+	ln, err := mon.cfg.Transport.Listen(mon.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("monitor: %w", err)
+	}
+	mon.ln = ln
+	mon.group.Go(func(stop <-chan struct{}) { mon.acceptLoop(stop) })
+	mon.group.Go(func(stop <-chan struct{}) { mon.failureDetector(stop) })
+	return nil
+}
+
+// Addr returns the listen address (valid after Start).
+func (mon *Monitor) Addr() string { return mon.ln.Addr() }
+
+// Map returns a copy of the current map.
+func (mon *Monitor) Map() *crush.Map {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	return mon.m.Clone()
+}
+
+// Close stops the monitor.
+func (mon *Monitor) Close() error {
+	if mon.ln != nil {
+		mon.ln.Close()
+	}
+	mon.accepted.CloseAll()
+	mon.group.Stop()
+	return nil
+}
+
+func (mon *Monitor) acceptLoop(stop <-chan struct{}) {
+	for {
+		conn, err := mon.ln.Accept()
+		if err != nil {
+			return
+		}
+		select {
+		case <-stop:
+			conn.Close()
+			return
+		default:
+		}
+		mon.group.Go(func(stop <-chan struct{}) { mon.connLoop(conn, stop) })
+	}
+}
+
+func (mon *Monitor) connLoop(conn messenger.Conn, stop <-chan struct{}) {
+	if !mon.accepted.Add(conn) {
+		conn.Close()
+		return
+	}
+	defer mon.accepted.Remove(conn)
+	var osdID uint32
+	isOSD := false
+	defer func() {
+		conn.Close()
+		if isOSD {
+			// A broken boot connection means the OSD died: fail it fast.
+			mon.markDown(osdID, conn)
+		}
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		switch msg := m.(type) {
+		case *wire.MonBoot:
+			osdID = msg.OSDID
+			isOSD = true
+			mon.handleBoot(conn, msg)
+		case *wire.Ping:
+			mon.mu.Lock()
+			mon.lastPing[msg.OSDID] = time.Now()
+			epoch := mon.m.Epoch
+			mon.mu.Unlock()
+			_ = conn.Send(&wire.Pong{Epoch: epoch})
+		case *wire.GetMap:
+			mon.mu.Lock()
+			buf := mon.m.Encode()
+			mon.mu.Unlock()
+			_ = conn.Send(&wire.MonMap{ReqID: msg.ReqID, MapBytes: buf})
+		}
+	}
+}
+
+// handleBoot admits (or re-admits) an OSD and distributes the new map.
+func (mon *Monitor) handleBoot(conn messenger.Conn, msg *wire.MonBoot) {
+	mon.mu.Lock()
+	info := mon.m.OSDs[msg.OSDID]
+	info.ID = msg.OSDID
+	info.Addr = msg.Addr
+	info.Up = true
+	if info.Weight == 0 {
+		info.Weight = 1
+	}
+	mon.m.OSDs[msg.OSDID] = info
+	mon.m.Epoch++
+	mon.lastPing[msg.OSDID] = time.Now()
+	if old, ok := mon.osdConns[msg.OSDID]; ok && old != conn {
+		old.Close()
+	}
+	mon.osdConns[msg.OSDID] = conn
+	buf := mon.m.Encode()
+	conns := mon.snapshotConnsLocked()
+	mon.mu.Unlock()
+
+	_ = conn.Send(&wire.MonMap{MapBytes: buf})
+	mon.push(buf, conns, conn)
+}
+
+// markDown fails an OSD whose boot connection broke.
+func (mon *Monitor) markDown(id uint32, conn messenger.Conn) {
+	mon.mu.Lock()
+	if cur, ok := mon.osdConns[id]; !ok || cur != conn {
+		mon.mu.Unlock()
+		return // superseded by a newer boot
+	}
+	delete(mon.osdConns, id)
+	info, ok := mon.m.OSDs[id]
+	if !ok || !info.Up {
+		mon.mu.Unlock()
+		return
+	}
+	info.Up = false
+	mon.m.OSDs[id] = info
+	mon.m.Epoch++
+	buf := mon.m.Encode()
+	conns := mon.snapshotConnsLocked()
+	mon.mu.Unlock()
+	mon.push(buf, conns, nil)
+}
+
+// failureDetector marks OSDs down when heartbeats stop.
+func (mon *Monitor) failureDetector(stop <-chan struct{}) {
+	ticker := time.NewTicker(mon.cfg.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-mon.cfg.HeartbeatTimeout)
+		mon.mu.Lock()
+		changed := false
+		for id, info := range mon.m.OSDs {
+			if !info.Up {
+				continue
+			}
+			if last, ok := mon.lastPing[id]; ok && last.Before(cutoff) {
+				info.Up = false
+				mon.m.OSDs[id] = info
+				changed = true
+			}
+		}
+		var buf []byte
+		var conns []messenger.Conn
+		if changed {
+			mon.m.Epoch++
+			buf = mon.m.Encode()
+			conns = mon.snapshotConnsLocked()
+		}
+		mon.mu.Unlock()
+		if changed {
+			mon.push(buf, conns, nil)
+		}
+	}
+}
+
+// snapshotConnsLocked copies the OSD connections; caller holds mon.mu.
+func (mon *Monitor) snapshotConnsLocked() []messenger.Conn {
+	out := make([]messenger.Conn, 0, len(mon.osdConns))
+	for _, c := range mon.osdConns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// push distributes an encoded map to OSDs (skipping one already served).
+func (mon *Monitor) push(buf []byte, conns []messenger.Conn, skip messenger.Conn) {
+	for _, c := range conns {
+		if c == skip {
+			continue
+		}
+		_ = c.Send(&wire.MonMap{MapBytes: buf})
+	}
+}

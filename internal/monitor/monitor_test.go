@@ -1,0 +1,199 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"rebloc/internal/crush"
+	"rebloc/internal/messenger"
+	"rebloc/internal/wire"
+)
+
+func startMon(t *testing.T, tr messenger.Transport, timeout time.Duration) *Monitor {
+	t.Helper()
+	mon, err := New(Config{
+		Transport:        tr,
+		ListenAddr:       "mon",
+		PGCount:          16,
+		Replicas:         2,
+		HeartbeatTimeout: timeout,
+		CheckInterval:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mon.Close() })
+	return mon
+}
+
+func bootOSD(t *testing.T, tr messenger.Transport, id uint32) (messenger.Conn, *crush.Map) {
+	t.Helper()
+	conn, err := tr.Dial("mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&wire.MonBoot{OSDID: id, Addr: "addr-of-" + string(rune('a'+id))}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, ok := m.(*wire.MonMap)
+	if !ok {
+		t.Fatalf("boot reply = %s", m.Type())
+	}
+	cm, err := crush.Decode(mm.MapBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, cm
+}
+
+func TestBootAddsOSD(t *testing.T) {
+	tr := messenger.NewInProc()
+	mon := startMon(t, tr, time.Minute)
+	conn, cm := bootOSD(t, tr, 3)
+	defer conn.Close()
+	if !cm.OSDs[3].Up {
+		t.Fatal("booted OSD not up in map")
+	}
+	if cm.Epoch != mon.Map().Epoch {
+		t.Fatal("epoch mismatch")
+	}
+}
+
+func TestGetMap(t *testing.T) {
+	tr := messenger.NewInProc()
+	startMon(t, tr, time.Minute)
+	c1, _ := bootOSD(t, tr, 1)
+	defer c1.Close()
+
+	cli, err := tr.Dial("mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Send(&wire.GetMap{ReqID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := m.(*wire.MonMap)
+	if mm.ReqID != 9 {
+		t.Fatal("reqid not echoed")
+	}
+	cm, err := crush.Decode(mm.MapBytes)
+	if err != nil || !cm.OSDs[1].Up {
+		t.Fatal("map missing booted OSD")
+	}
+}
+
+func TestPingPongAndHeartbeatTimeout(t *testing.T) {
+	tr := messenger.NewInProc()
+	mon := startMon(t, tr, 150*time.Millisecond)
+	conn, _ := bootOSD(t, tr, 2)
+
+	// Ping keeps it alive.
+	for i := 0; i < 3; i++ {
+		if err := conn.Send(&wire.Ping{OSDID: 2, Epoch: 1}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.(*wire.Pong); !ok {
+			t.Fatalf("got %s, want Pong", m.Type())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !mon.Map().OSDs[2].Up {
+		t.Fatal("pinged OSD marked down")
+	}
+	// Stop pinging but keep the conn open: heartbeat timeout must fire.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if !mon.Map().OSDs[2].Up {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if mon.Map().OSDs[2].Up {
+		t.Fatal("heartbeat timeout did not mark OSD down")
+	}
+	conn.Close()
+}
+
+func TestBrokenConnMarksDown(t *testing.T) {
+	tr := messenger.NewInProc()
+	mon := startMon(t, tr, time.Minute)
+	conn, cm := bootOSD(t, tr, 5)
+	epoch := cm.Epoch
+	conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		m := mon.Map()
+		if !m.OSDs[5].Up && m.Epoch > epoch {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("broken boot conn did not mark OSD down")
+}
+
+func TestMapPushOnNewBoot(t *testing.T) {
+	tr := messenger.NewInProc()
+	startMon(t, tr, time.Minute)
+	c1, _ := bootOSD(t, tr, 1)
+	defer c1.Close()
+	c2, _ := bootOSD(t, tr, 2)
+	defer c2.Close()
+	// c1 must receive a pushed map containing OSD 2.
+	m, err := c1.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, ok := m.(*wire.MonMap)
+	if !ok {
+		t.Fatalf("push = %s", m.Type())
+	}
+	cm, err := crush.Decode(mm.MapBytes)
+	if err != nil || !cm.OSDs[2].Up {
+		t.Fatal("pushed map missing OSD 2")
+	}
+}
+
+func TestReboot(t *testing.T) {
+	tr := messenger.NewInProc()
+	mon := startMon(t, tr, time.Minute)
+	c1, _ := bootOSD(t, tr, 1)
+	c1.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && mon.Map().OSDs[1].Up {
+		time.Sleep(10 * time.Millisecond)
+	}
+	c2, cm := bootOSD(t, tr, 1)
+	defer c2.Close()
+	if !cm.OSDs[1].Up {
+		t.Fatal("rebooted OSD not up")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing transport must fail")
+	}
+	mon, err := New(Config{Transport: messenger.NewInProc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.cfg.PGCount != 64 || mon.cfg.Replicas != 2 {
+		t.Fatalf("defaults wrong: %+v", mon.cfg)
+	}
+}

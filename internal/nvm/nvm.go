@@ -1,0 +1,188 @@
+// Package nvm emulates the byte-addressable non-volatile memory the paper
+// uses for the operation log and the metadata cache (the authors emulate
+// it with a ramdisk; Intel Optane or battery-backed DRAM in production).
+//
+// A Bank is a fixed-size persistence domain carved into named Regions.
+// Writes land in a volatile view and become durable only after Persist —
+// Crash discards everything not yet persisted, which is what gives the
+// recovery tests real teeth.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rebloc/internal/metrics"
+)
+
+// Errors returned by the NVM emulation.
+var (
+	ErrOutOfSpace = errors.New("nvm: out of space")
+	ErrOutOfRange = errors.New("nvm: access beyond region")
+	ErrExists     = errors.New("nvm: region already exists")
+	ErrNotFound   = errors.New("nvm: region not found")
+)
+
+// Bank is one emulated NVM module (e.g. the paper's 8 GB ramdisk per
+// node). Carve named regions out of it at daemon start-up.
+type Bank struct {
+	mu       sync.Mutex
+	volatile []byte
+	durable  []byte // nil when crash simulation is disabled
+	next     int64
+	regions  map[string]*Region
+
+	// Stats counts persist traffic, observable by benchmarks.
+	PersistOps   metrics.Counter
+	PersistBytes metrics.Counter
+}
+
+// Option configures a Bank.
+type Option func(*bankConfig)
+
+type bankConfig struct {
+	crashSim bool
+}
+
+// WithCrashSim enables (default) or disables the separate durable view.
+// Disabling halves memory use and removes the persist copy for pure
+// performance runs; Crash then has no effect.
+func WithCrashSim(enabled bool) Option {
+	return func(c *bankConfig) { c.crashSim = enabled }
+}
+
+// NewBank allocates an NVM bank of size bytes.
+func NewBank(size int64, opts ...Option) *Bank {
+	cfg := bankConfig{crashSim: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b := &Bank{
+		volatile: make([]byte, size),
+		regions:  make(map[string]*Region),
+	}
+	if cfg.crashSim {
+		b.durable = make([]byte, size)
+	}
+	return b
+}
+
+// Size returns the bank capacity.
+func (b *Bank) Size() int64 { return int64(len(b.volatile)) }
+
+// Free returns the bytes not yet carved into regions.
+func (b *Bank) Free() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int64(len(b.volatile)) - b.next
+}
+
+// Carve allocates a named region of size bytes.
+func (b *Bank) Carve(name string, size int64) (*Region, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.regions[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if b.next+size > int64(len(b.volatile)) {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrOutOfSpace, size, int64(len(b.volatile))-b.next)
+	}
+	r := &Region{bank: b, base: b.next, size: size, name: name}
+	b.next += size
+	b.regions[name] = r
+	return r, nil
+}
+
+// Region returns a previously carved region by name.
+func (b *Bank) Region(name string) (*Region, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.regions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return r, nil
+}
+
+// Crash simulates power loss: the volatile view reverts to the last
+// persisted state. Regions and their layout survive (they would be
+// rediscovered from a superblock in real hardware).
+func (b *Bank) Crash() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.durable != nil {
+		copy(b.volatile, b.durable)
+	}
+}
+
+// Region is a named window into a Bank.
+type Region struct {
+	bank *Bank
+	base int64
+	size int64
+	name string
+}
+
+// Name returns the region's name.
+func (r *Region) Name() string { return r.name }
+
+// Size returns the region's size in bytes.
+func (r *Region) Size() int64 { return r.size }
+
+func (r *Region) check(off int64, n int) error {
+	if off < 0 || off+int64(n) > r.size {
+		return fmt.Errorf("%w: %s off=%d len=%d size=%d", ErrOutOfRange, r.name, off, n, r.size)
+	}
+	return nil
+}
+
+// WriteAt stores p at off in the volatile view. Data is not durable until
+// Persist covers the range.
+func (r *Region) WriteAt(p []byte, off int64) (int, error) {
+	if err := r.check(off, len(p)); err != nil {
+		return 0, err
+	}
+	return copy(r.bank.volatile[r.base+off:], p), nil
+}
+
+// ReadAt reads from the volatile view (reads always see the latest write,
+// persisted or not, exactly like CPU loads from real NVM).
+func (r *Region) ReadAt(p []byte, off int64) (int, error) {
+	if err := r.check(off, len(p)); err != nil {
+		return 0, err
+	}
+	return copy(p, r.bank.volatile[r.base+off:]), nil
+}
+
+// Persist makes the byte range [off, off+n) durable (the equivalent of
+// CLWB+SFENCE over the range).
+func (r *Region) Persist(off int64, n int) error {
+	if err := r.check(off, n); err != nil {
+		return err
+	}
+	r.bank.PersistOps.Inc()
+	r.bank.PersistBytes.Add(int64(n))
+	if r.bank.durable != nil {
+		copy(r.bank.durable[r.base+off:r.base+off+int64(n)], r.bank.volatile[r.base+off:r.base+off+int64(n)])
+	}
+	return nil
+}
+
+// WriteAndPersist stores p at off and immediately persists it.
+func (r *Region) WriteAndPersist(p []byte, off int64) error {
+	if _, err := r.WriteAt(p, off); err != nil {
+		return err
+	}
+	return r.Persist(off, len(p))
+}
+
+// Slice returns a read-only view of [off, off+n) in the volatile image,
+// valid until the next write to the range. Zero-copy read path for the
+// operation log.
+func (r *Region) Slice(off int64, n int) ([]byte, error) {
+	if err := r.check(off, n); err != nil {
+		return nil, err
+	}
+	return r.bank.volatile[r.base+off : r.base+off+int64(n) : r.base+off+int64(n)], nil
+}

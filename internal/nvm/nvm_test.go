@@ -1,0 +1,211 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCarveAndLookup(t *testing.T) {
+	b := NewBank(1 << 20)
+	r1, err := b.Carve("oplog.0", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Size() != 4096 || r1.Name() != "oplog.0" {
+		t.Fatalf("region = %+v", r1)
+	}
+	r2, err := b.Region("oplog.0")
+	if err != nil || r2 != r1 {
+		t.Fatal("lookup must return the same region")
+	}
+	if _, err := b.Carve("oplog.0", 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+	if _, err := b.Region("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if b.Free() != 1<<20-4096 {
+		t.Fatalf("Free = %d", b.Free())
+	}
+}
+
+func TestCarveOutOfSpace(t *testing.T) {
+	b := NewBank(100)
+	if _, err := b.Carve("big", 101); !errors.Is(err, ErrOutOfSpace) {
+		t.Fatalf("err = %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestRegionsAreDisjoint(t *testing.T) {
+	b := NewBank(1024)
+	r1, _ := b.Carve("a", 512)
+	r2, _ := b.Carve("b", 512)
+	if _, err := r1.WriteAt(bytes.Repeat([]byte{1}, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.WriteAt(bytes.Repeat([]byte{2}, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 512)
+	if _, err := r1.ReadAt(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[511] != 1 {
+		t.Fatal("region a corrupted by region b")
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	b := NewBank(1024)
+	r, _ := b.Carve("a", 128)
+	if _, err := r.WriteAt(make([]byte, 64), 100); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.ReadAt(make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.Persist(120, 16); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrashDropsUnpersisted(t *testing.T) {
+	b := NewBank(1024)
+	r, _ := b.Carve("log", 256)
+	if err := r.WriteAndPersist([]byte("durable!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.WriteAt([]byte("volatile"), 8); err != nil {
+		t.Fatal(err)
+	}
+	b.Crash()
+	out := make([]byte, 16)
+	if _, err := r.ReadAt(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(out[:8]) != "durable!" {
+		t.Fatalf("persisted data lost: %q", out[:8])
+	}
+	if string(out[8:]) == "volatile" {
+		t.Fatal("unpersisted data survived crash")
+	}
+}
+
+func TestCrashPartialPersist(t *testing.T) {
+	b := NewBank(1024)
+	r, _ := b.Carve("log", 256)
+	if _, err := r.WriteAt([]byte("aaaabbbb"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Persist(0, 4); err != nil { // persist only first half
+		t.Fatal(err)
+	}
+	b.Crash()
+	out := make([]byte, 8)
+	if _, err := r.ReadAt(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(out[:4]) != "aaaa" {
+		t.Fatalf("persisted prefix lost: %q", out)
+	}
+	if string(out[4:]) == "bbbb" {
+		t.Fatal("unpersisted suffix survived")
+	}
+}
+
+func TestReadsSeeUnpersistedWrites(t *testing.T) {
+	b := NewBank(1024)
+	r, _ := b.Carve("log", 256)
+	if _, err := r.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 1)
+	if _, err := r.ReadAt(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 'x' {
+		t.Fatal("read must see latest store, persisted or not")
+	}
+}
+
+func TestCrashSimDisabled(t *testing.T) {
+	b := NewBank(1024, WithCrashSim(false))
+	r, _ := b.Carve("log", 256)
+	if _, err := r.WriteAt([]byte("keep"), 0); err != nil {
+		t.Fatal(err)
+	}
+	b.Crash() // no-op
+	out := make([]byte, 4)
+	if _, err := r.ReadAt(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "keep" {
+		t.Fatal("crash-sim-disabled bank must keep all writes")
+	}
+}
+
+func TestPersistStats(t *testing.T) {
+	b := NewBank(1024)
+	r, _ := b.Carve("log", 256)
+	if err := r.WriteAndPersist(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.PersistOps.Load() != 1 || b.PersistBytes.Load() != 100 {
+		t.Fatalf("persist stats = %d ops %d bytes", b.PersistOps.Load(), b.PersistBytes.Load())
+	}
+}
+
+func TestSliceZeroCopy(t *testing.T) {
+	b := NewBank(1024)
+	r, _ := b.Carve("log", 256)
+	if _, err := r.WriteAt([]byte{1, 2, 3}, 10); err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Slice(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 1 || s[2] != 3 {
+		t.Fatalf("slice = %v", s)
+	}
+	if _, err := r.Slice(255, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	// Slice must alias: a write through the region is visible.
+	if _, err := r.WriteAt([]byte{9}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 9 {
+		t.Fatal("slice must alias the volatile image")
+	}
+}
+
+// Property: persisted bytes always survive a crash; reads after
+// write+persist+crash return exactly what was persisted.
+func TestQuickPersistSurvivesCrash(t *testing.T) {
+	b := NewBank(1 << 16)
+	r, _ := b.Carve("log", 1<<15)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off) % (r.Size() - int64(len(data)))
+		if o < 0 {
+			o = 0
+		}
+		if err := r.WriteAndPersist(data, o); err != nil {
+			return false
+		}
+		b.Crash()
+		out := make([]byte, len(data))
+		if _, err := r.ReadAt(out, o); err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

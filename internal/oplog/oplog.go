@@ -1,0 +1,543 @@
+// Package oplog implements the data structures behind Decoupled Operation
+// Processing (paper §IV-A): a per-logical-group operation log kept in NVM
+// and an index cache tracking the staged write per object.
+//
+// Priority threads append incoming operations to the log (top half) and
+// acknowledge immediately; non-priority threads later drain the log into
+// the backend object store in batches (bottom half). Reads consult the
+// index cache for read-your-writes without violating strong consistency.
+//
+// The log is a circular byte buffer in an nvm.Region: a 64-byte persisted
+// header (head, tail, seq) followed by framed entries. Replay after a
+// crash rebuilds the staged-but-unflushed suffix, which the OSD REDO-
+// applies to the store.
+package oplog
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"rebloc/internal/metrics"
+	"rebloc/internal/nvm"
+	"rebloc/internal/wire"
+)
+
+// Errors returned by the log.
+var (
+	// ErrFull means the NVM region cannot hold the entry; the caller must
+	// flush synchronously first (paper: "if the NVM is full, flushing
+	// needs to be synchronously done before handling I/O operations").
+	ErrFull   = errors.New("oplog: log full")
+	ErrClosed = errors.New("oplog: closed")
+)
+
+const (
+	headerBytes = 64
+	entryHeader = 8 // u32 length + u32 crc
+	logMagic    = 0x0910D06
+)
+
+// EntryState tracks an entry through its life cycle.
+type EntryState uint8
+
+// Entry states.
+const (
+	StateStaged EntryState = iota + 1
+	StateFlushing
+)
+
+// Entry is one staged operation.
+type Entry struct {
+	Op     wire.Op
+	LogPos uint64 // byte offset of the frame in the region
+	State  EntryState
+}
+
+// Stats counts log activity.
+type Stats struct {
+	Appends       metrics.Counter
+	AppendedBytes metrics.Counter
+	ReadHits      metrics.Counter // reads served from the log (R1)
+	ReadMisses    metrics.Counter // reads needing the backend (R2/R3)
+	Flushed       metrics.Counter // entries drained to the store
+	FullStalls    metrics.Counter // appends rejected by ErrFull
+}
+
+// Log is the operation log + index cache for one logical group (PG).
+type Log struct {
+	pg     uint32
+	region *nvm.Region
+
+	// mu is the paper's "logical group lock", shared between the priority
+	// thread (append, read lookup) and the non-priority thread (drain).
+	mu      sync.Mutex
+	head    uint64 // next append offset (bytes past headerBytes, modulo)
+	tail    uint64 // first live byte
+	lastSeq uint64 // highest sequence number ever appended (persisted)
+	used    uint64
+	entries []*Entry            // staged entries in log order
+	index   map[uint64][]*Entry // object key -> entries, oldest first
+	closed  bool
+
+	threshold int
+	stats     Stats
+}
+
+// New initialises an empty log over region. threshold is the flush
+// trigger (paper default: 16 entries).
+func New(pg uint32, region *nvm.Region, threshold int) (*Log, error) {
+	if region.Size() < headerBytes+entryHeader+64 {
+		return nil, fmt.Errorf("oplog: region too small (%d bytes)", region.Size())
+	}
+	if threshold <= 0 {
+		threshold = 16
+	}
+	l := &Log{
+		pg:        pg,
+		region:    region,
+		index:     make(map[uint64][]*Entry),
+		threshold: threshold,
+	}
+	if err := l.persistHeader(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Recover rebuilds a log from a region that survived a crash. The staged
+// entries are returned in order so the OSD can REDO them into the store
+// (or re-replicate them during peering).
+func Recover(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, error) {
+	if threshold <= 0 {
+		threshold = 16
+	}
+	l := &Log{
+		pg:        pg,
+		region:    region,
+		index:     make(map[uint64][]*Entry),
+		threshold: threshold,
+	}
+	hdr := make([]byte, headerBytes)
+	if _, err := region.ReadAt(hdr, 0); err != nil {
+		return nil, nil, err
+	}
+	d := wire.NewDecoder(hdr[:28])
+	if d.U32() != logMagic {
+		// Fresh region: initialise empty.
+		if err := l.persistHeader(); err != nil {
+			return nil, nil, err
+		}
+		return l, nil, nil
+	}
+	l.tail = d.U64()
+	l.head = d.U64()
+	l.lastSeq = d.U64()
+	cap := l.capacity()
+	if l.head >= l.tail {
+		l.used = l.head - l.tail
+	} else {
+		l.used = cap - (l.tail - l.head)
+	}
+	// Walk entries tail -> head.
+	pos := l.tail
+	for pos != l.head {
+		e, next, err := l.readEntryAt(pos)
+		if err != nil {
+			return nil, nil, fmt.Errorf("oplog: replay pg %d at %d: %w", pg, pos, err)
+		}
+		e.State = StateStaged
+		l.entries = append(l.entries, e)
+		key := e.Op.OID.Hash()
+		l.index[key] = append(l.index[key], e)
+		pos = next
+	}
+	staged := make([]*Entry, len(l.entries))
+	copy(staged, l.entries)
+	return l, staged, nil
+}
+
+func (l *Log) capacity() uint64 { return uint64(l.region.Size()) - headerBytes }
+
+func (l *Log) persistHeader() error {
+	e := wire.NewEncoder(make([]byte, 0, 28))
+	e.U32(logMagic)
+	e.U64(l.tail)
+	e.U64(l.head)
+	e.U64(l.lastSeq)
+	if err := l.region.WriteAndPersist(e.Bytes(), 0); err != nil {
+		return fmt.Errorf("oplog: persist header: %w", err)
+	}
+	return nil
+}
+
+// encodeOp serialises an op for the log frame.
+func encodeOp(op *wire.Op) []byte {
+	e := wire.NewEncoder(nil)
+	e.U8(uint8(op.Kind))
+	e.U32(op.OID.Pool)
+	e.String32(op.OID.Name)
+	e.U64(op.Offset)
+	e.U32(op.Length)
+	e.U64(op.Version)
+	e.U64(op.Seq)
+	e.Bytes32(op.Data)
+	return e.Bytes()
+}
+
+func decodeOp(buf []byte) (wire.Op, error) {
+	d := wire.NewDecoder(buf)
+	op := wire.Op{
+		Kind: wire.OpKind(d.U8()),
+		OID:  wire.ObjectID{Pool: d.U32(), Name: d.String32()},
+	}
+	op.Offset = d.U64()
+	op.Length = d.U32()
+	op.Version = d.U64()
+	op.Seq = d.U64()
+	op.Data = d.Bytes32()
+	if err := d.Err(); err != nil {
+		return wire.Op{}, err
+	}
+	return op, nil
+}
+
+// writeCircular writes buf at the circular position pos.
+func (l *Log) writeCircular(buf []byte, pos uint64) error {
+	cap := l.capacity()
+	first := cap - pos
+	if uint64(len(buf)) <= first {
+		return l.region.WriteAndPersist(buf, int64(headerBytes+pos))
+	}
+	if err := l.region.WriteAndPersist(buf[:first], int64(headerBytes+pos)); err != nil {
+		return err
+	}
+	return l.region.WriteAndPersist(buf[first:], headerBytes)
+}
+
+// readCircular reads n bytes at circular position pos.
+func (l *Log) readCircular(n int, pos uint64) ([]byte, error) {
+	cap := l.capacity()
+	out := make([]byte, n)
+	first := cap - pos
+	if uint64(n) <= first {
+		_, err := l.region.ReadAt(out, int64(headerBytes+pos))
+		return out, err
+	}
+	if _, err := l.region.ReadAt(out[:first], int64(headerBytes+pos)); err != nil {
+		return nil, err
+	}
+	_, err := l.region.ReadAt(out[first:], headerBytes)
+	return out, err
+}
+
+// readEntryAt decodes the frame at pos, returning the entry and the next
+// frame position.
+func (l *Log) readEntryAt(pos uint64) (*Entry, uint64, error) {
+	hdr, err := l.readCircular(entryHeader, pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := wire.NewDecoder(hdr)
+	plen := d.U32()
+	crc := d.U32()
+	if plen == 0 || uint64(plen) > l.capacity() {
+		return nil, 0, fmt.Errorf("bad frame length %d", plen)
+	}
+	payload, err := l.readCircular(int(plen), (pos+entryHeader)%l.capacity())
+	if err != nil {
+		return nil, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, errors.New("frame crc mismatch")
+	}
+	op, err := decodeOp(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	next := (pos + entryHeader + uint64(plen)) % l.capacity()
+	return &Entry{Op: op, LogPos: pos}, next, nil
+}
+
+// Append stages op in the log and index cache (paper W1+W2). The caller's
+// priority thread blocks only for the NVM write. Returns ErrFull when the
+// region cannot hold the entry.
+func (l *Log) Append(op wire.Op) (*Entry, error) {
+	payload := encodeOp(&op)
+	frame := make([]byte, 0, entryHeader+len(payload))
+	e := wire.NewEncoder(frame)
+	e.U32(uint32(len(payload)))
+	e.U32(crc32.ChecksumIEEE(payload))
+	buf := append(e.Bytes(), payload...)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	need := uint64(len(buf))
+	if l.used+need > l.capacity()-1 { // keep one byte so head==tail means empty
+		l.stats.FullStalls.Inc()
+		return nil, ErrFull
+	}
+	pos := l.head
+	if err := l.writeCircular(buf, pos); err != nil {
+		return nil, err
+	}
+	l.head = (l.head + need) % l.capacity()
+	l.used += need
+	if err := l.persistHeader(); err != nil {
+		return nil, err
+	}
+	if op.Seq > l.lastSeq {
+		l.lastSeq = op.Seq
+	}
+	ent := &Entry{Op: op, LogPos: pos, State: StateStaged}
+	l.entries = append(l.entries, ent)
+	key := op.OID.Hash()
+	l.index[key] = append(l.index[key], ent)
+	l.stats.Appends.Inc()
+	l.stats.AppendedBytes.Add(int64(need))
+	return ent, nil
+}
+
+// LookupRead attempts to serve a read from the staged operations (paper
+// R1). It composes [off, off+length) from staged writes newest first. A
+// staged delete terminates the walk: bytes still uncovered at that point
+// are zeros when newer writes re-created the object, and the whole read
+// is "not found" when the delete is the newest relevant operation.
+// ok is false when the range cannot be resolved from the log alone — the
+// read then needs the backend store (R2/R3).
+func (l *Log) LookupRead(oid wire.ObjectID, off uint64, length uint32) (data []byte, ok, notFound bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ents := l.index[oid.Hash()]
+	if len(ents) == 0 {
+		l.stats.ReadMisses.Inc()
+		return nil, false, false
+	}
+	out := make([]byte, length)
+	covered := make([]bool, length)
+	remaining := int(length)
+	sawWrite := false
+	// Newest entries win: iterate newest -> oldest, fill uncovered bytes.
+	for i := len(ents) - 1; i >= 0 && remaining > 0; i-- {
+		e := ents[i]
+		if e.Op.OID.Name != oid.Name {
+			continue
+		}
+		if e.Op.Kind == wire.OpDelete {
+			if !sawWrite {
+				// Deleted and not re-created: definitive miss.
+				l.stats.ReadHits.Inc()
+				return nil, true, true
+			}
+			// Re-created object: everything older is dead, uncovered
+			// bytes read as zero.
+			l.stats.ReadHits.Inc()
+			return out, true, false
+		}
+		if e.Op.Kind != wire.OpWrite {
+			continue
+		}
+		sawWrite = true
+		start := e.Op.Offset
+		end := start + uint64(len(e.Op.Data))
+		lo := max64(start, off)
+		hi := min64(end, off+uint64(length))
+		for p := lo; p < hi; p++ {
+			idx := p - off
+			if !covered[idx] {
+				out[idx] = e.Op.Data[p-start]
+				covered[idx] = true
+				remaining--
+			}
+		}
+	}
+	if remaining > 0 {
+		l.stats.ReadMisses.Inc()
+		return nil, false, false
+	}
+	l.stats.ReadHits.Inc()
+	return out, true, false
+}
+
+// HasStaged reports whether the object has staged writes (used by the
+// read path to decide on a forced flush).
+func (l *Log) HasStaged(oid wire.ObjectID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.index[oid.Hash()] {
+		if e.Op.OID.Name == oid.Name && e.Op.Kind != wire.OpRead {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of staged entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// ShouldFlush reports whether the staged count reached the threshold.
+func (l *Log) ShouldFlush() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries) >= l.threshold
+}
+
+// Threshold returns the flush threshold.
+func (l *Log) Threshold() int { return l.threshold }
+
+// TakeBatch marks up to max staged entries (all if max <= 0) as flushing
+// and returns them in log order. The non-priority thread applies them to
+// the backend store and then calls Complete.
+func (l *Log) TakeBatch(max int) []*Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []*Entry
+	for _, e := range l.entries {
+		if e.State != StateStaged {
+			continue
+		}
+		e.State = StateFlushing
+		out = append(out, e)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Requeue returns taken entries to the staged state (store failure).
+func (l *Log) Requeue(batch []*Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range batch {
+		if e.State == StateFlushing {
+			e.State = StateStaged
+		}
+	}
+}
+
+// Complete removes flushed entries from the log and index cache and
+// advances the tail over any completed prefix (paper: "all the related
+// data is removed both in the operation log and index cache").
+func (l *Log) Complete(batch []*Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	done := make(map[*Entry]bool, len(batch))
+	for _, e := range batch {
+		done[e] = true
+	}
+	// Remove from the entry list, preserving order.
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		if done[e] {
+			l.stats.Flushed.Inc()
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.entries = kept
+	// Remove from the index cache.
+	for _, e := range batch {
+		key := e.Op.OID.Hash()
+		ents := l.index[key]
+		keptEnts := ents[:0]
+		for _, x := range ents {
+			if !done[x] {
+				keptEnts = append(keptEnts, x)
+			}
+		}
+		if len(keptEnts) == 0 {
+			delete(l.index, key)
+		} else {
+			l.index[key] = keptEnts
+		}
+	}
+	// Advance the tail to the first live entry (or head when empty).
+	if len(l.entries) == 0 {
+		l.tail = l.head
+		l.used = 0
+	} else {
+		first := l.entries[0].LogPos
+		cap := l.capacity()
+		if l.head >= first {
+			l.used = l.head - first
+		} else {
+			l.used = cap - (first - l.head)
+		}
+		l.tail = first
+	}
+	return l.persistHeader()
+}
+
+// LastSeq returns the highest sequence number ever appended, surviving
+// crashes (a restarted primary must not reuse sequence numbers).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Stats exposes the log's counters.
+func (l *Log) Stats() *Stats { return &l.stats }
+
+// PG returns the logical group this log serves.
+func (l *Log) PG() uint32 { return l.pg }
+
+// StagedOps returns copies of the staged ops in log order (recovery sync:
+// the surviving replicas ship these to a replacement node).
+func (l *Log) StagedOps() []wire.Op {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]wire.Op, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, e.Op)
+	}
+	return out
+}
+
+// Close marks the log closed; appends fail afterwards.
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+}
+
+// RegionSizeFor returns a comfortable region size for a threshold and
+// typical op size: threshold entries of opBytes plus framing, doubled for
+// slack so forced flushes are rare, bounded below at 64 KiB.
+func RegionSizeFor(threshold int, opBytes int) int64 {
+	size := int64(threshold) * int64(opBytes+256) * 2
+	if size < 64<<10 {
+		size = 64 << 10
+	}
+	return size + headerBytes
+}
+
+// Used reports bytes staged in the region (diagnostics, NVM sizing).
+func (l *Log) Used() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

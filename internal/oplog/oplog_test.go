@@ -1,0 +1,404 @@
+package oplog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rebloc/internal/nvm"
+	"rebloc/internal/wire"
+)
+
+func newTestLog(t *testing.T, size int64, threshold int) (*Log, *nvm.Bank, *nvm.Region) {
+	t.Helper()
+	bank := nvm.NewBank(size + 4096)
+	region, err := bank.Carve("oplog.test", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(1, region, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, bank, region
+}
+
+func writeOp(name string, off uint64, data []byte, seq uint64) wire.Op {
+	return wire.Op{
+		Kind:    wire.OpWrite,
+		OID:     wire.ObjectID{Pool: 1, Name: name},
+		Offset:  off,
+		Length:  uint32(len(data)),
+		Version: seq,
+		Seq:     seq,
+		Data:    data,
+	}
+}
+
+func TestAppendAndLen(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(writeOp("o", uint64(i)*4096, []byte("data"), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.ShouldFlush() {
+		t.Fatal("below threshold must not flush")
+	}
+	if l.Stats().Appends.Load() != 5 {
+		t.Fatal("append counter wrong")
+	}
+}
+
+func TestShouldFlushAtThreshold(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(writeOp("o", 0, []byte("x"), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.ShouldFlush() {
+		t.Fatal("threshold reached, must flush")
+	}
+	if l.Threshold() != 4 {
+		t.Fatal("threshold accessor wrong")
+	}
+}
+
+func TestLookupReadExactHit(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	data := []byte("hello world!")
+	if _, err := l.Append(writeOp("obj", 4096, data, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := l.LookupRead(wire.ObjectID{Pool: 1, Name: "obj"}, 4096, uint32(len(data)))
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("LookupRead = %q, %v", got, ok)
+	}
+	// Sub-range hit.
+	got, ok, _ = l.LookupRead(wire.ObjectID{Pool: 1, Name: "obj"}, 4098, 5)
+	if !ok || string(got) != "llo w" {
+		t.Fatalf("sub-range = %q, %v", got, ok)
+	}
+	if l.Stats().ReadHits.Load() != 2 {
+		t.Fatal("hit counter wrong")
+	}
+}
+
+func TestLookupReadMissWhenNotCovered(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	if _, err := l.Append(writeOp("obj", 0, []byte("abcd"), 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Request extends past the staged write (R3 case: larger read).
+	if _, ok, _ := l.LookupRead(wire.ObjectID{Pool: 1, Name: "obj"}, 0, 8); ok {
+		t.Fatal("partially covered read must miss")
+	}
+	// Different object (R2 case).
+	if _, ok, _ := l.LookupRead(wire.ObjectID{Pool: 1, Name: "other"}, 0, 4); ok {
+		t.Fatal("unknown object must miss")
+	}
+	if l.Stats().ReadMisses.Load() != 2 {
+		t.Fatal("miss counter wrong")
+	}
+}
+
+func TestLookupReadComposesNewestWins(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	if _, err := l.Append(writeOp("o", 0, []byte("aaaaaaaa"), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(writeOp("o", 2, []byte("bb"), 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := l.LookupRead(wire.ObjectID{Pool: 1, Name: "o"}, 0, 8)
+	if !ok || string(got) != "aabbaaaa" {
+		t.Fatalf("composed read = %q, %v", got, ok)
+	}
+}
+
+func TestIndexKeepsAllVersions(t *testing.T) {
+	// Paper W2: entries with the same object ID are not overwritten.
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(writeOp("o", 0, []byte{byte('0' + i)}, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, _ := l.LookupRead(wire.ObjectID{Pool: 1, Name: "o"}, 0, 1)
+	if !ok || got[0] != '3' {
+		t.Fatalf("latest version = %q, %v", got, ok)
+	}
+	batch := l.TakeBatch(0)
+	if len(batch) != 3 {
+		t.Fatalf("TakeBatch = %d entries", len(batch))
+	}
+	// All three versions present, in order.
+	for i, e := range batch {
+		if e.Op.Seq != uint64(i+1) {
+			t.Fatalf("batch order wrong: %d at %d", e.Op.Seq, i)
+		}
+	}
+}
+
+func TestTakeBatchCompleteLifecycle(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(writeOp("o", uint64(i)*512, []byte("x"), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := l.TakeBatch(4)
+	if len(batch) != 4 {
+		t.Fatalf("TakeBatch(4) = %d", len(batch))
+	}
+	// Taking again skips flushing entries.
+	rest := l.TakeBatch(0)
+	if len(rest) != 2 {
+		t.Fatalf("second TakeBatch = %d", len(rest))
+	}
+	if err := l.Complete(batch); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len after Complete = %d", l.Len())
+	}
+	if err := l.Complete(rest); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 || l.Used() != 0 {
+		t.Fatalf("log not empty: len=%d used=%d", l.Len(), l.Used())
+	}
+	if l.Stats().Flushed.Load() != 6 {
+		t.Fatal("flushed counter wrong")
+	}
+	// Index cache must be clean: reads miss.
+	if _, ok, _ := l.LookupRead(wire.ObjectID{Pool: 1, Name: "o"}, 0, 1); ok {
+		t.Fatal("index cache entry survived Complete")
+	}
+}
+
+func TestRequeue(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	if _, err := l.Append(writeOp("o", 0, []byte("x"), 1)); err != nil {
+		t.Fatal(err)
+	}
+	batch := l.TakeBatch(0)
+	l.Requeue(batch)
+	batch2 := l.TakeBatch(0)
+	if len(batch2) != 1 {
+		t.Fatal("requeued entry not retakeable")
+	}
+}
+
+func TestErrFullAndRecoveryAfterComplete(t *testing.T) {
+	l, _, _ := newTestLog(t, 8<<10, 16)
+	data := bytes.Repeat([]byte{1}, 1024)
+	var appended int
+	for i := 0; i < 100; i++ {
+		if _, err := l.Append(writeOp("o", uint64(i)*1024, data, uint64(i+1))); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		appended++
+	}
+	if appended == 0 || appended >= 100 {
+		t.Fatalf("appended = %d, expected to fill the region", appended)
+	}
+	if l.Stats().FullStalls.Load() == 0 {
+		t.Fatal("full stall not counted")
+	}
+	// Drain and confirm space is reusable (circular wrap).
+	if err := l.Complete(l.TakeBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < appended; i++ {
+		if _, err := l.Append(writeOp("o", 0, data, uint64(200+i))); err != nil {
+			t.Fatalf("append after drain %d: %v", i, err)
+		}
+		if i%3 == 2 {
+			if err := l.Complete(l.TakeBatch(0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestHasStaged(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	if l.HasStaged(wire.ObjectID{Pool: 1, Name: "o"}) {
+		t.Fatal("empty log has nothing staged")
+	}
+	if _, err := l.Append(writeOp("o", 0, []byte("x"), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !l.HasStaged(wire.ObjectID{Pool: 1, Name: "o"}) {
+		t.Fatal("staged write not reported")
+	}
+	if l.HasStaged(wire.ObjectID{Pool: 1, Name: "other"}) {
+		t.Fatal("wrong object reported staged")
+	}
+}
+
+func TestCrashRecoveryReplaysStagedEntries(t *testing.T) {
+	bank := nvm.NewBank(2 << 20)
+	region, err := bank.Carve("oplog.pg1", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(1, region, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []wire.Op
+	for i := 0; i < 7; i++ {
+		op := writeOp(fmt.Sprintf("obj%d", i%3), uint64(i)*4096, []byte(fmt.Sprintf("payload-%d", i)), uint64(i+1))
+		if _, err := l.Append(op); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, op)
+	}
+	// Flush a prefix so only a suffix remains staged.
+	if err := l.Complete(l.TakeBatch(3)); err != nil {
+		t.Fatal(err)
+	}
+	want = want[3:]
+
+	bank.Crash() // everything persisted survives; the log persists per append
+
+	l2, staged, err := Recover(1, region, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(staged), len(want))
+	}
+	for i, e := range staged {
+		if e.Op.Seq != want[i].Seq || e.Op.OID.Name != want[i].OID.Name ||
+			!bytes.Equal(e.Op.Data, want[i].Data) {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, e.Op, want[i])
+		}
+	}
+	// The recovered log is live: reads hit, appends work.
+	got, ok, _ := l2.LookupRead(want[len(want)-1].OID, want[len(want)-1].Offset, want[len(want)-1].Length)
+	if !ok || !bytes.Equal(got, want[len(want)-1].Data) {
+		t.Fatal("recovered index cache broken")
+	}
+	if _, err := l2.Append(writeOp("new", 0, []byte("z"), 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverFreshRegion(t *testing.T) {
+	bank := nvm.NewBank(1 << 20)
+	region, _ := bank.Carve("fresh", 512<<10)
+	l, staged, err := Recover(2, region, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged) != 0 || l.Len() != 0 {
+		t.Fatal("fresh region must recover empty")
+	}
+	if l.PG() != 2 {
+		t.Fatal("pg accessor wrong")
+	}
+}
+
+func TestStagedOps(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(writeOp("o", uint64(i), []byte("x"), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := l.StagedOps()
+	if len(ops) != 3 || ops[2].Seq != 3 {
+		t.Fatalf("StagedOps = %+v", ops)
+	}
+}
+
+func TestLookupReadSeesStagedDelete(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	obj := wire.ObjectID{Pool: 1, Name: "o"}
+	if _, err := l.Append(writeOp("o", 0, []byte("data"), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(wire.Op{Kind: wire.OpDelete, OID: obj, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, notFound := l.LookupRead(obj, 0, 4)
+	if !ok || !notFound {
+		t.Fatalf("staged delete not visible: ok=%v notFound=%v", ok, notFound)
+	}
+}
+
+func TestLookupReadWriteAfterDelete(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	obj := wire.ObjectID{Pool: 1, Name: "o"}
+	if _, err := l.Append(writeOp("o", 0, []byte("oldoldold"), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(wire.Op{Kind: wire.OpDelete, OID: obj, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(writeOp("o", 0, []byte("new"), 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-created object: the new write covers [0,3); [3,6) is zeros, NOT
+	// the old data.
+	got, ok, notFound := l.LookupRead(obj, 0, 6)
+	if !ok || notFound {
+		t.Fatalf("recreated object unreadable: ok=%v notFound=%v", ok, notFound)
+	}
+	if string(got[:3]) != "new" || got[3] != 0 || got[5] != 0 {
+		t.Fatalf("got %q, want new + zeros", got)
+	}
+}
+
+func TestClose(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	l.Close()
+	if _, err := l.Append(writeOp("o", 0, []byte("x"), 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegionSizeFor(t *testing.T) {
+	if RegionSizeFor(16, 4096) < 16*4096 {
+		t.Fatal("region sizing too small")
+	}
+	if RegionSizeFor(1, 16) < 64<<10 {
+		t.Fatal("minimum size not applied")
+	}
+}
+
+func BenchmarkAppend4K(b *testing.B) {
+	bank := nvm.NewBank(64<<20, nvm.WithCrashSim(false))
+	region, _ := bank.Carve("bench", 32<<20)
+	l, err := New(1, region, 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{1}, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(writeOp("o", 0, data, uint64(i))); err != nil {
+			if errors.Is(err, ErrFull) {
+				b.StopTimer()
+				if err := l.Complete(l.TakeBatch(0)); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+}

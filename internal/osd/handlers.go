@@ -1,0 +1,397 @@
+package osd
+
+import (
+	"errors"
+	"log"
+
+	"rebloc/internal/crush"
+	"rebloc/internal/messenger"
+	"rebloc/internal/metrics"
+	"rebloc/internal/oplog"
+	"rebloc/internal/sched"
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+// acceptLoop runs the listener; each accepted connection gets its own
+// goroutine. In the proposed design that goroutine is the connection's
+// priority thread (event-driven, pinned); in the original design it is a
+// messenger thread feeding the PG work queues.
+func (o *OSD) acceptLoop(stop <-chan struct{}) {
+	for {
+		conn, err := o.ln.Accept()
+		if err != nil {
+			return
+		}
+		select {
+		case <-stop:
+			conn.Close()
+			return
+		default:
+		}
+		o.group.Go(func(stop <-chan struct{}) { o.connLoop(conn, stop) })
+	}
+}
+
+// connLoop is the per-connection receive loop.
+func (o *OSD) connLoop(conn messenger.Conn, stop <-chan struct{}) {
+	if !o.accepted.Add(conn) {
+		conn.Close()
+		return
+	}
+	defer o.accepted.Remove(conn)
+	defer conn.Close()
+	if o.cfg.Mode.usesPTC() && len(o.cfg.Pools.Priority) > 0 {
+		if err := sched.PinSelf(o.cfg.Pools.Priority); err == nil {
+			defer sched.UnpinSelf()
+		}
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		o.dispatch(conn, m)
+	}
+}
+
+// dispatch routes one message according to the OSD mode. The whole
+// handling is timed under one category per architecture: MP for the
+// original (the conn goroutine only routes and enqueues), PT for the
+// prioritized designs (the conn goroutine IS the priority thread). The
+// RTC probes time their phases inside rtcMutation instead, since the conn
+// goroutine runs the entire path to completion.
+func (o *OSD) dispatch(conn messenger.Conn, m wire.Message) {
+	var tm metrics.Timer
+	switch o.cfg.Mode {
+	case ModeOriginal, ModeCOSOnly:
+		tm = o.acct.Start(metrics.CatMP)
+		defer tm.Stop()
+	case ModePTC, ModeProposed, ModeIdeal:
+		tm = o.acct.Start(metrics.CatPT)
+		defer tm.Stop()
+	}
+	switch msg := m.(type) {
+	case *wire.ClientWrite:
+		o.handleClientMutation(conn, msg.ReqID, msg.Epoch, wire.Op{
+			Kind: wire.OpWrite, OID: msg.OID, Offset: msg.Offset,
+			Length: uint32(len(msg.Data)), Data: msg.Data,
+		})
+	case *wire.ClientDelete:
+		o.handleClientMutation(conn, msg.ReqID, msg.Epoch, wire.Op{
+			Kind: wire.OpDelete, OID: msg.OID,
+		})
+	case *wire.ClientRead:
+		o.handleClientRead(conn, msg)
+	case *wire.Repl:
+		o.handleRepl(conn, msg)
+	case *wire.ReplAck:
+		o.pending.complete(msg.ReqID, msg.Status)
+	case *wire.Flush:
+		status := wire.StatusOK
+		if err := o.FlushAll(); err != nil {
+			status = wire.StatusIOError
+		}
+		_ = conn.Send(&wire.Reply{ReqID: msg.ReqID, Status: status})
+	case *wire.OplogPull:
+		o.serveOplogPull(conn, msg)
+	case *wire.BackfillPull:
+		o.serveBackfillPull(conn, msg)
+	case *wire.MonMap:
+		if m2, err := crush.Decode(msg.MapBytes); err == nil {
+			o.SetMap(m2)
+		}
+	default:
+		// Unknown or unexpected messages are dropped.
+	}
+}
+
+// checkClientOp validates epoch and primaryship; on failure it replies and
+// returns false. Returns the PG on success.
+func (o *OSD) checkClientOp(conn messenger.Conn, reqID uint64, epoch uint32, oid wire.ObjectID) (uint32, bool) {
+	m := o.Map()
+	if m == nil {
+		_ = conn.Send(&wire.Reply{ReqID: reqID, Status: wire.StatusAgain})
+		return 0, false
+	}
+	if epoch != m.Epoch {
+		if epoch > m.Epoch {
+			o.requestMapRefresh()
+		}
+		_ = conn.Send(&wire.Reply{ReqID: reqID, Status: wire.StatusStaleEpoch})
+		return 0, false
+	}
+	pg := m.PGOf(oid)
+	primary, err := m.Primary(pg)
+	if err != nil || primary != o.cfg.ID {
+		_ = conn.Send(&wire.Reply{ReqID: reqID, Status: wire.StatusNotPrimary})
+		return 0, false
+	}
+	return pg, true
+}
+
+// handleClientMutation processes a client write or delete at the primary.
+func (o *OSD) handleClientMutation(conn messenger.Conn, reqID uint64, epoch uint32, op wire.Op) {
+	pg, ok := o.checkClientOp(conn, reqID, epoch, op.OID)
+	if !ok {
+		return
+	}
+	pgs, err := o.pgStateFor(pg)
+	if err != nil {
+		_ = conn.Send(&wire.Reply{ReqID: reqID, Status: wire.StatusIOError})
+		return
+	}
+	pgs.mu.Lock()
+	clean := pgs.clean
+	pgs.mu.Unlock()
+	if !clean {
+		_ = conn.Send(&wire.Reply{ReqID: reqID, Status: wire.StatusAgain})
+		return
+	}
+	op.Seq = pgs.nextSeq()
+	op.Version = op.Seq
+
+	m := o.Map()
+	acting, err := m.MapPG(pg)
+	if err != nil {
+		_ = conn.Send(&wire.Reply{ReqID: reqID, Status: wire.StatusAgain})
+		return
+	}
+	secondaries := acting[1:]
+	version := op.Version
+	reply := func(status wire.Status) {
+		o.ClientOps.Inc()
+		_ = conn.Send(&wire.Reply{ReqID: reqID, Status: status, Version: version})
+	}
+
+	switch o.cfg.Mode {
+	case ModeOriginal, ModeCOSOnly:
+		// MP only: hand the whole thing to a PG worker.
+		o.enqueuePG(pg, &task{pg: pg, pgs: pgs, msg: &clientMutation{
+			op: op, secondaries: secondaries, reply: reply, epoch: m.Epoch,
+		}})
+
+	case ModeRTCv1, ModeRTCv2, ModeRTCv3:
+		o.rtcMutation(pg, pgs, m.Epoch, op, secondaries, reply)
+
+	case ModePTC:
+		// Commit needs local storage processing (by an NPT) + replica acks.
+		id := o.pending.register(len(secondaries)+1, reply)
+		o.replicate(id, pg, m.Epoch, secondaries, op)
+		o.enqueueNPT(pg, &task{pg: pg, pgs: pgs, msg: &localCommit{op: op, pendingID: id}})
+
+	case ModeProposed:
+		if err := o.appendWithFlush(pgs, op); err != nil {
+			log.Printf("osd %d: pg %d stage: %v", o.cfg.ID, pg, err)
+			reply(wire.StatusIOError)
+			return
+		}
+		id := o.pending.register(len(secondaries), reply)
+		o.replicate(id, pg, m.Epoch, secondaries, op)
+		if pgs.log.ShouldFlush() {
+			o.wakeNPT(pg)
+		}
+
+	case ModeIdeal:
+		// Track existence in the null store (O(1) map update) so reads
+		// and image-existence checks behave; no storage processing.
+		txn := &store.Transaction{}
+		switch op.Kind {
+		case wire.OpWrite:
+			txn.AddWrite(pg, op.OID, op.Offset, op.Data)
+		case wire.OpDelete:
+			txn.AddDelete(pg, op.OID)
+		}
+		_ = o.st.Submit(txn)
+		id := o.pending.register(len(secondaries), reply)
+		o.replicate(id, pg, m.Epoch, secondaries, op)
+	}
+}
+
+// appendWithFlush appends to the PG op log, flushing synchronously when
+// the NVM region is full (paper §IV-A: a full log forces a synchronous
+// flush before new operations are handled).
+func (o *OSD) appendWithFlush(pgs *pgState, op wire.Op) error {
+	for {
+		_, err := pgs.log.Append(op)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, oplog.ErrFull) {
+			return err
+		}
+		o.ForcedFlush.Inc()
+		if err := o.flushPG(pgs); err != nil {
+			return err
+		}
+	}
+}
+
+// handleClientRead processes a client read at the primary.
+func (o *OSD) handleClientRead(conn messenger.Conn, msg *wire.ClientRead) {
+	pg, ok := o.checkClientOp(conn, msg.ReqID, msg.Epoch, msg.OID)
+	if !ok {
+		return
+	}
+	pgs, err := o.pgStateFor(pg)
+	if err != nil {
+		_ = conn.Send(&wire.Reply{ReqID: msg.ReqID, Status: wire.StatusIOError})
+		return
+	}
+	pgs.mu.Lock()
+	clean := pgs.clean
+	pgs.mu.Unlock()
+	if !clean {
+		// Strong consistency: a backfilling primary may still miss data;
+		// the client retries until the PG is clean.
+		_ = conn.Send(&wire.Reply{ReqID: msg.ReqID, Status: wire.StatusAgain})
+		return
+	}
+	reply := func(status wire.Status, data []byte) {
+		o.ClientOps.Inc()
+		_ = conn.Send(&wire.Reply{ReqID: msg.ReqID, Status: status, Data: data})
+	}
+
+	switch o.cfg.Mode {
+	case ModeOriginal, ModeCOSOnly:
+		o.enqueuePG(pg, &task{pg: pg, pgs: pgs, msg: &readTask{oid: msg.OID, off: msg.Offset, length: msg.Length, reply: reply}})
+
+	case ModeRTCv1, ModeRTCv2, ModeRTCv3:
+		tm := o.acct.Start(metrics.CatTP)
+		data, err := o.storeRead(pg, msg.OID, msg.Offset, msg.Length)
+		tm.Stop()
+		if err != nil {
+			reply(storeStatus(err), nil)
+			return
+		}
+		reply(wire.StatusOK, data)
+
+	case ModePTC:
+		o.enqueueNPT(pg, &task{pg: pg, pgs: pgs, msg: &readTask{oid: msg.OID, off: msg.Offset, length: msg.Length, reply: reply}})
+
+	case ModeProposed:
+		if data, ok, notFound := pgs.log.LookupRead(msg.OID, msg.Offset, msg.Length); ok {
+			// R1: resolved entirely from the op log (including staged
+			// deletes, which read as "not found").
+			if notFound {
+				reply(wire.StatusNotFound, nil)
+			} else {
+				reply(wire.StatusOK, data)
+			}
+			return
+		}
+		rt := &readTask{oid: msg.OID, off: msg.Offset, length: msg.Length, reply: reply}
+		if pgs.log.HasStaged(msg.OID) {
+			// R2/R3: order the read behind the staged writes and force a
+			// flush (paper W3).
+			op := wire.Op{Kind: wire.OpRead, OID: msg.OID, Offset: msg.Offset, Length: msg.Length, Seq: pgs.nextSeq()}
+			o.readWaiters.Store(readKey(pg, op.Seq), rt)
+			if err := o.appendWithFlush(pgs, op); err != nil {
+				o.readWaiters.Delete(readKey(pg, op.Seq))
+				reply(wire.StatusIOError, nil)
+				return
+			}
+			o.wakeNPT(pg)
+		} else {
+			o.enqueueNPT(pg, &task{pg: pg, pgs: pgs, msg: rt})
+		}
+
+	case ModeIdeal:
+		data, err := o.storeRead(pg, msg.OID, msg.Offset, msg.Length)
+		if err != nil {
+			reply(storeStatus(err), nil)
+			return
+		}
+		reply(wire.StatusOK, data)
+	}
+}
+
+// handleRepl processes a replication request at a secondary.
+func (o *OSD) handleRepl(conn messenger.Conn, msg *wire.Repl) {
+	o.ReplOps.Inc()
+	pgs, err := o.pgStateFor(msg.PG)
+	if err != nil {
+		_ = conn.Send(&wire.ReplAck{ReqID: msg.ReqID, PG: msg.PG, Seq: msg.Op.Seq, Status: wire.StatusIOError})
+		return
+	}
+	pgs.bumpSeq(msg.Op.Seq)
+	ack := func(status wire.Status) {
+		_ = conn.Send(&wire.ReplAck{ReqID: msg.ReqID, PG: msg.PG, Seq: msg.Op.Seq, Status: status})
+	}
+	pgs.mu.Lock()
+	clean := pgs.clean
+	pgs.mu.Unlock()
+	if !clean {
+		ack(wire.StatusAgain)
+		return
+	}
+
+	switch o.cfg.Mode {
+	case ModeOriginal, ModeCOSOnly:
+		o.enqueuePG(msg.PG, &task{pg: msg.PG, pgs: pgs, msg: &replApply{op: msg.Op, ack: ack}})
+
+	case ModeRTCv1:
+		tm := o.acct.Start(metrics.CatTP)
+		txn := o.buildBaselineTxn(msg.PG, msg.Op)
+		tm.Stop()
+		if err := o.st.Submit(txn); err != nil {
+			ack(wire.StatusIOError)
+			return
+		}
+		ack(wire.StatusOK)
+
+	case ModeRTCv2, ModeRTCv3, ModeIdeal:
+		ack(wire.StatusOK)
+
+	case ModePTC:
+		o.enqueueNPT(msg.PG, &task{pg: msg.PG, pgs: pgs, msg: &replApply{op: msg.Op, ack: ack}})
+
+	case ModeProposed:
+		// Top half at the replica: log in NVM, acknowledge immediately
+		// (paper Figure 3b step ③).
+		if err := o.appendWithFlush(pgs, msg.Op); err != nil {
+			log.Printf("osd %d: pg %d repl stage: %v", o.cfg.ID, msg.PG, err)
+			ack(wire.StatusIOError)
+			return
+		}
+		ack(wire.StatusOK)
+		if pgs.log.ShouldFlush() {
+			o.wakeNPT(msg.PG)
+		}
+	}
+}
+
+// Internal task payloads carried in task.msg.
+type clientMutation struct {
+	op          wire.Op
+	secondaries []uint32
+	epoch       uint32
+	reply       func(wire.Status)
+}
+
+type localCommit struct {
+	op        wire.Op
+	pendingID uint64
+}
+
+type readTask struct {
+	oid    wire.ObjectID
+	off    uint64
+	length uint32
+	reply  func(wire.Status, []byte)
+}
+
+type replApply struct {
+	op  wire.Op
+	ack func(wire.Status)
+}
+
+// readKey indexes a proposed-mode read waiter by (pg, seq).
+func readKey(pg uint32, seq uint64) uint64 {
+	return uint64(pg)<<40 | (seq & 0xFFFFFFFFFF)
+}

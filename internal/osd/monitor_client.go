@@ -1,0 +1,104 @@
+package osd
+
+import (
+	"fmt"
+	"time"
+
+	"rebloc/internal/crush"
+	"rebloc/internal/messenger"
+	"rebloc/internal/wire"
+)
+
+// bootWithMonitor announces this OSD and installs the initial map.
+func (o *OSD) bootWithMonitor() error {
+	conn, err := o.cfg.Transport.Dial(o.cfg.MonAddr)
+	if err != nil {
+		return fmt.Errorf("osd %d: dial monitor: %w", o.cfg.ID, err)
+	}
+	if err := conn.Send(&wire.MonBoot{OSDID: o.cfg.ID, Addr: o.ln.Addr()}); err != nil {
+		conn.Close()
+		return fmt.Errorf("osd %d: boot: %w", o.cfg.ID, err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("osd %d: boot reply: %w", o.cfg.ID, err)
+	}
+	mm, ok := m.(*wire.MonMap)
+	if !ok {
+		conn.Close()
+		return fmt.Errorf("osd %d: unexpected boot reply %s", o.cfg.ID, m.Type())
+	}
+	cm, err := crush.Decode(mm.MapBytes)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	o.monMu.Lock()
+	o.monConn = conn
+	o.monMu.Unlock()
+	o.SetMap(cm)
+	o.group.Go(func(stop <-chan struct{}) { o.monRecvLoop(conn, stop) })
+	return nil
+}
+
+// monRecvLoop consumes monitor pushes: map updates and pong replies.
+func (o *OSD) monRecvLoop(conn messenger.Conn, stop <-chan struct{}) {
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		switch msg := m.(type) {
+		case *wire.MonMap:
+			if cm, err := crush.Decode(msg.MapBytes); err == nil {
+				o.SetMap(cm)
+			}
+		case *wire.Pong:
+			if msg.Epoch > o.Epoch() {
+				o.requestMapRefresh()
+			}
+		}
+	}
+}
+
+// heartbeatLoop pings the monitor so failure detection works.
+func (o *OSD) heartbeatLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(o.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			o.monMu.Lock()
+			conn := o.monConn
+			o.monMu.Unlock()
+			if conn == nil {
+				continue
+			}
+			_ = conn.Send(&wire.Ping{OSDID: o.cfg.ID, Epoch: o.Epoch()})
+		}
+	}
+}
+
+// requestMapRefresh asks the monitor for the latest map (async; the
+// MonMap lands in monRecvLoop). Coalesces concurrent requests.
+func (o *OSD) requestMapRefresh() {
+	if !o.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	defer o.refreshing.Store(false)
+	o.monMu.Lock()
+	conn := o.monConn
+	o.monMu.Unlock()
+	if conn == nil {
+		return
+	}
+	_ = conn.Send(&wire.GetMap{})
+}

@@ -1,0 +1,89 @@
+package osd
+
+import (
+	"sync"
+
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+// nullStore acknowledges everything instantly. It backs the RTC-v2/v3 and
+// Ideal probes — "the write requests to the backend object store
+// immediately return success" (paper §III-A) — while still tracking
+// object sizes so reads return plausibly-shaped data.
+type nullStore struct {
+	mu    sync.Mutex
+	sizes map[store.Key]uint64
+	vers  map[store.Key]uint64
+}
+
+var _ store.ObjectStore = (*nullStore)(nil)
+
+func newNullStore() *nullStore {
+	return &nullStore{
+		sizes: make(map[store.Key]uint64),
+		vers:  make(map[store.Key]uint64),
+	}
+}
+
+// Submit implements store.ObjectStore.
+func (s *nullStore) Submit(txn *store.Transaction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		switch op.Kind {
+		case store.TxnWrite:
+			k := store.MakeKey(op.PG, op.OID)
+			if end := op.Off + uint64(len(op.Data)); end > s.sizes[k] {
+				s.sizes[k] = end
+			}
+			s.vers[k]++
+		case store.TxnDelete:
+			k := store.MakeKey(op.PG, op.OID)
+			delete(s.sizes, k)
+			delete(s.vers, k)
+		}
+	}
+	return nil
+}
+
+// Read implements store.ObjectStore: zeros for known objects, not-found
+// otherwise (so existence checks still behave).
+func (s *nullStore) Read(pg uint32, oid wire.ObjectID, off uint64, length uint32) ([]byte, error) {
+	s.mu.Lock()
+	_, ok := s.sizes[store.MakeKey(pg, oid)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, store.ErrNotFound
+	}
+	return make([]byte, length), nil
+}
+
+// GetAttr implements store.ObjectStore.
+func (s *nullStore) GetAttr(uint32, wire.ObjectID, string) ([]byte, error) {
+	return nil, store.ErrNotFound
+}
+
+// Stat implements store.ObjectStore.
+func (s *nullStore) Stat(pg uint32, oid wire.ObjectID) (store.ObjectInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := store.MakeKey(pg, oid)
+	size, ok := s.sizes[k]
+	if !ok {
+		return store.ObjectInfo{}, store.ErrNotFound
+	}
+	return store.ObjectInfo{OID: oid, Key: k, Size: size, Version: s.vers[k]}, nil
+}
+
+// ListPG implements store.ObjectStore.
+func (s *nullStore) ListPG(uint32, store.Key, int) ([]store.ObjectInfo, store.Key, bool, error) {
+	return nil, 0, true, nil
+}
+
+// Flush implements store.ObjectStore.
+func (s *nullStore) Flush() error { return nil }
+
+// Close implements store.ObjectStore.
+func (s *nullStore) Close() error { return nil }

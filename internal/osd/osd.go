@@ -1,0 +1,523 @@
+// Package osd implements the object storage daemon — the module the paper
+// re-architects. One binary supports every configuration the evaluation
+// compares:
+//
+//   - Original: Ceph's architecture — messenger goroutines feed PG worker
+//     pools over queues, commits couple replication with a full BlueStore
+//     transaction (baseline of every figure).
+//   - RTCv1/v2/v3: the roofline probes of Figure 1 (run-to-completion with
+//     progressively less of the storage path).
+//   - COSOnly: Original threading with the CPU-efficient object store
+//     (Table II "COS" column).
+//   - PTC: COS plus prioritized thread control, still with synchronous
+//     commits (Table II "PTC" column).
+//   - Proposed: the full design — decoupled operation processing through
+//     the NVM op log, prioritized threads, COS (Table II "DOP", Figure 7).
+//   - Ideal: commit without any storage processing (Figure 1/7 "Ideal").
+package osd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rebloc/internal/crush"
+	"rebloc/internal/device"
+	"rebloc/internal/messenger"
+	"rebloc/internal/metrics"
+	"rebloc/internal/nvm"
+	"rebloc/internal/oplog"
+	"rebloc/internal/sched"
+	"rebloc/internal/store"
+	"rebloc/internal/store/bluestore"
+	"rebloc/internal/store/cos"
+)
+
+// Mode selects the OSD architecture.
+type Mode int
+
+// Architectures under evaluation.
+const (
+	ModeOriginal Mode = iota + 1
+	ModeRTCv1
+	ModeRTCv2
+	ModeRTCv3
+	ModeCOSOnly
+	ModePTC
+	ModeProposed
+	ModeIdeal
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case ModeOriginal:
+		return "Original"
+	case ModeRTCv1:
+		return "RTC-v1"
+	case ModeRTCv2:
+		return "RTC-v2"
+	case ModeRTCv3:
+		return "RTC-v3"
+	case ModeCOSOnly:
+		return "COS"
+	case ModePTC:
+		return "PTC"
+	case ModeProposed:
+		return "Proposed"
+	case ModeIdeal:
+		return "Ideal"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// usesOplog reports whether the mode stages writes in the NVM op log.
+func (m Mode) usesOplog() bool { return m == ModeProposed }
+
+// usesPTC reports whether the mode runs priority/non-priority threading.
+func (m Mode) usesPTC() bool { return m == ModePTC || m == ModeProposed }
+
+// rtc reports whether the mode runs run-to-completion in the conn loop.
+func (m Mode) rtc() bool { return m == ModeRTCv1 || m == ModeRTCv2 || m == ModeRTCv3 }
+
+// Config configures an OSD daemon.
+type Config struct {
+	ID         uint32
+	Mode       Mode
+	Transport  messenger.Transport
+	ListenAddr string
+	MonAddr    string // empty: standalone (tests inject the map directly)
+
+	Dev  device.Device
+	Bank *nvm.Bank // required for ModeProposed
+
+	// PGWorkers is the PG thread-pool size for Original/COSOnly.
+	PGWorkers int
+	// NonPriority is the non-priority thread count for PTC/Proposed.
+	NonPriority int
+	// Partitions is the COS sharded-partition count.
+	Partitions int
+	// ObjectBytes is the fixed object size the block layer stripes over
+	// (COS pre-allocation unit). Default 4 MiB, Ceph RBD's default.
+	ObjectBytes uint64
+	// FlushThreshold is the op-log flush trigger (paper default 16).
+	FlushThreshold int
+	// FlushInterval is the op-log flush timeout.
+	FlushInterval time.Duration
+	// OplogRegionBytes sizes each PG's NVM op-log region.
+	OplogRegionBytes int64
+	// Account receives the CPU breakdown; a fresh one is created if nil.
+	Account *metrics.CPUAccount
+	// Pools optionally pins priority/non-priority workers to CPU pools.
+	Pools sched.CPUPools
+	// HeartbeatInterval for monitor pings.
+	HeartbeatInterval time.Duration
+	// StoreOptions tunes the backend store.
+	BlueStore bluestore.Options
+	COS       cos.Options
+	COSSet    bool // COS options explicitly provided
+}
+
+func (c *Config) fill() error {
+	if c.Transport == nil {
+		return errors.New("osd: Transport required")
+	}
+	if c.Dev == nil {
+		return errors.New("osd: Dev required")
+	}
+	if c.Mode == 0 {
+		c.Mode = ModeOriginal
+	}
+	if c.Mode.usesOplog() && c.Bank == nil {
+		return errors.New("osd: ModeProposed requires an nvm.Bank")
+	}
+	if c.PGWorkers <= 0 {
+		c.PGWorkers = 2
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.NonPriority <= 0 {
+		c.NonPriority = c.Partitions
+	}
+	if c.FlushThreshold <= 0 {
+		c.FlushThreshold = 16
+	}
+	if c.FlushInterval <= 0 {
+		// The timeout is a fallback; threshold wake-ups drive flushing.
+		// Too-frequent ticks make the drain scans compete with latency-
+		// sensitive reads on the partition and log locks.
+		c.FlushInterval = 10 * time.Millisecond
+	}
+	if c.OplogRegionBytes <= 0 {
+		// Size for the threshold, but cap the per-PG region: callers that
+		// disable count-based flushing with a huge threshold still get a
+		// bounded log (a full log forces a synchronous flush).
+		sizingThreshold := c.FlushThreshold
+		if sizingThreshold > 256 {
+			sizingThreshold = 256
+		}
+		c.OplogRegionBytes = oplog.RegionSizeFor(sizingThreshold, 4096)
+		// Floor: large sequential entries (e.g. 128 KiB) must fit several
+		// times over, or every append degenerates into a forced flush.
+		if c.OplogRegionBytes < 2<<20 {
+			c.OplogRegionBytes = 2 << 20
+		}
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.Account == nil {
+		c.Account = metrics.NewCPUAccount()
+	}
+	return nil
+}
+
+// pgState is the per-PG bookkeeping on one OSD.
+type pgState struct {
+	pg  uint32
+	log *oplog.Log // nil unless ModeProposed
+
+	mu      sync.Mutex
+	seq     uint64
+	clean   bool // false while backfilling
+	flushMu sync.Mutex
+}
+
+// nextSeq assigns the next per-PG sequence number.
+func (s *pgState) nextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// bumpSeq raises the local counter to at least seq (secondary side).
+func (s *pgState) bumpSeq(seq uint64) {
+	s.mu.Lock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+	s.mu.Unlock()
+}
+
+// OSD is one object storage daemon.
+type OSD struct {
+	cfg   Config
+	st    store.ObjectStore
+	acct  *metrics.CPUAccount
+	ln    messenger.Listener
+	group *sched.Group
+	wakes *sched.WakeSet
+
+	mapMu  sync.RWMutex
+	curMap *crush.Map
+
+	pgMu sync.Mutex
+	pgs  map[uint32]*pgState
+
+	peers    sync.Map // osd id -> *peer
+	pending  *pendingSet
+	accepted messenger.ConnSet
+
+	// Original-mode PG work queues, one per PG worker.
+	pgQueues []chan *task
+	// PTC-mode non-priority queues, one per NPT worker.
+	nptQueues []chan *task
+
+	monConn messenger.Conn
+	monMu   sync.Mutex
+
+	closed     atomic.Bool
+	refreshing atomic.Bool
+
+	readWaiters sync.Map // readKey -> *readTask (proposed mode R2/R3)
+
+	// Stats visible to the harness.
+	ClientOps   metrics.Counter
+	ReplOps     metrics.Counter
+	ForcedFlush metrics.Counter
+	Backfills   metrics.Counter
+}
+
+// task is a unit of work handed between threads; replies travel inside
+// the payload's closure, which captures the originating connection.
+type task struct {
+	msg any // one of the task payload types in handlers.go
+	pgs *pgState
+	pg  uint32
+}
+
+// New creates an OSD; call Start to begin serving.
+func New(cfg Config) (*OSD, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	o := &OSD{
+		cfg:     cfg,
+		acct:    cfg.Account,
+		group:   sched.NewGroup(),
+		pgs:     make(map[uint32]*pgState),
+		pending: newPendingSet(),
+	}
+
+	var err error
+	switch cfg.Mode {
+	case ModeOriginal, ModeRTCv1:
+		bs := cfg.BlueStore
+		bs.Account = o.acct
+		o.st, err = bluestore.Open(cfg.Dev, bs)
+	case ModeRTCv2, ModeRTCv3, ModeIdeal:
+		o.st = newNullStore()
+	default: // COSOnly, PTC, Proposed
+		co := cfg.COS
+		if !cfg.COSSet {
+			co = cos.DefaultOptions()
+		}
+		if cfg.ObjectBytes > 0 {
+			// The fixed object size is dictated by the block layer; the
+			// store's pre-allocation unit must match it.
+			co.PreallocBytes = cfg.ObjectBytes
+		}
+		co.Partitions = cfg.Partitions
+		// With prioritized threading the store runs inside non-priority
+		// threads whose time is accounted as NPT; separate OS accounting
+		// would double-count. COSOnly keeps Ceph-style threading, so the
+		// store accounts itself there.
+		if !cfg.Mode.usesPTC() {
+			co.Account = o.acct
+		}
+		if !cfg.COSSet && cfg.Bank != nil {
+			// Default proposed configuration: metadata cache in NVM on.
+			co.Bank = cfg.Bank
+			co.MDCache = true
+		}
+		if co.MDCache && co.Bank == nil {
+			co.Bank = cfg.Bank
+		}
+		if co.RegionName == "" {
+			co.RegionName = fmt.Sprintf("osd%d.cos", cfg.ID)
+		}
+		o.st, err = cos.Open(cfg.Dev, co)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("osd %d: open store: %w", cfg.ID, err)
+	}
+	return o, nil
+}
+
+// Store exposes the backend store (benchmarks, tests).
+func (o *OSD) Store() store.ObjectStore { return o.st }
+
+// Account exposes the CPU account.
+func (o *OSD) Account() *metrics.CPUAccount { return o.acct }
+
+// ID returns the OSD id.
+func (o *OSD) ID() uint32 { return o.cfg.ID }
+
+// Addr returns the listen address (valid after Start).
+func (o *OSD) Addr() string {
+	if o.ln == nil {
+		return ""
+	}
+	return o.ln.Addr()
+}
+
+// Start begins listening and, when MonAddr is set, boots against the
+// monitor.
+func (o *OSD) Start() error {
+	ln, err := o.cfg.Transport.Listen(o.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("osd %d: %w", o.cfg.ID, err)
+	}
+	o.ln = ln
+
+	// Worker pools by mode.
+	switch {
+	case o.cfg.Mode.usesPTC():
+		o.wakes = sched.NewWakeSet(o.cfg.NonPriority)
+		o.nptQueues = make([]chan *task, o.cfg.NonPriority)
+		for i := range o.nptQueues {
+			o.nptQueues[i] = make(chan *task, 1024)
+			worker := i
+			o.group.Go(func(stop <-chan struct{}) { o.nonPriorityLoop(worker, stop) })
+		}
+	case o.cfg.Mode.rtc():
+		// Run-to-completion: no worker pools; conn loops do everything.
+	default:
+		o.pgQueues = make([]chan *task, o.cfg.PGWorkers)
+		for i := range o.pgQueues {
+			o.pgQueues[i] = make(chan *task, 1024)
+			worker := i
+			o.group.Go(func(stop <-chan struct{}) { o.pgWorkerLoop(worker, stop) })
+		}
+	}
+
+	o.group.Go(func(stop <-chan struct{}) { o.acceptLoop(stop) })
+	o.group.Go(func(stop <-chan struct{}) { o.pendingSweepLoop(stop) })
+
+	if o.cfg.MonAddr != "" {
+		if err := o.bootWithMonitor(); err != nil {
+			o.Close()
+			return err
+		}
+		o.group.Go(func(stop <-chan struct{}) { o.heartbeatLoop(stop) })
+	}
+	// Restart recovery: REDO any op-log entries that survived a crash.
+	if o.cfg.Mode.usesOplog() {
+		if err := o.redoSurvivingLogs(); err != nil {
+			o.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// SetMap installs a cluster map directly (tests and in-process clusters).
+func (o *OSD) SetMap(m *crush.Map) {
+	o.mapMu.Lock()
+	old := o.curMap
+	o.curMap = m
+	o.mapMu.Unlock()
+	o.onMapChange(old, m)
+}
+
+// Map returns the current cluster map (may be nil before boot).
+func (o *OSD) Map() *crush.Map {
+	o.mapMu.RLock()
+	defer o.mapMu.RUnlock()
+	return o.curMap
+}
+
+// Epoch returns the current map epoch (0 before boot).
+func (o *OSD) Epoch() uint32 {
+	m := o.Map()
+	if m == nil {
+		return 0
+	}
+	return m.Epoch
+}
+
+// pgStateFor returns (creating if needed) the state for pg.
+func (o *OSD) pgStateFor(pg uint32) (*pgState, error) {
+	o.pgMu.Lock()
+	defer o.pgMu.Unlock()
+	if s, ok := o.pgs[pg]; ok {
+		return s, nil
+	}
+	s := &pgState{pg: pg, clean: true}
+	if o.cfg.Mode.usesOplog() {
+		name := fmt.Sprintf("osd%d.oplog.%d", o.cfg.ID, pg)
+		region, err := o.cfg.Bank.Region(name)
+		if err != nil {
+			region, err = o.cfg.Bank.Carve(name, o.cfg.OplogRegionBytes)
+			if err != nil {
+				return nil, fmt.Errorf("osd %d: carve oplog pg %d: %w", o.cfg.ID, pg, err)
+			}
+		}
+		log, staged, err := oplog.Recover(pg, region, o.cfg.FlushThreshold)
+		if err != nil {
+			return nil, err
+		}
+		s.log = log
+		s.seq = log.LastSeq()
+		if len(staged) > 0 {
+			// Entries that survived a crash REDO into the store now.
+			if err := o.applyBatchToStore(pg, staged); err != nil {
+				return nil, err
+			}
+			if err := log.Complete(staged); err != nil {
+				return nil, err
+			}
+		}
+	}
+	o.pgs[pg] = s
+	return s, nil
+}
+
+// redoSurvivingLogs touches every PG region already carved in the bank so
+// crash-surviving entries replay before traffic arrives.
+func (o *OSD) redoSurvivingLogs() error {
+	m := o.Map()
+	if m == nil {
+		return nil
+	}
+	for pg := uint32(0); pg < m.PGCount; pg++ {
+		name := fmt.Sprintf("osd%d.oplog.%d", o.cfg.ID, pg)
+		if _, err := o.cfg.Bank.Region(name); err != nil {
+			continue // never served this PG
+		}
+		if _, err := o.pgStateFor(pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops all workers and the store.
+func (o *OSD) Close() error {
+	if o.closed.Swap(true) {
+		return nil
+	}
+	if o.ln != nil {
+		o.ln.Close()
+	}
+	o.accepted.CloseAll()
+	o.monMu.Lock()
+	if o.monConn != nil {
+		o.monConn.Close()
+	}
+	o.monMu.Unlock()
+	o.peers.Range(func(_, v any) bool {
+		v.(*peer).close()
+		return true
+	})
+	o.group.Stop()
+	return o.st.Close()
+}
+
+// Kill simulates a crash: connections drop and workers stop, but the
+// store is neither flushed nor closed, and any NVM bank keeps only what
+// was explicitly persisted. Recovery tests restart an OSD on the same
+// device and bank afterwards.
+func (o *OSD) Kill() {
+	if o.closed.Swap(true) {
+		return
+	}
+	if o.ln != nil {
+		o.ln.Close()
+	}
+	o.accepted.CloseAll()
+	o.monMu.Lock()
+	if o.monConn != nil {
+		o.monConn.Close()
+	}
+	o.monMu.Unlock()
+	o.peers.Range(func(_, v any) bool {
+		v.(*peer).close()
+		return true
+	})
+	o.group.Stop()
+}
+
+// FlushAll synchronously drains every op log into the store (admin,
+// benchmarks, pre-recovery flush).
+func (o *OSD) FlushAll() error {
+	if o.cfg.Mode.usesOplog() {
+		o.pgMu.Lock()
+		states := make([]*pgState, 0, len(o.pgs))
+		for _, s := range o.pgs {
+			states = append(states, s)
+		}
+		o.pgMu.Unlock()
+		for _, s := range states {
+			if err := o.flushPG(s); err != nil {
+				return err
+			}
+		}
+	}
+	return o.st.Flush()
+}

@@ -1,0 +1,291 @@
+package osd
+
+import (
+	"fmt"
+	"time"
+
+	"rebloc/internal/crush"
+	"rebloc/internal/messenger"
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+// onMapChange reacts to a new cluster map (paper §IV-A.4): when an OSD
+// fails, the survivors flush their staged data; a PG newly assigned to
+// this OSD synchronises from a surviving member (op-log entries plus a
+// full-object backfill) before serving writes.
+func (o *OSD) onMapChange(old, cur *crush.Map) {
+	if cur == nil {
+		return
+	}
+	// Step ③: a peer failed — flush so the latest data is persistent.
+	if old != nil && o.cfg.Mode.usesOplog() {
+		for id, info := range old.OSDs {
+			newInfo, ok := cur.OSDs[id]
+			if info.Up && (!ok || !newInfo.Up) {
+				o.group.Go(func(stop <-chan struct{}) { _ = o.FlushAll() })
+				break
+			}
+		}
+	}
+	// Steps ⑤-⑦: sync PGs newly assigned to this OSD.
+	for pg := uint32(0); pg < cur.PGCount; pg++ {
+		acting, err := cur.MapPG(pg)
+		if err != nil {
+			continue
+		}
+		if !contains(acting, o.cfg.ID) {
+			continue
+		}
+		wasMember := false
+		if old != nil {
+			if oldActing, err := old.MapPG(pg); err == nil {
+				wasMember = contains(oldActing, o.cfg.ID)
+			}
+		}
+		if wasMember {
+			continue
+		}
+		// Find a surviving source: any other member of the acting set. A
+		// booting OSD (old == nil) also syncs — its store may be stale
+		// relative to writes that happened while it was down.
+		var source uint32
+		found := false
+		for _, id := range acting {
+			if id != o.cfg.ID {
+				source = id
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue // single-replica PG: nothing to pull
+		}
+		pgCopy := pg
+		src := source
+		o.group.Go(func(stop <-chan struct{}) { o.backfillPG(pgCopy, src, stop) })
+	}
+}
+
+func contains(ids []uint32, id uint32) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// backfillPG pulls a PG's state from a surviving member: first the staged
+// op-log suffix, then every object (paper steps ⑥-⑦). The PG rejects
+// writes (StatusAgain) until the sync completes.
+func (o *OSD) backfillPG(pg uint32, source uint32, stop <-chan struct{}) {
+	pgs, err := o.pgStateFor(pg)
+	if err != nil {
+		return
+	}
+	pgs.mu.Lock()
+	pgs.clean = false
+	pgs.mu.Unlock()
+	defer func() {
+		pgs.mu.Lock()
+		pgs.clean = true
+		pgs.mu.Unlock()
+	}()
+	o.Backfills.Inc()
+
+	var conn messenger.Conn
+	// The source may still be renewing its own map; retry briefly.
+	for attempt := 0; attempt < 20; attempt++ {
+		pr, err := o.peerFor(source)
+		if err == nil {
+			conn = pr.conn
+			break
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if conn == nil {
+		return
+	}
+
+	// Dedicated connection for the pull protocol: request/reply in
+	// lockstep (the peer conn's recv loop would swallow replies).
+	m := o.Map()
+	info, ok := m.OSDs[source]
+	if !ok {
+		return
+	}
+	pull, err := o.cfg.Transport.Dial(info.Addr)
+	if err != nil {
+		return
+	}
+	defer pull.Close()
+
+	// ⑥a: recover the op-log suffix from the survivor.
+	if err := pull.Send(&wire.OplogPull{ReqID: 1, PG: pg}); err != nil {
+		return
+	}
+	msg, err := pull.Recv()
+	if err != nil {
+		return
+	}
+	if chunk, ok := msg.(*wire.OplogChunk); ok && chunk.Status == wire.StatusOK {
+		for _, op := range chunk.Ops {
+			if o.cfg.Mode.usesOplog() && pgs.log != nil {
+				if err := o.appendWithFlush(pgs, op); err != nil {
+					return
+				}
+			} else if err := o.applyDirect(pg, op); err != nil {
+				return
+			}
+			pgs.bumpSeq(op.Seq)
+		}
+	}
+
+	// ⑦: full-object backfill.
+	seen := make(map[store.Key]bool)
+	cursor := ""
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if err := pull.Send(&wire.BackfillPull{ReqID: 2, PG: pg, Cursor: cursor, Max: 32}); err != nil {
+			return
+		}
+		msg, err := pull.Recv()
+		if err != nil {
+			return
+		}
+		chunk, ok := msg.(*wire.BackfillChunk)
+		if !ok || chunk.Status != wire.StatusOK {
+			return
+		}
+		for _, obj := range chunk.Objects {
+			// The survivor is authoritative for everything acknowledged
+			// while this node was away (writes to this PG are rejected
+			// during the sync, so overwriting unconditionally is safe;
+			// object versions are store-local counters and cannot order
+			// replicas against each other).
+			seen[store.MakeKey(pg, obj.OID)] = true
+			txn := &store.Transaction{}
+			txn.AddWrite(pg, obj.OID, 0, obj.Data)
+			if err := o.st.Submit(txn); err != nil {
+				return
+			}
+		}
+		if chunk.Done {
+			break
+		}
+		cursor = chunk.NextCursor
+	}
+	o.pruneStaleObjects(pg, seen)
+}
+
+// pruneStaleObjects removes local objects the backfill source no longer
+// has (deleted cluster-wide while this node was down).
+func (o *OSD) pruneStaleObjects(pg uint32, seen map[store.Key]bool) {
+	var cursor store.Key
+	for {
+		infos, last, done, err := o.st.ListPG(pg, cursor, 64)
+		if err != nil {
+			return
+		}
+		for _, info := range infos {
+			if seen[info.Key] {
+				continue
+			}
+			txn := &store.Transaction{}
+			txn.AddDelete(pg, info.OID)
+			_ = o.st.Submit(txn)
+		}
+		if done {
+			return
+		}
+		cursor = last
+	}
+}
+
+// applyDirect applies a pulled op straight to the store (modes without an
+// op log).
+func (o *OSD) applyDirect(pg uint32, op wire.Op) error {
+	txn := &store.Transaction{}
+	switch op.Kind {
+	case wire.OpWrite:
+		txn.AddWrite(pg, op.OID, op.Offset, op.Data)
+	case wire.OpDelete:
+		txn.AddDelete(pg, op.OID)
+	default:
+		return nil
+	}
+	return o.st.Submit(txn)
+}
+
+// serveOplogPull ships the staged op-log suffix for a PG.
+func (o *OSD) serveOplogPull(conn messenger.Conn, msg *wire.OplogPull) {
+	chunk := &wire.OplogChunk{ReqID: msg.ReqID, PG: msg.PG, Status: wire.StatusOK}
+	o.pgMu.Lock()
+	s, ok := o.pgs[msg.PG]
+	o.pgMu.Unlock()
+	if ok && s.log != nil {
+		for _, op := range s.log.StagedOps() {
+			if op.Seq > msg.FromSeq && op.Kind != wire.OpRead {
+				chunk.Ops = append(chunk.Ops, op)
+			}
+		}
+	}
+	_ = conn.Send(chunk)
+}
+
+// serveBackfillPull ships a batch of whole objects for a PG.
+func (o *OSD) serveBackfillPull(conn messenger.Conn, msg *wire.BackfillPull) {
+	reply := &wire.BackfillChunk{ReqID: msg.ReqID, PG: msg.PG, Status: wire.StatusOK}
+	// Backfill must not miss staged data: flush this PG first.
+	o.pgMu.Lock()
+	s, ok := o.pgs[msg.PG]
+	o.pgMu.Unlock()
+	if ok && s.log != nil {
+		if err := o.flushPG(s); err != nil {
+			reply.Status = wire.StatusIOError
+			_ = conn.Send(reply)
+			return
+		}
+	}
+	var cursor store.Key
+	if msg.Cursor != "" {
+		if _, err := fmt.Sscanf(msg.Cursor, "%016x", &cursor); err != nil {
+			reply.Status = wire.StatusInvalid
+			_ = conn.Send(reply)
+			return
+		}
+	}
+	max := int(msg.Max)
+	if max <= 0 || max > 256 {
+		max = 32
+	}
+	infos, last, done, err := o.st.ListPG(msg.PG, cursor, max)
+	if err != nil {
+		reply.Status = wire.StatusIOError
+		_ = conn.Send(reply)
+		return
+	}
+	for _, info := range infos {
+		data, err := o.st.Read(msg.PG, info.OID, 0, uint32(info.Size))
+		if err != nil {
+			continue
+		}
+		reply.Objects = append(reply.Objects, wire.BackfillObject{
+			OID:     info.OID,
+			Version: info.Version,
+			Data:    data,
+		})
+	}
+	reply.Done = done
+	reply.NextCursor = fmt.Sprintf("%016x", uint64(last))
+	_ = conn.Send(reply)
+}

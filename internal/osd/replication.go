@@ -1,0 +1,202 @@
+package osd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rebloc/internal/messenger"
+	"rebloc/internal/wire"
+)
+
+// pendingOp tracks one client operation awaiting replica acknowledgements
+// (and, in coupled modes, the local commit).
+type pendingOp struct {
+	remaining atomic.Int32
+	status    atomic.Uint32 // first non-OK status wins
+	done      func(wire.Status)
+	created   time.Time
+}
+
+// pendingSet indexes in-flight operations by their replication tag.
+type pendingSet struct {
+	mu   sync.Mutex
+	m    map[uint64]*pendingOp
+	next atomic.Uint64
+}
+
+func newPendingSet() *pendingSet {
+	return &pendingSet{m: make(map[uint64]*pendingOp)}
+}
+
+// register creates a pending op needing n completions; done runs exactly
+// once, on the goroutine that delivers the last completion.
+func (p *pendingSet) register(n int, done func(wire.Status)) uint64 {
+	id := p.next.Add(1)
+	op := &pendingOp{done: done, created: time.Now()}
+	op.remaining.Store(int32(n))
+	if n <= 0 {
+		done(wire.StatusOK)
+		return id
+	}
+	p.mu.Lock()
+	p.m[id] = op
+	p.mu.Unlock()
+	return id
+}
+
+// complete delivers one completion.
+func (p *pendingSet) complete(id uint64, status wire.Status) {
+	p.mu.Lock()
+	op := p.m[id]
+	p.mu.Unlock()
+	if op == nil {
+		return // duplicate or timed out
+	}
+	if status != wire.StatusOK {
+		op.status.CompareAndSwap(uint32(wire.StatusOK), uint32(status))
+	}
+	if op.remaining.Add(-1) == 0 {
+		p.mu.Lock()
+		delete(p.m, id)
+		p.mu.Unlock()
+		op.done(wire.Status(op.status.Load()))
+	}
+}
+
+// fail aborts a pending op outright (peer connection lost).
+func (p *pendingSet) fail(id uint64, status wire.Status) {
+	p.mu.Lock()
+	op := p.m[id]
+	delete(p.m, id)
+	p.mu.Unlock()
+	if op != nil {
+		op.done(status)
+	}
+}
+
+// sweep fails ops older than maxAge, preventing stalled clients when a
+// replica dies mid-operation. Returns how many were failed.
+func (p *pendingSet) sweep(maxAge time.Duration) int {
+	cutoff := time.Now().Add(-maxAge)
+	p.mu.Lock()
+	var expired []uint64
+	for id, op := range p.m {
+		if op.created.Before(cutoff) {
+			expired = append(expired, id)
+		}
+	}
+	p.mu.Unlock()
+	for _, id := range expired {
+		p.fail(id, wire.StatusAgain)
+	}
+	return len(expired)
+}
+
+// size reports outstanding operations (diagnostics).
+func (p *pendingSet) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}
+
+// peer is a cached outbound connection to another OSD, used for
+// replication requests; acknowledgements flow back on the same conn.
+type peer struct {
+	id   uint32
+	conn messenger.Conn
+	once sync.Once
+}
+
+func (pr *peer) close() {
+	pr.once.Do(func() {
+		if pr.conn != nil {
+			pr.conn.Close()
+		}
+	})
+}
+
+// peerFor returns a live connection to the given OSD, dialling on first
+// use. The receive loop delivers ReplAcks to the pending set.
+func (o *OSD) peerFor(id uint32) (*peer, error) {
+	if v, ok := o.peers.Load(id); ok {
+		return v.(*peer), nil
+	}
+	m := o.Map()
+	if m == nil {
+		return nil, fmt.Errorf("osd %d: no cluster map", o.cfg.ID)
+	}
+	info, ok := m.OSDs[id]
+	if !ok || !info.Up {
+		return nil, fmt.Errorf("osd %d: peer %d not up", o.cfg.ID, id)
+	}
+	conn, err := o.cfg.Transport.Dial(info.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("osd %d: dial peer %d: %w", o.cfg.ID, id, err)
+	}
+	pr := &peer{id: id, conn: conn}
+	if actual, loaded := o.peers.LoadOrStore(id, pr); loaded {
+		conn.Close()
+		return actual.(*peer), nil
+	}
+	o.group.Go(func(stop <-chan struct{}) { o.peerRecvLoop(pr, stop) })
+	return pr, nil
+}
+
+// dropPeer forgets a broken peer connection so the next use re-dials.
+func (o *OSD) dropPeer(pr *peer) {
+	o.peers.CompareAndDelete(pr.id, pr)
+	pr.close()
+}
+
+// peerRecvLoop consumes acknowledgements from a peer connection.
+func (o *OSD) peerRecvLoop(pr *peer, stop <-chan struct{}) {
+	for {
+		m, err := pr.conn.Recv()
+		if err != nil {
+			o.dropPeer(pr)
+			return
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if ack, ok := m.(*wire.ReplAck); ok {
+			o.pending.complete(ack.ReqID, ack.Status)
+		}
+	}
+}
+
+// replicate ships op to every secondary in the acting set, completing the
+// pending op entry per ack. Send failures complete immediately with
+// StatusAgain so the client retries after a map refresh.
+func (o *OSD) replicate(pendingID uint64, pg, epoch uint32, secondaries []uint32, op wire.Op) {
+	msg := &wire.Repl{ReqID: pendingID, PG: pg, Epoch: epoch, Op: op}
+	for _, id := range secondaries {
+		pr, err := o.peerFor(id)
+		if err != nil {
+			o.pending.complete(pendingID, wire.StatusAgain)
+			continue
+		}
+		if err := pr.conn.Send(msg); err != nil {
+			o.dropPeer(pr)
+			o.pending.complete(pendingID, wire.StatusAgain)
+		}
+	}
+}
+
+// pendingSweepLoop ages out stalled operations.
+func (o *OSD) pendingSweepLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			o.pending.sweep(2 * time.Second)
+		}
+	}
+}

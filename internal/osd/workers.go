@@ -1,0 +1,372 @@
+package osd
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"rebloc/internal/metrics"
+	"rebloc/internal/oplog"
+	"rebloc/internal/sched"
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+// partitionOf maps a PG to its COS sharded partition.
+func (o *OSD) partitionOf(pg uint32) int { return int(pg) % o.cfg.Partitions }
+
+// nptFor maps a PG to the non-priority worker owning its partition
+// (paper §IV-C.2: partition -> thread via simple modulo hashing).
+func (o *OSD) nptFor(pg uint32) int { return o.partitionOf(pg) % o.cfg.NonPriority }
+
+// enqueuePG queues a task for the original-mode PG worker pool.
+func (o *OSD) enqueuePG(pg uint32, t *task) {
+	q := o.pgQueues[int(pg)%len(o.pgQueues)]
+	select {
+	case q <- t:
+	case <-o.group.Stopping():
+	}
+}
+
+// enqueueNPT queues a task for a non-priority worker.
+func (o *OSD) enqueueNPT(pg uint32, t *task) {
+	q := o.nptQueues[o.nptFor(pg)]
+	select {
+	case q <- t:
+	case <-o.group.Stopping():
+	}
+	o.wakes.Wake(o.nptFor(pg))
+}
+
+// wakeNPT signals the worker owning pg's partition.
+func (o *OSD) wakeNPT(pg uint32) { o.wakes.Wake(o.nptFor(pg)) }
+
+// pgWorkerLoop is one "PG thread" of the original architecture: it pulls
+// tasks from its queue and performs replication processing (RP) and
+// transaction processing (TP); the backend store accounts its own time.
+func (o *OSD) pgWorkerLoop(worker int, stop <-chan struct{}) {
+	q := o.pgQueues[worker]
+	for {
+		select {
+		case <-stop:
+			return
+		case t := <-q:
+			o.runPGTask(t)
+		}
+	}
+}
+
+func (o *OSD) runPGTask(t *task) {
+	switch msg := t.msg.(type) {
+	case *clientMutation:
+		// RP: make the op durable on the replicas.
+		tm := o.acct.Start(metrics.CatRP)
+		id := o.pending.register(len(msg.secondaries)+1, msg.reply)
+		o.replicate(id, t.pg, msg.epoch, msg.secondaries, msg.op)
+		tm.Stop()
+		// TP: build the transaction; the store times itself (OS).
+		tm = o.acct.Start(metrics.CatTP)
+		txn := o.buildBaselineTxn(t.pg, msg.op)
+		tm.Stop()
+		status := wire.StatusOK
+		if err := o.st.Submit(txn); err != nil {
+			log.Printf("osd %d: pg %d submit: %v", o.cfg.ID, t.pg, err)
+			status = wire.StatusIOError
+		}
+		o.pending.complete(id, status)
+
+	case *readTask:
+		tm := o.acct.Start(metrics.CatTP)
+		data, err := o.storeRead(t.pg, msg.oid, msg.off, msg.length)
+		tm.Stop()
+		if err != nil {
+			msg.reply(storeStatus(err), nil)
+			return
+		}
+		msg.reply(wire.StatusOK, data)
+
+	case *replApply:
+		tm := o.acct.Start(metrics.CatTP)
+		txn := o.buildBaselineTxn(t.pg, msg.op)
+		tm.Stop()
+		if err := o.st.Submit(txn); err != nil {
+			log.Printf("osd %d: pg %d repl submit: %v", o.cfg.ID, t.pg, err)
+			msg.ack(wire.StatusIOError)
+			return
+		}
+		msg.ack(wire.StatusOK)
+	}
+}
+
+// nonPriorityLoop is one non-priority thread (paper §IV-B.2): woken by a
+// priority thread or a timeout, it drains the op logs of its partitions in
+// batches, issues I/O to the store, completes reads, then sleeps.
+func (o *OSD) nonPriorityLoop(worker int, stop <-chan struct{}) {
+	if len(o.cfg.Pools.NonPriority) > 0 {
+		if err := sched.PinSelf(o.cfg.Pools.NonPriority); err == nil {
+			defer sched.UnpinSelf()
+		}
+	}
+	ticker := time.NewTicker(o.cfg.FlushInterval)
+	defer ticker.Stop()
+	q := o.nptQueues[worker]
+	runTask := func(t *task) {
+		o.wakes.SetBusy(worker, true)
+		tm := o.acct.Start(metrics.CatNPT)
+		o.runNPTTask(t)
+		tm.Stop()
+		o.wakes.SetBusy(worker, false)
+	}
+	for {
+		// Queued tasks (reads, PTC storage processing) are latency-
+		// sensitive: drain them before considering flush work.
+		select {
+		case t := <-q:
+			runTask(t)
+			continue
+		default:
+		}
+		select {
+		case <-stop:
+			return
+		case t := <-q:
+			runTask(t)
+		case <-o.wakes.Chan(worker):
+			o.drainOwnedPGs(worker)
+		case <-ticker.C:
+			o.drainOwnedPGs(worker)
+		}
+	}
+}
+
+// runNPTTask executes a queued task on a non-priority worker.
+func (o *OSD) runNPTTask(t *task) {
+	switch msg := t.msg.(type) {
+	case *localCommit: // PTC mode: synchronous storage processing
+		txn := o.buildBaselineTxn(t.pg, msg.op)
+		status := wire.StatusOK
+		if err := o.st.Submit(txn); err != nil {
+			status = wire.StatusIOError
+		}
+		o.pending.complete(msg.pendingID, status)
+	case *readTask:
+		data, err := o.storeRead(t.pg, msg.oid, msg.off, msg.length)
+		if err != nil {
+			msg.reply(storeStatus(err), nil)
+			return
+		}
+		msg.reply(wire.StatusOK, data)
+	case *replApply: // PTC mode: secondary storage processing
+		txn := o.buildBaselineTxn(t.pg, msg.op)
+		if err := o.st.Submit(txn); err != nil {
+			msg.ack(wire.StatusIOError)
+			return
+		}
+		msg.ack(wire.StatusOK)
+	}
+}
+
+// drainOwnedPGs flushes every op log owned by this worker that has staged
+// entries. Proposed mode only.
+func (o *OSD) drainOwnedPGs(worker int) {
+	if !o.cfg.Mode.usesOplog() {
+		return
+	}
+	o.wakes.SetBusy(worker, true)
+	defer o.wakes.SetBusy(worker, false)
+	o.pgMu.Lock()
+	var owned []*pgState
+	for pg, s := range o.pgs {
+		if o.nptFor(pg) == worker && s.log != nil && s.log.Len() > 0 {
+			owned = append(owned, s)
+		}
+	}
+	o.pgMu.Unlock()
+	for _, s := range owned {
+		tm := o.acct.Start(metrics.CatNPT)
+		err := o.flushPG(s)
+		tm.Stop()
+		if err != nil {
+			return // store failure; entries were requeued
+		}
+	}
+}
+
+// flushPG drains one PG's op log into the backend store: staged writes and
+// deletes apply in order, and logged reads are answered once the writes
+// ordered before them are durable.
+func (o *OSD) flushPG(s *pgState) error {
+	if s.log == nil {
+		return nil
+	}
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	batch := s.log.TakeBatch(0)
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := o.applyEntries(s.pg, batch); err != nil {
+		s.log.Requeue(batch)
+		return err
+	}
+	return s.log.Complete(batch)
+}
+
+// applyEntries applies a batch of op-log entries in order.
+func (o *OSD) applyEntries(pg uint32, batch []*oplog.Entry) error {
+	txn := &store.Transaction{}
+	flushTxn := func() error {
+		if len(txn.Ops) == 0 {
+			return nil
+		}
+		if err := o.st.Submit(txn); err != nil {
+			return err
+		}
+		txn = &store.Transaction{}
+		return nil
+	}
+	for _, e := range batch {
+		switch e.Op.Kind {
+		case wire.OpWrite:
+			txn.AddWrite(pg, e.Op.OID, e.Op.Offset, e.Op.Data)
+		case wire.OpDelete:
+			txn.AddDelete(pg, e.Op.OID)
+		case wire.OpRead:
+			// Writes ordered before the read must land first.
+			if err := flushTxn(); err != nil {
+				return err
+			}
+			key := readKey(pg, e.Op.Seq)
+			if w, ok := o.readWaiters.LoadAndDelete(key); ok {
+				rt := w.(*readTask)
+				data, err := o.storeRead(pg, rt.oid, rt.off, rt.length)
+				if err != nil {
+					rt.reply(storeStatus(err), nil)
+				} else {
+					rt.reply(wire.StatusOK, data)
+				}
+			}
+		default:
+			return fmt.Errorf("osd %d: unknown logged op kind %d", o.cfg.ID, e.Op.Kind)
+		}
+	}
+	return flushTxn()
+}
+
+// applyBatchToStore REDOes recovered op-log entries (restart path); read
+// entries have no waiters anymore and are skipped.
+func (o *OSD) applyBatchToStore(pg uint32, batch []*oplog.Entry) error {
+	txn := &store.Transaction{}
+	for _, e := range batch {
+		switch e.Op.Kind {
+		case wire.OpWrite:
+			txn.AddWrite(pg, e.Op.OID, e.Op.Offset, e.Op.Data)
+		case wire.OpDelete:
+			txn.AddDelete(pg, e.Op.OID)
+		}
+	}
+	if len(txn.Ops) == 0 {
+		return nil
+	}
+	return o.st.Submit(txn)
+}
+
+// rtcMutation is the run-to-completion write path (Figure 1 probes): the
+// connection's goroutine performs replication, transaction processing and
+// the store commit itself, then blocks until the replicas acknowledge —
+// exactly the critique in §III-B.
+func (o *OSD) rtcMutation(pg uint32, pgs *pgState, epoch uint32, op wire.Op, secondaries []uint32, reply func(wire.Status)) {
+	done := make(chan wire.Status, 1)
+	tm := o.acct.Start(metrics.CatRP)
+	id := o.pending.register(len(secondaries), func(s wire.Status) { done <- s })
+	o.replicate(id, pg, epoch, secondaries, op)
+	tm.Stop()
+
+	status := wire.StatusOK
+	if o.cfg.Mode != ModeRTCv3 { // v3 skips transaction processing
+		tm = o.acct.Start(metrics.CatTP)
+		txn := o.buildBaselineTxn(pg, op)
+		tm.Stop()
+		if err := o.st.Submit(txn); err != nil {
+			status = wire.StatusIOError
+		}
+	}
+	if len(secondaries) > 0 {
+		if s := <-done; s != wire.StatusOK && status == wire.StatusOK {
+			status = s
+		}
+	}
+	reply(status)
+}
+
+// buildBaselineTxn assembles the transaction Ceph's OSD core issues per
+// write: the data, an object_info_t attribute, a snapset attribute and a
+// PG log entry (§V-B: "Ceph issues many key-value writes (e.g.,
+// object_info_t, snapset, pglog) whenever a write request is handled").
+func (o *OSD) buildBaselineTxn(pg uint32, op wire.Op) *store.Transaction {
+	txn := &store.Transaction{}
+	switch op.Kind {
+	case wire.OpWrite:
+		txn.AddWrite(pg, op.OID, op.Offset, op.Data)
+	case wire.OpDelete:
+		txn.AddDelete(pg, op.OID)
+	}
+	txn.AddSetAttr(pg, op.OID, "object_info", encodeObjectInfo(op))
+	txn.AddSetAttr(pg, op.OID, "snapset", encodeSnapset(op))
+	txn.AddPutKV(fmt.Sprintf("pglog/%d/%016d", pg, op.Seq), encodePGLogEntry(pg, op))
+	return txn
+}
+
+// encodeObjectInfo emulates Ceph's object_info_t (~700 bytes of versioned
+// object metadata rewritten on every mutation).
+func encodeObjectInfo(op wire.Op) []byte {
+	e := wire.NewEncoder(make([]byte, 0, 704))
+	e.String32(op.OID.Name)
+	e.U64(op.Version)
+	e.U64(op.Seq)
+	e.U64(op.Offset)
+	e.U32(op.Length)
+	buf := e.Bytes()
+	out := make([]byte, 704)
+	copy(out, buf)
+	return out
+}
+
+// encodeSnapset emulates Ceph's snapset attribute (~64 bytes).
+func encodeSnapset(op wire.Op) []byte {
+	out := make([]byte, 64)
+	out[0] = byte(op.Version)
+	return out
+}
+
+// encodePGLogEntry emulates a pglog entry (~256 bytes per op).
+func encodePGLogEntry(pg uint32, op wire.Op) []byte {
+	e := wire.NewEncoder(make([]byte, 0, 256))
+	e.U32(pg)
+	e.U64(op.Seq)
+	e.U64(op.Version)
+	e.U8(uint8(op.Kind))
+	e.String32(op.OID.Name)
+	buf := e.Bytes()
+	out := make([]byte, 256)
+	copy(out, buf)
+	return out
+}
+
+// storeRead reads through the backend store.
+func (o *OSD) storeRead(pg uint32, oid wire.ObjectID, off uint64, length uint32) ([]byte, error) {
+	return o.st.Read(pg, oid, off, length)
+}
+
+// storeStatus maps store errors onto wire statuses.
+func storeStatus(err error) wire.Status {
+	switch {
+	case err == nil:
+		return wire.StatusOK
+	case errors.Is(err, store.ErrNotFound):
+		return wire.StatusNotFound
+	default:
+		return wire.StatusIOError
+	}
+}

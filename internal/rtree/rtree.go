@@ -1,0 +1,192 @@
+// Package rtree implements a 16-way radix tree over uint64 keys, the
+// lookup structure the CPU-efficient object store uses for onodes (paper
+// §IV-C: "to look up the object, COS uses the radix tree where the object
+// ID is the key; the high bits of object ID represent the logical group").
+//
+// Keys are consumed most-significant-nibble first, so in-order traversal
+// yields ascending keys. Leaves are pushed down lazily, so lookups touch
+// at most one node per distinguishing nibble. Not concurrency-safe; COS
+// gives each sharded partition its own tree.
+package rtree
+
+const (
+	fanout    = 16
+	nibbleMax = 16 // 64-bit key / 4 bits per level
+)
+
+// Tree maps uint64 keys to values of type V.
+type Tree[V any] struct {
+	root node[V] // root is always internal
+	size int
+}
+
+type node[V any] struct {
+	children [fanout]*node[V]
+	leafKey  uint64
+	leafVal  V
+	isLeaf   bool
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+func nibble(key uint64, depth int) int {
+	return int((key >> (60 - 4*uint(depth))) & 0xF)
+}
+
+// Get returns the value stored under key.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	n := &t.root
+	for depth := 0; ; depth++ {
+		c := n.children[nibble(key, depth)]
+		if c == nil {
+			var zero V
+			return zero, false
+		}
+		if c.isLeaf {
+			if c.leafKey == key {
+				return c.leafVal, true
+			}
+			var zero V
+			return zero, false
+		}
+		n = c
+	}
+}
+
+// Set inserts or replaces the value under key, reporting whether the key
+// was newly inserted.
+func (t *Tree[V]) Set(key uint64, val V) bool {
+	n := &t.root
+	depth := 0
+	for {
+		idx := nibble(key, depth)
+		c := n.children[idx]
+		if c == nil {
+			n.children[idx] = &node[V]{leafKey: key, leafVal: val, isLeaf: true}
+			t.size++
+			return true
+		}
+		if c.isLeaf {
+			if c.leafKey == key {
+				c.leafVal = val
+				return false
+			}
+			// Push the existing leaf one level down and retry from the new
+			// internal node.
+			pushed := &node[V]{}
+			pushed.children[nibble(c.leafKey, depth+1)] = c
+			n.children[idx] = pushed
+			n = pushed
+			depth++
+			continue
+		}
+		n = c
+		depth++
+	}
+}
+
+// Delete removes key, reporting whether it was present. Chains of
+// single-child internal nodes left behind are contracted.
+func (t *Tree[V]) Delete(key uint64) bool {
+	deleted := t.deleteFrom(&t.root, key, 0)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[V]) deleteFrom(n *node[V], key uint64, depth int) bool {
+	idx := nibble(key, depth)
+	c := n.children[idx]
+	if c == nil {
+		return false
+	}
+	if c.isLeaf {
+		if c.leafKey != key {
+			return false
+		}
+		n.children[idx] = nil
+		return true
+	}
+	if !t.deleteFrom(c, key, depth+1) {
+		return false
+	}
+	// Contract: if c now holds a single leaf child, lift it up.
+	var only *node[V]
+	count := 0
+	for _, ch := range c.children {
+		if ch != nil {
+			only = ch
+			count++
+			if count > 1 {
+				return true
+			}
+		}
+	}
+	if count == 0 {
+		n.children[idx] = nil
+	} else if only.isLeaf {
+		n.children[idx] = only
+	}
+	return true
+}
+
+// Ascend visits all entries in ascending key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(key uint64, val V) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *node[V]) ascend(fn func(uint64, V) bool) bool {
+	for _, c := range n.children {
+		if c == nil {
+			continue
+		}
+		if c.isLeaf {
+			if !fn(c.leafKey, c.leafVal) {
+				return false
+			}
+			continue
+		}
+		if !c.ascend(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// AscendGE visits entries with key >= start in ascending order until fn
+// returns false. Subtrees entirely below start are pruned.
+func (t *Tree[V]) AscendGE(start uint64, fn func(key uint64, val V) bool) {
+	t.root.ascendGE(start, 0, true, fn)
+}
+
+// ascendGE walks children; bounded indicates the path so far equals
+// start's prefix (so the start nibble still constrains descent).
+func (n *node[V]) ascendGE(start uint64, depth int, bounded bool, fn func(uint64, V) bool) bool {
+	from := 0
+	if bounded {
+		from = nibble(start, depth)
+	}
+	for i := from; i < fanout; i++ {
+		c := n.children[i]
+		if c == nil {
+			continue
+		}
+		if c.isLeaf {
+			if c.leafKey >= start {
+				if !fn(c.leafKey, c.leafVal) {
+					return false
+				}
+			}
+			continue
+		}
+		if !c.ascendGE(start, depth+1, bounded && i == from, fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,27 @@
+//go:build linux
+
+package sched
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// setAffinity restricts the calling OS thread to the given logical cores
+// via sched_setaffinity(2). The caller must hold runtime.LockOSThread.
+func setAffinity(cores []int) error {
+	var mask [16]uint64 // up to 1024 logical CPUs
+	for _, c := range cores {
+		if c < 0 || c >= len(mask)*64 {
+			continue
+		}
+		mask[c/64] |= 1 << (uint(c) % 64)
+	}
+	// tid 0 = calling thread.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

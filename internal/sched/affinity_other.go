@@ -1,0 +1,7 @@
+//go:build !linux
+
+package sched
+
+// setAffinity is a no-op on platforms without sched_setaffinity; pinning
+// degrades to runtime.LockOSThread only.
+func setAffinity(cores []int) error { return nil }

@@ -1,0 +1,145 @@
+// Package sched implements the primitives behind Prioritized Thread
+// Control (paper §IV-B): disjoint CPU pools for priority and non-priority
+// workers, best-effort core pinning, wake-up signalling from priority to
+// non-priority threads, and idle tracking so wake-ups can prefer cores
+// that "can afford to run the task".
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rebloc/internal/metrics"
+)
+
+// CPUPools partitions logical cores between the two thread classes.
+type CPUPools struct {
+	Priority    []int
+	NonPriority []int
+}
+
+// SplitCores assigns the first nPriority logical cores to the priority
+// pool and the rest (up to nNonPriority) to the non-priority pool,
+// mirroring the paper's static separation.
+func SplitCores(nPriority, nNonPriority int) CPUPools {
+	total := runtime.NumCPU()
+	var pools CPUPools
+	for c := 0; c < nPriority && c < total; c++ {
+		pools.Priority = append(pools.Priority, c)
+	}
+	for c := nPriority; c < nPriority+nNonPriority && c < total; c++ {
+		pools.NonPriority = append(pools.NonPriority, c)
+	}
+	return pools
+}
+
+// PinSelf locks the calling goroutine to its OS thread and restricts that
+// thread to the given cores (best effort: unsupported platforms return
+// nil without pinning). Call UnpinSelf when the worker exits.
+func PinSelf(cores []int) error {
+	if len(cores) == 0 {
+		return nil
+	}
+	runtime.LockOSThread()
+	if err := setAffinity(cores); err != nil {
+		runtime.UnlockOSThread()
+		return fmt.Errorf("sched: pin to %v: %w", cores, err)
+	}
+	return nil
+}
+
+// UnpinSelf releases the OS-thread lock taken by PinSelf.
+func UnpinSelf() {
+	runtime.UnlockOSThread()
+}
+
+// Group manages a set of worker goroutines with the stop/done pattern.
+type Group struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewGroup returns an empty group.
+func NewGroup() *Group {
+	return &Group{stop: make(chan struct{})}
+}
+
+// Go starts fn as a worker; fn must return promptly once stop is closed.
+func (g *Group) Go(fn func(stop <-chan struct{})) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		fn(g.stop)
+	}()
+}
+
+// Stop signals all workers and waits for them to exit.
+func (g *Group) Stop() {
+	g.once.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// Stopping returns the stop channel for workers that need to select on it
+// outside fn's argument.
+func (g *Group) Stopping() <-chan struct{} { return g.stop }
+
+// WakeSet carries wake-up signals from priority threads to non-priority
+// workers. Each worker owns one slot; a wake on a sleeping worker makes
+// its channel readable, wakes on a busy worker coalesce.
+type WakeSet struct {
+	chans []chan struct{}
+	busy  []atomic.Bool
+
+	Wakeups  metrics.Counter
+	Coalesce metrics.Counter
+}
+
+// NewWakeSet creates a set with n slots.
+func NewWakeSet(n int) *WakeSet {
+	w := &WakeSet{
+		chans: make([]chan struct{}, n),
+		busy:  make([]atomic.Bool, n),
+	}
+	for i := range w.chans {
+		w.chans[i] = make(chan struct{}, 1)
+	}
+	return w
+}
+
+// Len returns the number of slots.
+func (w *WakeSet) Len() int { return len(w.chans) }
+
+// Wake signals worker i (non-blocking; repeated wakes coalesce).
+func (w *WakeSet) Wake(i int) {
+	w.Wakeups.Inc()
+	select {
+	case w.chans[i] <- struct{}{}:
+	default:
+		w.Coalesce.Inc()
+	}
+}
+
+// Chan returns worker i's wake channel.
+func (w *WakeSet) Chan(i int) <-chan struct{} { return w.chans[i] }
+
+// SetBusy marks worker i busy or idle; priority threads consult IdleCount
+// to decide whether a batch can start immediately.
+func (w *WakeSet) SetBusy(i int, busy bool) { w.busy[i].Store(busy) }
+
+// Busy reports worker i's state.
+func (w *WakeSet) Busy(i int) bool { return w.busy[i].Load() }
+
+// IdleCount reports how many workers are idle — the paper's "non-priority
+// core that can afford to run the task".
+func (w *WakeSet) IdleCount() int {
+	n := 0
+	for i := range w.busy {
+		if !w.busy[i].Load() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSplitCores(t *testing.T) {
+	pools := SplitCores(2, 4)
+	if len(pools.Priority) == 0 {
+		t.Fatal("no priority cores")
+	}
+	if runtime.NumCPU() >= 6 {
+		if len(pools.Priority) != 2 || len(pools.NonPriority) != 4 {
+			t.Fatalf("pools = %+v", pools)
+		}
+	}
+	for _, p := range pools.Priority {
+		for _, n := range pools.NonPriority {
+			if p == n {
+				t.Fatal("pools overlap")
+			}
+		}
+	}
+}
+
+func TestPinSelf(t *testing.T) {
+	if err := PinSelf([]int{0}); err != nil {
+		t.Fatalf("PinSelf: %v", err)
+	}
+	UnpinSelf()
+	if err := PinSelf(nil); err != nil { // no-op
+		t.Fatal(err)
+	}
+}
+
+func TestGroupStopWaits(t *testing.T) {
+	g := NewGroup()
+	var running atomic.Int32
+	for i := 0; i < 4; i++ {
+		g.Go(func(stop <-chan struct{}) {
+			running.Add(1)
+			<-stop
+			running.Add(-1)
+		})
+	}
+	for running.Load() != 4 {
+		time.Sleep(time.Millisecond)
+	}
+	g.Stop()
+	if running.Load() != 0 {
+		t.Fatal("Stop returned before workers exited")
+	}
+	g.Stop() // idempotent
+}
+
+func TestWakeSetDeliversAndCoalesces(t *testing.T) {
+	w := NewWakeSet(2)
+	w.Wake(0)
+	w.Wake(0) // coalesces
+	select {
+	case <-w.Chan(0):
+	default:
+		t.Fatal("wake not delivered")
+	}
+	select {
+	case <-w.Chan(0):
+		t.Fatal("coalesced wake delivered twice")
+	default:
+	}
+	if w.Wakeups.Load() != 2 || w.Coalesce.Load() != 1 {
+		t.Fatalf("counters: wakeups=%d coalesce=%d", w.Wakeups.Load(), w.Coalesce.Load())
+	}
+	select {
+	case <-w.Chan(1):
+		t.Fatal("wrong slot woken")
+	default:
+	}
+}
+
+func TestWakeSetIdleTracking(t *testing.T) {
+	w := NewWakeSet(3)
+	if w.IdleCount() != 3 {
+		t.Fatalf("IdleCount = %d", w.IdleCount())
+	}
+	w.SetBusy(1, true)
+	if w.IdleCount() != 2 || !w.Busy(1) || w.Busy(0) {
+		t.Fatal("busy tracking wrong")
+	}
+	w.SetBusy(1, false)
+	if w.IdleCount() != 3 {
+		t.Fatal("idle restore wrong")
+	}
+	if w.Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestWakeWhileWorkerLoops(t *testing.T) {
+	w := NewWakeSet(1)
+	g := NewGroup()
+	var handled atomic.Int32
+	g.Go(func(stop <-chan struct{}) {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-w.Chan(0):
+				w.SetBusy(0, true)
+				handled.Add(1)
+				w.SetBusy(0, false)
+			}
+		}
+	})
+	for i := 0; i < 10; i++ {
+		w.Wake(0)
+		time.Sleep(time.Millisecond)
+	}
+	g.Stop()
+	if handled.Load() == 0 {
+		t.Fatal("worker never woke")
+	}
+}

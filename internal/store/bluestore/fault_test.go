@@ -1,0 +1,50 @@
+package bluestore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/store"
+)
+
+// Failure injection: a device failure during a transaction must surface
+// as an error; after the device recovers the store keeps working and the
+// pre-failure state is intact.
+func TestDeviceWriteFailureSurfacesAndRecovers(t *testing.T) {
+	errBoom := errors.New("boom")
+	fault := device.NewFault(device.NewMem(256 << 20))
+	s, err := Open(fault, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		fault.Disarm()
+		s.Close()
+	}()
+
+	good := bytes.Repeat([]byte{7}, 4096)
+	writeObj(t, s, 1, "pre", 0, good)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Arm(1, errBoom)
+	var txn store.Transaction
+	txn.AddWrite(1, oid("fail"), 0, good)
+	if err := s.Submit(&txn); err == nil {
+		t.Fatal("write during device failure must error")
+	}
+	fault.Disarm()
+
+	got, err := s.Read(1, oid("pre"), 0, 4096)
+	if err != nil || !bytes.Equal(got, good) {
+		t.Fatalf("pre-failure data lost: %v", err)
+	}
+	writeObj(t, s, 1, "post", 0, good)
+	got, err = s.Read(1, oid("post"), 0, 4096)
+	if err != nil || !bytes.Equal(got, good) {
+		t.Fatalf("post-recovery write lost: %v", err)
+	}
+}

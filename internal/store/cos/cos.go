@@ -1,0 +1,401 @@
+package cos
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rebloc/internal/device"
+	"rebloc/internal/metrics"
+	"rebloc/internal/nvm"
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+const cosMagic = 0xC0500001
+
+// Options configures a Store. Use DefaultOptions as the starting point;
+// the zero value describes a store with pre-allocation and the metadata
+// cache disabled (the ablation baselines of Figure 8).
+type Options struct {
+	// Partitions is the number of sharded partitions (paper default: one
+	// per non-priority thread; Figure 11 sweeps this).
+	Partitions int
+	// BlockBytes is the data-block size.
+	BlockBytes int
+	// Preallocate allocates the whole fixed-size object on first touch so
+	// overwrites never update metadata (paper §IV-C overview).
+	Preallocate bool
+	// PreallocBytes is the fixed object size (RBD default: 4 MiB).
+	PreallocBytes uint64
+	// PreallocZeroFill zeroes pre-allocated extents so unwritten ranges
+	// read as zeros. Image creation pays this once, not the write path.
+	PreallocZeroFill bool
+	// MaxObjectsPerPartition sizes the onode area.
+	MaxObjectsPerPartition uint32
+	// Bank enables the NVM metadata cache when non-nil and MDCache is set.
+	Bank    *nvm.Bank
+	MDCache bool
+	// MDCacheBytes is the per-partition NVM cache size.
+	MDCacheBytes int64
+	// Account attributes foreground store CPU to CatOS.
+	Account *metrics.CPUAccount
+	// RegionName prefixes the NVM regions carved by this store, so several
+	// stores can share one bank.
+	RegionName string
+}
+
+// DefaultOptions returns the paper's proposed configuration (pre-allocation
+// on; enable the metadata cache by also setting Bank and MDCache).
+func DefaultOptions() Options {
+	return Options{
+		Partitions:             8,
+		BlockBytes:             4096,
+		Preallocate:            true,
+		PreallocBytes:          4 << 20,
+		PreallocZeroFill:       true,
+		MaxObjectsPerPartition: 4096,
+		MDCacheBytes:           2 << 20,
+	}
+}
+
+func (o *Options) fill() error {
+	if o.Partitions <= 0 {
+		o.Partitions = 8
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 4096
+	}
+	if o.PreallocBytes == 0 {
+		o.PreallocBytes = 4 << 20
+	}
+	if o.MaxObjectsPerPartition == 0 {
+		o.MaxObjectsPerPartition = 4096
+	}
+	if o.MDCacheBytes == 0 {
+		o.MDCacheBytes = 2 << 20
+	}
+	if o.MDCache && o.Bank == nil {
+		return fmt.Errorf("cos: MDCache requires an nvm.Bank")
+	}
+	if o.RegionName == "" {
+		o.RegionName = "cos"
+	}
+	return nil
+}
+
+// Store is the CPU-efficient object store.
+type Store struct {
+	dev    device.Device
+	cfg    Options
+	parts  []*partition
+	closed atomic.Bool
+}
+
+var _ store.ObjectStore = (*Store)(nil)
+
+// Open formats or recovers a COS store on dev.
+func Open(dev device.Device, opts Options) (*Store, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	devSize := uint64(dev.Size())
+	partSize := (devSize - superBytes) / uint64(opts.Partitions)
+	partSize = partSize / uint64(opts.BlockBytes) * uint64(opts.BlockBytes)
+	minPart := uint64(superBytes) + uint64(opts.MaxObjectsPerPartition)*OnodeBytes +
+		allocAreaBytes + miscAreaBytes + 4*uint64(opts.BlockBytes)
+	if partSize < minPart {
+		return nil, fmt.Errorf("cos: device too small: partition %d < minimum %d", partSize, minPart)
+	}
+
+	s := &Store{dev: dev, cfg: opts}
+	for i := 0; i < opts.Partitions; i++ {
+		p := &partition{
+			id:        i,
+			dev:       dev,
+			cfg:       &s.cfg,
+			base:      superBytes + uint64(i)*partSize,
+			size:      partSize,
+			maxOnodes: opts.MaxObjectsPerPartition,
+		}
+		p.layout()
+		if opts.MDCache {
+			name := fmt.Sprintf("%s.md.%d", opts.RegionName, i)
+			region, err := opts.Bank.Region(name)
+			if err != nil {
+				region, err = opts.Bank.Carve(name, opts.MDCacheBytes)
+				if err != nil {
+					return nil, fmt.Errorf("cos: carve NVM cache: %w", err)
+				}
+			}
+			p.md = newMDCache(region, dev, p.onodeBase)
+		}
+		s.parts = append(s.parts, p)
+	}
+
+	existing, err := s.readStoreSuper()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range s.parts {
+		if existing {
+			ok, err := p.readSuper()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("cos: partition %d superblock missing", p.id)
+			}
+			if err := p.recover(); err != nil {
+				return nil, fmt.Errorf("cos: recover partition %d: %w", p.id, err)
+			}
+		} else {
+			if err := p.format(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !existing {
+		if err := s.writeStoreSuper(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) writeStoreSuper() error {
+	e := wire.NewEncoder(nil)
+	e.U32(cosMagic)
+	e.U32(uint32(s.cfg.Partitions))
+	e.U32(uint32(s.cfg.BlockBytes))
+	e.U32(s.cfg.MaxObjectsPerPartition)
+	if _, err := s.dev.WriteAt(e.Bytes(), 0); err != nil {
+		return fmt.Errorf("cos: write store superblock: %w", err)
+	}
+	return s.dev.Flush()
+}
+
+func (s *Store) readStoreSuper() (bool, error) {
+	buf := make([]byte, 16)
+	if _, err := s.dev.ReadAt(buf, 0); err != nil {
+		return false, err
+	}
+	d := wire.NewDecoder(buf)
+	if d.U32() != cosMagic {
+		return false, nil
+	}
+	parts := d.U32()
+	block := d.U32()
+	maxOnodes := d.U32()
+	if int(parts) != s.cfg.Partitions || int(block) != s.cfg.BlockBytes ||
+		maxOnodes != s.cfg.MaxObjectsPerPartition {
+		return false, fmt.Errorf("cos: store geometry changed (partitions %d->%d, block %d->%d, onodes %d->%d)",
+			parts, s.cfg.Partitions, block, s.cfg.BlockBytes, maxOnodes, s.cfg.MaxObjectsPerPartition)
+	}
+	return true, nil
+}
+
+// partFor routes a PG to its sharded partition (paper §IV-C.2: "a sharded
+// partition is assigned ... via simple modulo hashing").
+func (s *Store) partFor(pg uint32) *partition {
+	return s.parts[int(pg)%len(s.parts)]
+}
+
+// Submit implements store.ObjectStore.
+func (s *Store) Submit(txn *store.Transaction) error {
+	if s.closed.Load() {
+		return store.ErrClosed
+	}
+	var tm metrics.Timer
+	if s.cfg.Account != nil {
+		tm = s.cfg.Account.Start(metrics.CatOS)
+		defer tm.Stop()
+	}
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		switch op.Kind {
+		case store.TxnWrite:
+			p := s.partFor(op.PG)
+			key := uint64(store.MakeKey(op.PG, op.OID))
+			p.mu.Lock()
+			err := p.write(key, op.PG, op.OID, op.Off, op.Data)
+			p.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		case store.TxnDelete:
+			p := s.partFor(op.PG)
+			key := uint64(store.MakeKey(op.PG, op.OID))
+			p.mu.Lock()
+			err := p.markDeleted(key, op.OID.Name)
+			if len(p.reclaimQ) >= 128 { // delayed deallocation backlog bound
+				if rerr := p.reclaim(); err == nil {
+					err = rerr
+				}
+			}
+			p.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		case store.TxnSetAttr:
+			p := s.partFor(op.PG)
+			key := store.MakeKey(op.PG, op.OID)
+			p.mu.Lock()
+			p.attrs[attrMapKey(key, op.Key)] = op.Data
+			p.dirty = true
+			p.mu.Unlock()
+		case store.TxnPutKV:
+			p := s.parts[0]
+			p.mu.Lock()
+			p.kvs[op.Key] = op.Data
+			p.dirty = true
+			p.mu.Unlock()
+		case store.TxnDelKV:
+			p := s.parts[0]
+			p.mu.Lock()
+			delete(p.kvs, op.Key)
+			p.dirty = true
+			p.mu.Unlock()
+		default:
+			return fmt.Errorf("cos: unknown txn op %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+func attrMapKey(k store.Key, name string) string {
+	return fmt.Sprintf("%016x/%s", uint64(k), name)
+}
+
+// Read implements store.ObjectStore.
+func (s *Store) Read(pg uint32, oid wire.ObjectID, off uint64, length uint32) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, store.ErrClosed
+	}
+	var tm metrics.Timer
+	if s.cfg.Account != nil {
+		tm = s.cfg.Account.Start(metrics.CatOS)
+		defer tm.Stop()
+	}
+	p := s.partFor(pg)
+	return p.read(uint64(store.MakeKey(pg, oid)), oid.Name, off, length)
+}
+
+// GetAttr implements store.ObjectStore.
+func (s *Store) GetAttr(pg uint32, oid wire.ObjectID, name string) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, store.ErrClosed
+	}
+	p := s.partFor(pg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.attrs[attrMapKey(store.MakeKey(pg, oid), name)]
+	if !ok {
+		return nil, store.ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// GetKV reads a raw key written via TxnPutKV.
+func (s *Store) GetKV(key string) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, store.ErrClosed
+	}
+	p := s.parts[0]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.kvs[key]
+	if !ok {
+		return nil, store.ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Stat implements store.ObjectStore.
+func (s *Store) Stat(pg uint32, oid wire.ObjectID) (store.ObjectInfo, error) {
+	if s.closed.Load() {
+		return store.ObjectInfo{}, store.ErrClosed
+	}
+	p := s.partFor(pg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := uint64(store.MakeKey(pg, oid))
+	on, err := p.lookup(key, oid.Name)
+	if err != nil {
+		return store.ObjectInfo{}, err
+	}
+	return store.ObjectInfo{OID: oid, Key: store.Key(key), Size: on.size, Version: on.version}, nil
+}
+
+// ListPG implements store.ObjectStore.
+func (s *Store) ListPG(pg uint32, cursor store.Key, max int) ([]store.ObjectInfo, store.Key, bool, error) {
+	if s.closed.Load() {
+		return nil, 0, false, store.ErrClosed
+	}
+	if max <= 0 {
+		max = 128
+	}
+	p := s.partFor(pg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start := uint64(pg) << 48
+	if uint64(cursor) >= start {
+		start = uint64(cursor) + 1
+	}
+	limit := (uint64(pg) + 1) << 48
+	var out []store.ObjectInfo
+	var last store.Key
+	done := true
+	p.tree.AscendGE(start, func(key uint64, on *onode) bool {
+		if pg != 0xFFFF && key >= limit {
+			return false
+		}
+		if on.deleted {
+			return true
+		}
+		if len(out) >= max {
+			done = false
+			return false
+		}
+		out = append(out, store.ObjectInfo{
+			OID:     wire.ObjectID{Pool: on.pool, Name: on.name},
+			Key:     store.Key(key),
+			Size:    on.size,
+			Version: on.version,
+		})
+		last = store.Key(key)
+		return true
+	})
+	return out, last, done, nil
+}
+
+// Flush implements store.ObjectStore: drains the NVM metadata cache,
+// persists snapshots, reclaims deleted objects.
+func (s *Store) Flush() error {
+	if s.closed.Load() {
+		return store.ErrClosed
+	}
+	var tm metrics.Timer
+	if s.cfg.Account != nil {
+		tm = s.cfg.Account.Start(metrics.CatMT)
+		defer tm.Stop()
+	}
+	for _, p := range s.parts {
+		if err := p.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitions reports the partition count (benchmarks).
+func (s *Store) Partitions() int { return len(s.parts) }
+
+// Close implements store.ObjectStore.
+func (s *Store) Close() error {
+	if s.closed.Load() {
+		return nil
+	}
+	err := s.Flush()
+	s.closed.Store(true)
+	return err
+}

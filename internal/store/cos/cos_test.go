@@ -1,0 +1,501 @@
+package cos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/nvm"
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+func smallOpts() Options {
+	o := DefaultOptions()
+	o.Partitions = 4
+	o.PreallocBytes = 64 << 10 // keep tests light
+	o.MaxObjectsPerPartition = 512
+	return o
+}
+
+func openTestStore(t *testing.T, dev device.Device, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dev, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func oid(name string) wire.ObjectID { return wire.ObjectID{Pool: 1, Name: name} }
+
+func writeObj(t *testing.T, s *Store, pg uint32, name string, off uint64, data []byte) {
+	t.Helper()
+	var txn store.Transaction
+	txn.AddWrite(pg, oid(name), off, data)
+	if err := s.Submit(&txn); err != nil {
+		t.Fatalf("Submit write(%s): %v", name, err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	data := bytes.Repeat([]byte{0xCD}, 4096)
+	writeObj(t, s, 2, "img.0", 8192, data)
+	got, err := s.Read(2, oid("img.0"), 8192, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+}
+
+func TestPreallocUnwrittenReadsZero(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	writeObj(t, s, 1, "o", 0, []byte("head"))
+	got, err := s.Read(1, oid("o"), 32<<10, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten pre-allocated range must read zero")
+		}
+	}
+	// Beyond the pre-allocated extent: also zeros.
+	got, err = s.Read(1, oid("o"), 100<<10, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("range beyond prealloc must read zero")
+		}
+	}
+}
+
+func TestWriteBeyondPreallocFails(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	var txn store.Transaction
+	txn.AddWrite(1, oid("o"), 65<<10, []byte("x")) // preLen is 64 KiB
+	if err := s.Submit(&txn); err == nil {
+		t.Fatal("write beyond fixed object size must fail")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	if _, err := s.Read(1, oid("nope"), 0, 4); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Stat(1, oid("nope")); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverwritePreallocNoMetadataTraffic(t *testing.T) {
+	// The headline property: overwriting a pre-allocated object with the
+	// NVM metadata cache writes exactly the data bytes to the device.
+	bank := nvm.NewBank(32 << 20)
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.Bank = bank
+	opts.MDCache = true
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+
+	data := bytes.Repeat([]byte{1}, 4096)
+	writeObj(t, s, 1, "o", 0, data) // first touch allocates+zero-fills
+	before := dev.Stats().Snapshot()
+	const n = 100
+	for i := 0; i < n; i++ {
+		writeObj(t, s, 1, "o", uint64(i%16)*4096, data)
+	}
+	delta := dev.Stats().Snapshot().Sub(before)
+	if delta.BytesWritten != n*4096 {
+		t.Fatalf("overwrites wrote %d device bytes, want exactly %d (WAF 1.0)",
+			delta.BytesWritten, n*4096)
+	}
+}
+
+func TestOverwriteWithoutMDCacheWritesOnode(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts()) // no cache
+	defer s.Close()
+	data := bytes.Repeat([]byte{1}, 4096)
+	writeObj(t, s, 1, "o", 0, data)
+	before := dev.Stats().Snapshot()
+	writeObj(t, s, 1, "o", 0, data)
+	delta := dev.Stats().Snapshot().Sub(before)
+	want := int64(4096 + OnodeBytes) // data + in-place onode update
+	if delta.BytesWritten != want {
+		t.Fatalf("overwrite wrote %d bytes, want %d", delta.BytesWritten, want)
+	}
+}
+
+func TestNoPreallocAllocatesOnDemand(t *testing.T) {
+	dev := device.NewMem(512 << 20)
+	opts := smallOpts()
+	opts.Preallocate = false
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+	data := bytes.Repeat([]byte{7}, 4096)
+	// Touch three separate chunks.
+	for _, off := range []uint64{0, allocChunkBytes, 5 * allocChunkBytes} {
+		writeObj(t, s, 1, "sparse", off, data)
+	}
+	for _, off := range []uint64{0, allocChunkBytes, 5 * allocChunkBytes} {
+		got, err := s.Read(1, oid("sparse"), off, 4096)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("chunk at %d lost: %v", off, err)
+		}
+	}
+	// A hole between chunks reads zero.
+	got, err := s.Read(1, oid("sparse"), 3*allocChunkBytes, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("hole must read zero")
+		}
+	}
+}
+
+func TestSpilledRunList(t *testing.T) {
+	dev := device.NewMem(1 << 30)
+	opts := smallOpts()
+	opts.Preallocate = false
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+	data := bytes.Repeat([]byte{9}, 512)
+	// Touch more chunks than fit inline (maxInlineRuns = 16).
+	for i := 0; i < maxInlineRuns+8; i++ {
+		writeObj(t, s, 1, "big", uint64(i)*allocChunkBytes, data)
+	}
+	for i := 0; i < maxInlineRuns+8; i++ {
+		got, err := s.Read(1, oid("big"), uint64(i)*allocChunkBytes, 512)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("chunk %d lost after spill: %v", i, err)
+		}
+	}
+	// Survives flush + reopen.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dev, opts)
+	defer s2.Close()
+	for i := 0; i < maxInlineRuns+8; i++ {
+		got, err := s2.Read(1, oid("big"), uint64(i)*allocChunkBytes, 512)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("chunk %d lost after reopen: %v", i, err)
+		}
+	}
+}
+
+func TestDeleteDelayedReclaim(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	writeObj(t, s, 1, "temp", 0, []byte("x"))
+	p := s.partFor(1)
+	freeBefore := p.blocks.FreeBytes()
+	var txn store.Transaction
+	txn.AddDelete(1, oid("temp"))
+	if err := s.Submit(&txn); err != nil {
+		t.Fatal(err)
+	}
+	// Delayed: blocks not freed yet, object invisible.
+	if _, err := s.Read(1, oid("temp"), 0, 1); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("read after delete: %v", err)
+	}
+	if p.blocks.FreeBytes() != freeBefore {
+		t.Fatal("deallocation was not delayed")
+	}
+	if err := s.Flush(); err != nil { // flush reclaims
+		t.Fatal(err)
+	}
+	if p.blocks.FreeBytes() <= freeBefore {
+		t.Fatal("reclaim did not free blocks")
+	}
+	// Same name can be recreated.
+	writeObj(t, s, 1, "temp", 0, []byte("y"))
+	got, err := s.Read(1, oid("temp"), 0, 1)
+	if err != nil || got[0] != 'y' {
+		t.Fatalf("recreate after reclaim: %q %v", got, err)
+	}
+}
+
+func TestVersionsAndStat(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	writeObj(t, s, 1, "v", 0, []byte("aa"))
+	writeObj(t, s, 1, "v", 0, []byte("bb"))
+	info, err := s.Stat(1, oid("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.Size != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestAttrsAndKVPersist(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	s := openTestStore(t, dev, opts)
+	var txn store.Transaction
+	txn.AddWrite(1, oid("o"), 0, []byte("d"))
+	txn.AddSetAttr(1, oid("o"), "object_info", []byte{5, 6})
+	txn.AddPutKV("pg/1/state", []byte("active"))
+	if err := s.Submit(&txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // Close flushes snapshots
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dev, opts)
+	defer s2.Close()
+	attr, err := s2.GetAttr(1, oid("o"), "object_info")
+	if err != nil || !bytes.Equal(attr, []byte{5, 6}) {
+		t.Fatalf("attr lost: %v %v", attr, err)
+	}
+	kv, err := s2.GetKV("pg/1/state")
+	if err != nil || string(kv) != "active" {
+		t.Fatalf("kv lost: %q %v", kv, err)
+	}
+	if _, err := s2.GetAttr(1, oid("o"), "none"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecoveryAfterReopen(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	s := openTestStore(t, dev, opts)
+	data := bytes.Repeat([]byte{0x3C}, 8192)
+	writeObj(t, s, 3, "persist", 4096, data)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dev, opts)
+	defer s2.Close()
+	got, err := s2.Read(3, oid("persist"), 4096, 8192)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data lost across reopen: %v", err)
+	}
+	info, err := s2.Stat(3, oid("persist"))
+	if err != nil || info.Version != 1 {
+		t.Fatalf("metadata lost: %+v %v", info, err)
+	}
+	// New allocations must not overlap recovered extents.
+	writeObj(t, s2, 3, "fresh", 0, bytes.Repeat([]byte{0xFF}, 16<<10))
+	got, err = s2.Read(3, oid("persist"), 4096, 8192)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("recovered allocation overwritten")
+	}
+}
+
+func TestCrashRecoveryViaNVMMetadataCache(t *testing.T) {
+	// Onode updates live only in NVM; after a crash (NVM persists, process
+	// state lost) the reopened store must see them.
+	bank := nvm.NewBank(32 << 20)
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.Bank = bank
+	opts.MDCache = true
+	s := openTestStore(t, dev, opts)
+	data := bytes.Repeat([]byte{0x77}, 4096)
+	writeObj(t, s, 1, "cached", 0, data)
+	writeObj(t, s, 1, "cached", 4096, data)
+	// Crash: no Flush, no Close. NVM keeps persisted entries.
+	bank.Crash()
+	s2 := openTestStore(t, dev, opts)
+	defer s2.Close()
+	got, err := s2.Read(1, oid("cached"), 0, 4096)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("NVM-cached onode lost after crash: %v", err)
+	}
+	info, err := s2.Stat(1, oid("cached"))
+	if err != nil || info.Version != 2 {
+		t.Fatalf("version lost: %+v %v", info, err)
+	}
+}
+
+func TestMDCacheEvictionWritesBack(t *testing.T) {
+	bank := nvm.NewBank(32 << 20)
+	dev := device.NewMem(512 << 20)
+	opts := smallOpts()
+	opts.Partitions = 1
+	opts.Bank = bank
+	opts.MDCache = true
+	opts.MDCacheBytes = 4 * mdEntryBytes // tiny: forces eviction
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+	for i := 0; i < 12; i++ {
+		writeObj(t, s, 0, fmt.Sprintf("o%d", i), 0, []byte("x"))
+	}
+	// All 12 objects must still be visible even though only 4 fit in NVM.
+	for i := 0; i < 12; i++ {
+		if _, err := s.Stat(0, oid(fmt.Sprintf("o%d", i))); err != nil {
+			t.Fatalf("object o%d lost after eviction: %v", i, err)
+		}
+	}
+	// And across reopen.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dev, opts)
+	defer s2.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := s2.Stat(0, oid(fmt.Sprintf("o%d", i))); err != nil {
+			t.Fatalf("object o%d lost after reopen: %v", i, err)
+		}
+	}
+}
+
+func TestListPG(t *testing.T) {
+	dev := device.NewMem(512 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		writeObj(t, s, 5, fmt.Sprintf("a%d", i), 0, []byte("x"))
+	}
+	for i := 0; i < 4; i++ {
+		writeObj(t, s, 9, fmt.Sprintf("b%d", i), 0, []byte("x")) // 9%4 == 1 != 5%4
+	}
+	var all []store.ObjectInfo
+	cursor := store.Key(0)
+	for {
+		infos, last, done, err := s.ListPG(5, cursor, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, infos...)
+		if done {
+			break
+		}
+		cursor = last
+	}
+	if len(all) != 10 {
+		t.Fatalf("listed %d, want 10", len(all))
+	}
+	for _, info := range all {
+		if info.Key.PG() != 5 {
+			t.Fatalf("wrong PG in listing: %d", info.Key.PG())
+		}
+	}
+}
+
+func TestPartitionsIndependentConcurrency(t *testing.T) {
+	dev := device.NewMem(1 << 30)
+	opts := smallOpts()
+	opts.Partitions = 4
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for pg := uint32(0); pg < 4; pg++ {
+		wg.Add(1)
+		go func(pg uint32) {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{byte(pg + 1)}, 4096)
+			for i := 0; i < 100; i++ {
+				name := fmt.Sprintf("pg%d.o%d", pg, i%10)
+				var txn store.Transaction
+				txn.AddWrite(pg, oid(name), uint64(i%8)*4096, data)
+				if err := s.Submit(&txn); err != nil {
+					t.Errorf("pg %d: %v", pg, err)
+					return
+				}
+			}
+		}(pg)
+	}
+	wg.Wait()
+	for pg := uint32(0); pg < 4; pg++ {
+		got, err := s.Read(pg, oid(fmt.Sprintf("pg%d.o0", pg)), 0, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(pg+1) {
+			t.Fatalf("pg %d data corrupted", pg)
+		}
+	}
+}
+
+func TestGeometryMismatchRejected(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts()
+	opts.Partitions = 2 // changed
+	if _, err := Open(dev, opts); err == nil {
+		t.Fatal("geometry change must be rejected")
+	}
+}
+
+func TestNameTooLongRejected(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	long := make([]byte, maxNameBytes+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	var txn store.Transaction
+	txn.AddWrite(1, oid(string(long)), 0, []byte("x"))
+	if err := s.Submit(&txn); err == nil {
+		t.Fatal("oversized name must be rejected")
+	}
+}
+
+func TestRandomWritesAgainstModel(t *testing.T) {
+	dev := device.NewMem(1 << 30)
+	opts := smallOpts()
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(21))
+	type loc struct {
+		pg   uint32
+		name string
+		off  uint64
+	}
+	model := map[loc]byte{}
+	for i := 0; i < 3000; i++ {
+		l := loc{
+			pg:   uint32(rng.Intn(8)),
+			name: fmt.Sprintf("obj%d", rng.Intn(40)),
+			off:  uint64(rng.Intn(16)) * 4096,
+		}
+		b := byte(rng.Intn(255) + 1)
+		writeObj(t, s, l.pg, l.name, l.off, bytes.Repeat([]byte{b}, 4096))
+		model[l] = b
+	}
+	for l, b := range model {
+		got, err := s.Read(l.pg, oid(l.name), l.off, 4096)
+		if err != nil {
+			t.Fatalf("Read(%+v): %v", l, err)
+		}
+		if got[0] != b || got[4095] != b {
+			t.Fatalf("block %+v corrupted: got %d want %d", l, got[0], b)
+		}
+	}
+}

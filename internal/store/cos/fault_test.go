@@ -1,0 +1,62 @@
+package cos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/store"
+)
+
+// Failure injection: the store must surface device errors and keep
+// serving once the device recovers, without corrupting earlier state.
+func TestDeviceWriteFailureSurfacesAndRecovers(t *testing.T) {
+	errBoom := errors.New("boom")
+	fault := device.NewFault(device.NewMem(256 << 20))
+	s, err := Open(fault, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	good := bytes.Repeat([]byte{1}, 4096)
+	writeObj(t, s, 1, "pre", 0, good)
+
+	fault.Arm(1, errBoom)
+	var txn store.Transaction
+	txn.AddWrite(1, oid("fail"), 0, good)
+	if err := s.Submit(&txn); err == nil {
+		t.Fatal("write during device failure must error")
+	}
+	fault.Disarm()
+
+	// Pre-failure data intact; new writes work again.
+	got, err := s.Read(1, oid("pre"), 0, 4096)
+	if err != nil || !bytes.Equal(got, good) {
+		t.Fatalf("pre-failure data lost: %v", err)
+	}
+	writeObj(t, s, 1, "post", 0, good)
+	got, err = s.Read(1, oid("post"), 0, 4096)
+	if err != nil || !bytes.Equal(got, good) {
+		t.Fatalf("post-recovery write lost: %v", err)
+	}
+}
+
+func TestFlushFailureSurfaces(t *testing.T) {
+	errBoom := errors.New("boom")
+	fault := device.NewFault(device.NewMem(256 << 20))
+	s, err := Open(fault, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		fault.Disarm()
+		s.Close()
+	}()
+	writeObj(t, s, 1, "o", 0, []byte("x"))
+	fault.Arm(1, errBoom)
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush during device failure must error")
+	}
+}

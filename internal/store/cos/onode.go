@@ -1,0 +1,182 @@
+// Package cos implements the paper's CPU-efficient object store (§IV-C):
+// an in-place-update object store on a raw device with per-partition
+// superblock, free-block B+tree, onode radix tree, fixed 512-byte onodes,
+// object pre-allocation, an NVM metadata cache and delayed deallocation.
+//
+// Because updates are in place there is no compaction or cleaning, which
+// is what removes the host-side write amplification (Figure 8) and the
+// maintenance-task CPU (Figures 1 and 7) of the LSM-backed baseline.
+package cos
+
+import (
+	"fmt"
+
+	"rebloc/internal/wire"
+)
+
+// OnodeBytes is the fixed on-device onode size (paper: "the onode has a
+// fixed size (512 byte)").
+const OnodeBytes = 512
+
+// maxInlineRuns bounds the extent runs embedded in the onode; objects
+// fragmented beyond that spill their run list into a data block.
+const maxInlineRuns = 16
+
+// maxNameBytes bounds object names so an onode always fits its slot.
+const maxNameBytes = 160
+
+const (
+	onodeMagic   = 0xC05C05C0
+	flagUsed     = 1 << 0
+	flagDeleted  = 1 << 1
+	flagSpilled  = 1 << 2
+	flagPrealloc = 1 << 3
+)
+
+// run is one contiguous allocation: logical chunk index -> device offset.
+type run struct {
+	logChunk uint32 // logical offset / allocChunkBytes
+	devOff   uint64
+	length   uint32 // bytes
+}
+
+// onode is the in-memory object record; its on-device image is exactly
+// OnodeBytes.
+type onode struct {
+	slot    uint32 // onode slot index within the partition
+	name    string
+	pool    uint32
+	pg      uint32 // placement group (the logical-group id in the key's high bits)
+	size    uint64
+	version uint64
+	deleted bool
+
+	// Pre-allocated objects have one contiguous extent and never touch
+	// metadata again on overwrite (paper §IV-C overview).
+	prealloc    bool
+	preBase     uint64 // device offset
+	preLen      uint64 // bytes
+	runs        []run  // non-preallocated allocation runs
+	spillDevOff uint64 // device block holding the run list when spilled
+	spillLen    uint32
+
+	dirty bool // metadata differs from the device image
+}
+
+// encode serialises the onode into a 512-byte slot image.
+func (on *onode) encode() ([]byte, error) {
+	if len(on.name) > maxNameBytes {
+		return nil, fmt.Errorf("cos: object name %q exceeds %d bytes", on.name, maxNameBytes)
+	}
+	e := wire.NewEncoder(make([]byte, 0, OnodeBytes))
+	e.U32(onodeMagic)
+	var flags uint8 = flagUsed
+	if on.deleted {
+		flags |= flagDeleted
+	}
+	if on.prealloc {
+		flags |= flagPrealloc
+	}
+	spilled := len(on.runs) > maxInlineRuns
+	if spilled {
+		flags |= flagSpilled
+	}
+	e.U8(flags)
+	e.U32(on.pool)
+	e.U32(on.pg)
+	e.String32(on.name)
+	e.U64(on.size)
+	e.U64(on.version)
+	e.U64(on.preBase)
+	e.U64(on.preLen)
+	if spilled {
+		e.U8(0)
+		e.U64(on.spillDevOff)
+		e.U32(on.spillLen)
+	} else {
+		e.U8(uint8(len(on.runs)))
+		for _, r := range on.runs {
+			e.U32(r.logChunk)
+			e.U64(r.devOff)
+			e.U32(r.length)
+		}
+	}
+	buf := e.Bytes()
+	if len(buf) > OnodeBytes {
+		return nil, fmt.Errorf("cos: onode for %q overflows slot (%d bytes)", on.name, len(buf))
+	}
+	out := make([]byte, OnodeBytes)
+	copy(out, buf)
+	return out, nil
+}
+
+// decodeOnode parses a slot image; ok is false for empty slots.
+func decodeOnode(buf []byte, slot uint32) (*onode, bool, error) {
+	d := wire.NewDecoder(buf)
+	if d.U32() != onodeMagic {
+		return nil, false, nil // empty slot
+	}
+	flags := d.U8()
+	if flags&flagUsed == 0 {
+		return nil, false, nil
+	}
+	on := &onode{
+		slot:     slot,
+		pool:     d.U32(),
+		pg:       d.U32(),
+		name:     d.String32(),
+		deleted:  flags&flagDeleted != 0,
+		prealloc: flags&flagPrealloc != 0,
+	}
+	on.size = d.U64()
+	on.version = d.U64()
+	on.preBase = d.U64()
+	on.preLen = d.U64()
+	n := d.U8()
+	if flags&flagSpilled != 0 {
+		on.spillDevOff = d.U64()
+		on.spillLen = d.U32()
+	} else {
+		on.runs = make([]run, 0, n)
+		for i := uint8(0); i < n; i++ {
+			on.runs = append(on.runs, run{
+				logChunk: d.U32(),
+				devOff:   d.U64(),
+				length:   d.U32(),
+			})
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, false, fmt.Errorf("cos: decode onode slot %d: %w", slot, err)
+	}
+	return on, true, nil
+}
+
+// encodeRuns serialises a spilled run list for a spill block.
+func encodeRuns(runs []run) []byte {
+	e := wire.NewEncoder(nil)
+	e.U32(uint32(len(runs)))
+	for _, r := range runs {
+		e.U32(r.logChunk)
+		e.U64(r.devOff)
+		e.U32(r.length)
+	}
+	return e.Bytes()
+}
+
+// decodeRuns parses a spill-block run list.
+func decodeRuns(buf []byte) ([]run, error) {
+	d := wire.NewDecoder(buf)
+	n := int(d.U32())
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("cos: absurd spill run count %d", n)
+	}
+	runs := make([]run, 0, n)
+	for i := 0; i < n; i++ {
+		runs = append(runs, run{logChunk: d.U32(), devOff: d.U64(), length: d.U32()})
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("cos: decode spill runs: %w", err)
+	}
+	return runs, nil
+}

@@ -1,0 +1,636 @@
+package cos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rebloc/internal/alloc"
+	"rebloc/internal/device"
+	"rebloc/internal/rtree"
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+// allocChunkBytes is the on-demand allocation granularity for objects
+// without pre-allocation. 256 KiB keeps a 4 MiB object within the onode's
+// inline run list.
+const allocChunkBytes = 256 << 10
+
+// partition is one sharded partition: an independent region of the device
+// with its own superblock, onode area, metadata areas and data blocks,
+// owned by one non-priority thread at a time (paper: "I/O operations can
+// be handled in parallel without lock contention").
+type partition struct {
+	id  int
+	dev device.Device
+	cfg *Options
+
+	base uint64
+	size uint64
+
+	onodeBase uint64
+	maxOnodes uint32
+	allocBase uint64 // free-block tree info area
+	allocSize uint64
+	miscBase  uint64 // attr/KV snapshot area
+	miscSize  uint64
+	dataBase  uint64
+	dataEnd   uint64
+
+	mu        sync.Mutex
+	tree      *rtree.Tree[*onode]
+	slotOf    map[uint64]uint32 // key -> slot (for slot reuse checks)
+	freeSlots []uint32
+	blocks    *alloc.Allocator
+	attrs     map[string][]byte
+	kvs       map[string][]byte
+	md        *mdcache // nil when the NVM metadata cache is disabled
+	reclaimQ  []*onode
+	allocSeq  uint64 // rolling cursor in the alloc-record ring
+	dirty     bool   // misc/alloc snapshots out of date
+}
+
+// layout computes the partition's area offsets.
+func (p *partition) layout() {
+	p.onodeBase = p.base + superBytes
+	onodeArea := uint64(p.maxOnodes) * OnodeBytes
+	p.allocBase = p.onodeBase + onodeArea
+	p.allocSize = allocAreaBytes
+	p.miscBase = p.allocBase + p.allocSize
+	p.miscSize = miscAreaBytes
+	p.dataBase = roundUp(p.miscBase+p.miscSize, uint64(p.cfg.BlockBytes))
+	p.dataEnd = p.base + p.size
+}
+
+const (
+	superBytes     = 4096
+	allocAreaBytes = 1 << 20
+	miscAreaBytes  = 1 << 20
+)
+
+func roundUp(v, align uint64) uint64 {
+	return (v + align - 1) / align * align
+}
+
+// format initialises a fresh partition.
+func (p *partition) format() error {
+	p.tree = rtree.New[*onode]()
+	p.slotOf = make(map[uint64]uint32)
+	p.attrs = make(map[string][]byte)
+	p.kvs = make(map[string][]byte)
+	p.blocks = alloc.New(p.dataBase, p.dataEnd)
+	p.freeSlots = make([]uint32, 0, p.maxOnodes)
+	for i := int(p.maxOnodes) - 1; i >= 0; i-- {
+		p.freeSlots = append(p.freeSlots, uint32(i))
+	}
+	// Zero the onode area so recovery sees empty slots.
+	zeros := make([]byte, OnodeBytes)
+	for i := uint32(0); i < p.maxOnodes; i++ {
+		if _, err := p.dev.WriteAt(zeros, int64(p.onodeBase+uint64(i)*OnodeBytes)); err != nil {
+			return fmt.Errorf("cos: format partition %d: %w", p.id, err)
+		}
+	}
+	return p.writeSuper()
+}
+
+func (p *partition) writeSuper() error {
+	e := wire.NewEncoder(nil)
+	e.U32(cosMagic)
+	e.U32(uint32(p.id))
+	e.U64(p.size)
+	e.U32(p.maxOnodes)
+	e.U32(uint32(p.cfg.BlockBytes))
+	if _, err := p.dev.WriteAt(e.Bytes(), int64(p.base)); err != nil {
+		return fmt.Errorf("cos: write superblock %d: %w", p.id, err)
+	}
+	return nil
+}
+
+func (p *partition) readSuper() (bool, error) {
+	buf := make([]byte, 24)
+	if _, err := p.dev.ReadAt(buf, int64(p.base)); err != nil {
+		return false, err
+	}
+	d := wire.NewDecoder(buf)
+	if d.U32() != cosMagic {
+		return false, nil
+	}
+	if id := d.U32(); id != uint32(p.id) {
+		return false, fmt.Errorf("cos: partition %d superblock claims id %d", p.id, id)
+	}
+	size := d.U64()
+	maxOnodes := d.U32()
+	block := d.U32()
+	if size != p.size || maxOnodes != p.maxOnodes || block != uint32(p.cfg.BlockBytes) {
+		return false, fmt.Errorf("cos: partition %d geometry changed (size %d->%d onodes %d->%d)",
+			p.id, size, p.size, maxOnodes, p.maxOnodes)
+	}
+	return true, nil
+}
+
+// recover rebuilds in-memory state from the onode area, spill blocks, the
+// NVM metadata cache and the misc snapshot.
+func (p *partition) recover() error {
+	p.tree = rtree.New[*onode]()
+	p.slotOf = make(map[uint64]uint32)
+	p.attrs = make(map[string][]byte)
+	p.kvs = make(map[string][]byte)
+	p.blocks = alloc.New(p.dataBase, p.dataEnd)
+	used := make(map[uint32]*onode, 64)
+
+	buf := make([]byte, OnodeBytes)
+	for i := uint32(0); i < p.maxOnodes; i++ {
+		if _, err := p.dev.ReadAt(buf, int64(p.onodeBase+uint64(i)*OnodeBytes)); err != nil {
+			return fmt.Errorf("cos: scan onodes: %w", err)
+		}
+		on, ok, err := decodeOnode(buf, i)
+		if err != nil {
+			return err
+		}
+		if ok {
+			used[i] = on
+		}
+	}
+	// NVM metadata cache entries are newer than the device images.
+	if p.md != nil {
+		cached, err := p.md.load()
+		if err != nil {
+			return err
+		}
+		for slot, on := range cached {
+			used[slot] = on
+		}
+	}
+	p.freeSlots = p.freeSlots[:0]
+	for i := int(p.maxOnodes) - 1; i >= 0; i-- {
+		if _, ok := used[uint32(i)]; !ok {
+			p.freeSlots = append(p.freeSlots, uint32(i))
+		}
+	}
+	for _, on := range used {
+		if on.spillDevOff != 0 {
+			spill := make([]byte, on.spillLen)
+			if _, err := p.dev.ReadAt(spill, int64(on.spillDevOff)); err != nil {
+				return fmt.Errorf("cos: read spill: %w", err)
+			}
+			runs, err := decodeRuns(spill)
+			if err != nil {
+				return err
+			}
+			on.runs = runs
+			if err := p.blocks.Reserve(on.spillDevOff, roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes))); err != nil {
+				return err
+			}
+		}
+		if on.prealloc && on.preLen > 0 {
+			if err := p.blocks.Reserve(on.preBase, on.preLen); err != nil {
+				return fmt.Errorf("cos: reserve prealloc: %w", err)
+			}
+		}
+		for _, r := range on.runs {
+			if err := p.blocks.Reserve(r.devOff, uint64(r.length)); err != nil {
+				return fmt.Errorf("cos: reserve run: %w", err)
+			}
+		}
+		key := p.keyOf(on)
+		p.tree.Set(key, on)
+		p.slotOf[key] = on.slot
+		if on.deleted {
+			p.reclaimQ = append(p.reclaimQ, on)
+		}
+	}
+	return p.loadMisc()
+}
+
+func (p *partition) keyOf(on *onode) uint64 {
+	oid := wire.ObjectID{Pool: on.pool, Name: on.name}
+	// The PG is recoverable from the key's high bits; partitions only hold
+	// keys whose PG maps to them, so reconstruct via the stored name hash.
+	return uint64(on.pgKey(oid))
+}
+
+// pgKey is stored at write time; see onodeWithKey below.
+func (on *onode) pgKey(oid wire.ObjectID) store.Key {
+	return store.Key(uint64(on.pg)<<48 | (oid.Hash() & 0xFFFFFFFFFFFF))
+}
+
+// lookup finds the onode for key, checking for hash collisions.
+func (p *partition) lookup(key uint64, name string) (*onode, error) {
+	on, ok := p.tree.Get(key)
+	if !ok || on.deleted {
+		return nil, store.ErrNotFound
+	}
+	if on.name != name {
+		return nil, store.ErrHashCollision
+	}
+	return on, nil
+}
+
+// create allocates an onode (and its pre-allocation if enabled).
+func (p *partition) create(key uint64, pg uint32, oid wire.ObjectID) (*onode, error) {
+	if len(p.freeSlots) == 0 {
+		return nil, fmt.Errorf("cos: partition %d out of onode slots (%d)", p.id, p.maxOnodes)
+	}
+	slot := p.freeSlots[len(p.freeSlots)-1]
+	p.freeSlots = p.freeSlots[:len(p.freeSlots)-1]
+	on := &onode{slot: slot, name: oid.Name, pool: oid.Pool, pg: pg}
+	if p.cfg.Preallocate {
+		preLen := roundUp(p.cfg.PreallocBytes, uint64(p.cfg.BlockBytes))
+		base, err := p.blocks.Alloc(preLen)
+		if err != nil {
+			p.freeSlots = append(p.freeSlots, slot)
+			return nil, fmt.Errorf("cos: prealloc: %w", err)
+		}
+		if p.cfg.PreallocZeroFill {
+			if err := p.zeroRange(base, preLen); err != nil {
+				return nil, err
+			}
+		}
+		on.prealloc = true
+		on.preBase = base
+		on.preLen = preLen
+	}
+	p.tree.Set(key, on)
+	p.slotOf[key] = slot
+	return on, nil
+}
+
+func (p *partition) zeroRange(off, length uint64) error {
+	const zchunk = 64 << 10
+	zeros := make([]byte, zchunk)
+	for length > 0 {
+		n := length
+		if n > zchunk {
+			n = zchunk
+		}
+		if _, err := p.dev.WriteAt(zeros[:n], int64(off)); err != nil {
+			return err
+		}
+		off += n
+		length -= n
+	}
+	return nil
+}
+
+// segment maps a logical object range onto the device.
+type segment struct {
+	devOff uint64
+	length uint64
+	hole   bool // unallocated: reads as zeros
+}
+
+// resolve maps [off, off+length) to device segments. Caller holds p.mu.
+func (p *partition) resolve(on *onode, off, length uint64) []segment {
+	var segs []segment
+	if on.prealloc {
+		if off >= on.preLen {
+			return []segment{{length: length, hole: true}}
+		}
+		n := length
+		if off+n > on.preLen {
+			n = on.preLen - off
+		}
+		segs = append(segs, segment{devOff: on.preBase + off, length: n})
+		if n < length {
+			segs = append(segs, segment{length: length - n, hole: true})
+		}
+		return segs
+	}
+	for length > 0 {
+		chunk := uint32(off / allocChunkBytes)
+		inChunk := off % allocChunkBytes
+		n := length
+		if inChunk+n > allocChunkBytes {
+			n = allocChunkBytes - inChunk
+		}
+		if r := findRun(on.runs, chunk); r != nil {
+			segs = append(segs, segment{devOff: r.devOff + inChunk, length: n})
+		} else {
+			segs = append(segs, segment{length: n, hole: true})
+		}
+		off += n
+		length -= n
+	}
+	return segs
+}
+
+func findRun(runs []run, chunk uint32) *run {
+	for i := range runs {
+		if runs[i].logChunk == chunk {
+			return &runs[i]
+		}
+	}
+	return nil
+}
+
+// ensureAllocated makes sure every chunk covering [off, off+length) has
+// backing blocks, allocating and zero-filling fresh chunks. It reports
+// whether the allocation map changed. Caller holds p.mu.
+func (p *partition) ensureAllocated(on *onode, off, length uint64) (bool, error) {
+	if on.prealloc {
+		if off+length > on.preLen {
+			return false, fmt.Errorf("cos: write [%d,%d) beyond pre-allocated size %d of %q",
+				off, off+length, on.preLen, on.name)
+		}
+		return false, nil
+	}
+	changed := false
+	end := off + length
+	for cur := off; cur < end; {
+		chunk := uint32(cur / allocChunkBytes)
+		chunkStart := uint64(chunk) * allocChunkBytes
+		if findRun(on.runs, chunk) == nil {
+			devOff, err := p.blocks.Alloc(allocChunkBytes)
+			if err != nil {
+				return changed, fmt.Errorf("cos: %w: %v", store.ErrNoSpace, err)
+			}
+			// Zero the parts of the chunk this write does not cover.
+			wStart := cur - chunkStart
+			wEnd := end - chunkStart
+			if wEnd > allocChunkBytes {
+				wEnd = allocChunkBytes
+			}
+			if wStart > 0 {
+				if err := p.zeroRange(devOff, wStart); err != nil {
+					return changed, err
+				}
+			}
+			if wEnd < allocChunkBytes {
+				if err := p.zeroRange(devOff+wEnd, allocChunkBytes-wEnd); err != nil {
+					return changed, err
+				}
+			}
+			on.runs = append(on.runs, run{logChunk: chunk, devOff: devOff, length: allocChunkBytes})
+			changed = true
+		}
+		cur = chunkStart + allocChunkBytes
+	}
+	if changed && len(on.runs) > maxInlineRuns {
+		if err := p.writeSpill(on); err != nil {
+			return changed, err
+		}
+	}
+	return changed, nil
+}
+
+// writeSpill persists an oversized run list into a data block (in place
+// when the existing spill block has room).
+func (p *partition) writeSpill(on *onode) error {
+	buf := encodeRuns(on.runs)
+	need := roundUp(uint64(len(buf)), uint64(p.cfg.BlockBytes))
+	oldCap := roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes))
+	if on.spillDevOff == 0 || need > oldCap {
+		if on.spillDevOff != 0 {
+			p.blocks.Free(on.spillDevOff, oldCap)
+		}
+		off, err := p.blocks.Alloc(need)
+		if err != nil {
+			return fmt.Errorf("cos: spill alloc: %w", err)
+		}
+		on.spillDevOff = off
+	}
+	on.spillLen = uint32(len(buf))
+	if _, err := p.dev.WriteAt(buf, int64(on.spillDevOff)); err != nil {
+		return fmt.Errorf("cos: spill write: %w", err)
+	}
+	return nil
+}
+
+// persistOnode writes the onode's metadata: through the NVM cache when
+// enabled (paper §IV-C.7), otherwise 512 bytes in place in the onode area.
+func (p *partition) persistOnode(on *onode) error {
+	if p.md != nil {
+		return p.md.put(on)
+	}
+	img, err := on.encode()
+	if err != nil {
+		return err
+	}
+	if _, err := p.dev.WriteAt(img, int64(p.onodeBase+uint64(on.slot)*OnodeBytes)); err != nil {
+		return fmt.Errorf("cos: onode write: %w", err)
+	}
+	on.dirty = false
+	return nil
+}
+
+// appendAllocRecord models the free-block tree info update that the
+// no-pre-allocation path pays per allocation (paper §VI "Metadata
+// Overhead": two extra writes per object write).
+func (p *partition) appendAllocRecord() error {
+	if p.md != nil {
+		p.dirty = true // captured by the NVM-resident state, flushed later
+		return nil
+	}
+	rec := make([]byte, 512)
+	off := p.allocBase + (p.allocSeq*512)%(p.allocSize-512)
+	p.allocSeq++
+	if _, err := p.dev.WriteAt(rec, int64(off)); err != nil {
+		return fmt.Errorf("cos: alloc record: %w", err)
+	}
+	return nil
+}
+
+// write applies one object write in place. Caller holds p.mu.
+func (p *partition) write(key uint64, pg uint32, oid wire.ObjectID, off uint64, data []byte) error {
+	on, err := p.lookup(key, oid.Name)
+	if errors.Is(err, store.ErrNotFound) {
+		on, err = p.create(key, pg, oid)
+	}
+	if err != nil {
+		return err
+	}
+	allocChanged, err := p.ensureAllocated(on, off, uint64(len(data)))
+	if err != nil {
+		return err
+	}
+	// In-place data write.
+	pos := uint64(0)
+	for _, seg := range p.resolve(on, off, uint64(len(data))) {
+		if seg.hole {
+			return fmt.Errorf("cos: internal: hole after allocation for %q", oid.Name)
+		}
+		if _, err := p.dev.WriteAt(data[pos:pos+seg.length], int64(seg.devOff)); err != nil {
+			return fmt.Errorf("cos: data write: %w", err)
+		}
+		pos += seg.length
+	}
+	if end := off + uint64(len(data)); end > on.size {
+		on.size = end
+	}
+	on.version++
+	on.dirty = true
+	if err := p.persistOnode(on); err != nil {
+		return err
+	}
+	if allocChanged {
+		if err := p.appendAllocRecord(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// read returns length bytes at off; holes read as zeros.
+func (p *partition) read(key uint64, name string, off uint64, length uint32) ([]byte, error) {
+	p.mu.Lock()
+	on, err := p.lookup(key, name)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	segs := p.resolve(on, off, uint64(length))
+	p.mu.Unlock()
+
+	out := make([]byte, length)
+	pos := uint64(0)
+	for _, seg := range segs {
+		if !seg.hole {
+			if _, err := p.dev.ReadAt(out[pos:pos+seg.length], int64(seg.devOff)); err != nil {
+				return nil, fmt.Errorf("cos: data read: %w", err)
+			}
+		}
+		pos += seg.length
+	}
+	return out, nil
+}
+
+// markDeleted implements delayed deallocation (paper §IV-C.5): the onode
+// is flagged; blocks are reclaimed later.
+func (p *partition) markDeleted(key uint64, name string) error {
+	on, err := p.lookup(key, name)
+	if errors.Is(err, store.ErrNotFound) {
+		return nil // idempotent
+	}
+	if err != nil {
+		return err
+	}
+	on.deleted = true
+	on.dirty = true
+	p.reclaimQ = append(p.reclaimQ, on)
+	return p.persistOnode(on)
+}
+
+// reclaim frees the blocks of deleted objects. Caller holds p.mu.
+func (p *partition) reclaim() error {
+	for _, on := range p.reclaimQ {
+		if on.prealloc && on.preLen > 0 {
+			p.blocks.Free(on.preBase, on.preLen)
+		}
+		for _, r := range on.runs {
+			p.blocks.Free(r.devOff, uint64(r.length))
+		}
+		if on.spillDevOff != 0 {
+			p.blocks.Free(on.spillDevOff, roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes)))
+		}
+		key := uint64(on.pgKey(wire.ObjectID{Pool: on.pool, Name: on.name}))
+		p.tree.Delete(key)
+		delete(p.slotOf, key)
+		// Clear the device slot and cache entry.
+		zeros := make([]byte, OnodeBytes)
+		if _, err := p.dev.WriteAt(zeros, int64(p.onodeBase+uint64(on.slot)*OnodeBytes)); err != nil {
+			return fmt.Errorf("cos: clear onode slot: %w", err)
+		}
+		if p.md != nil {
+			p.md.drop(on.slot)
+		}
+		p.freeSlots = append(p.freeSlots, on.slot)
+	}
+	p.reclaimQ = p.reclaimQ[:0]
+	return nil
+}
+
+// flush persists everything: dirty onodes (draining the NVM cache to the
+// device), the misc snapshot, and reclaims deleted objects.
+func (p *partition) flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.reclaim(); err != nil {
+		return err
+	}
+	if p.md != nil {
+		if err := p.md.writeBackAll(p); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		p.tree.Ascend(func(_ uint64, on *onode) bool {
+			if on.dirty {
+				if e := p.persistOnode(on); e != nil {
+					err = e
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.saveMisc(); err != nil {
+		return err
+	}
+	return p.dev.Flush()
+}
+
+// saveMisc serialises attrs and raw KVs into the misc area.
+func (p *partition) saveMisc() error {
+	e := wire.NewEncoder(nil)
+	e.U32(cosMagic)
+	e.U32(uint32(len(p.attrs)))
+	for k, v := range p.attrs {
+		e.String32(k)
+		e.Bytes32(v)
+	}
+	e.U32(uint32(len(p.kvs)))
+	for k, v := range p.kvs {
+		e.String32(k)
+		e.Bytes32(v)
+	}
+	buf := e.Bytes()
+	if uint64(len(buf)) > p.miscSize {
+		return fmt.Errorf("cos: misc snapshot %d bytes exceeds area %d", len(buf), p.miscSize)
+	}
+	if _, err := p.dev.WriteAt(buf, int64(p.miscBase)); err != nil {
+		return fmt.Errorf("cos: write misc snapshot: %w", err)
+	}
+	p.dirty = false
+	return nil
+}
+
+// loadMisc restores attrs and raw KVs from the misc area.
+func (p *partition) loadMisc() error {
+	buf := make([]byte, p.miscSize)
+	if _, err := p.dev.ReadAt(buf, int64(p.miscBase)); err != nil {
+		return fmt.Errorf("cos: read misc snapshot: %w", err)
+	}
+	d := wire.NewDecoder(buf)
+	if d.U32() != cosMagic {
+		return nil // no snapshot yet
+	}
+	na := int(d.U32())
+	if na < 0 || na > 1<<20 {
+		return nil
+	}
+	for i := 0; i < na; i++ {
+		k := d.String32()
+		v := d.Bytes32()
+		if d.Err() != nil {
+			return nil
+		}
+		p.attrs[k] = v
+	}
+	nk := int(d.U32())
+	if nk < 0 || nk > 1<<20 {
+		return nil
+	}
+	for i := 0; i < nk; i++ {
+		k := d.String32()
+		v := d.Bytes32()
+		if d.Err() != nil {
+			return nil
+		}
+		p.kvs[k] = v
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package cos
+
+import (
+	"fmt"
+
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+// Version control and rollback (paper §IV-C.7): "to implement version
+// control and rollback without log-structured layout, we can add postfix
+// notation to the object name (OID = {OID:version}). By doing so, COS can
+// identify the version of the object and rollback to a previous version."
+//
+// Snapshot clones the object's current content into a postfixed sibling
+// ({name}@{version}); Rollback copies a snapshot back over the object.
+// Both run through the normal in-place write path, so they need no
+// log-structured layout and no cleaning.
+
+// versionedName builds the postfixed object id.
+func versionedName(name string, version uint64) string {
+	return fmt.Sprintf("%s@%d", name, version)
+}
+
+// Snapshot captures the object's current state under its current version
+// and returns that version number.
+func (s *Store) Snapshot(pg uint32, oid wire.ObjectID) (uint64, error) {
+	if s.closed.Load() {
+		return 0, store.ErrClosed
+	}
+	info, err := s.Stat(pg, oid)
+	if err != nil {
+		return 0, err
+	}
+	data, err := s.Read(pg, oid, 0, uint32(info.Size))
+	if err != nil {
+		return 0, err
+	}
+	snapOID := wire.ObjectID{Pool: oid.Pool, Name: versionedName(oid.Name, info.Version)}
+	txn := &store.Transaction{}
+	txn.AddWrite(pg, snapOID, 0, data)
+	if err := s.Submit(txn); err != nil {
+		return 0, fmt.Errorf("cos: snapshot %s@%d: %w", oid.Name, info.Version, err)
+	}
+	return info.Version, nil
+}
+
+// Rollback restores the object to a previously snapshotted version.
+func (s *Store) Rollback(pg uint32, oid wire.ObjectID, version uint64) error {
+	if s.closed.Load() {
+		return store.ErrClosed
+	}
+	snapOID := wire.ObjectID{Pool: oid.Pool, Name: versionedName(oid.Name, version)}
+	info, err := s.Stat(pg, snapOID)
+	if err != nil {
+		return fmt.Errorf("cos: rollback to missing snapshot %s@%d: %w", oid.Name, version, err)
+	}
+	data, err := s.Read(pg, snapOID, 0, uint32(info.Size))
+	if err != nil {
+		return err
+	}
+	txn := &store.Transaction{}
+	txn.AddWrite(pg, oid, 0, data)
+	if err := s.Submit(txn); err != nil {
+		return fmt.Errorf("cos: rollback %s to @%d: %w", oid.Name, version, err)
+	}
+	return nil
+}
+
+// DropSnapshot removes a snapshot (delayed deallocation like any delete).
+func (s *Store) DropSnapshot(pg uint32, oid wire.ObjectID, version uint64) error {
+	if s.closed.Load() {
+		return store.ErrClosed
+	}
+	snapOID := wire.ObjectID{Pool: oid.Pool, Name: versionedName(oid.Name, version)}
+	txn := &store.Transaction{}
+	txn.AddDelete(pg, snapOID)
+	return s.Submit(txn)
+}

@@ -1,0 +1,107 @@
+package cos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/store"
+)
+
+func TestSnapshotAndRollback(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+
+	v1data := bytes.Repeat([]byte{1}, 4096)
+	writeObj(t, s, 1, "obj", 0, v1data)
+	ver, err := s.Snapshot(1, oid("obj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Fatalf("snapshot version = %d, want 1", ver)
+	}
+
+	// Overwrite, then roll back.
+	writeObj(t, s, 1, "obj", 0, bytes.Repeat([]byte{2}, 4096))
+	got, err := s.Read(1, oid("obj"), 0, 4096)
+	if err != nil || got[0] != 2 {
+		t.Fatalf("overwrite lost: %v", err)
+	}
+	if err := s.Rollback(1, oid("obj"), ver); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Read(1, oid("obj"), 0, 4096)
+	if err != nil || !bytes.Equal(got, v1data) {
+		t.Fatalf("rollback did not restore v1: %v", err)
+	}
+}
+
+func TestRollbackToMissingVersion(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	writeObj(t, s, 1, "obj", 0, []byte("x"))
+	if err := s.Rollback(1, oid("obj"), 99); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("err = %v, want NotFound", err)
+	}
+}
+
+func TestSnapshotOfMissingObject(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	if _, err := s.Snapshot(1, oid("ghost")); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDropSnapshotFreesSpaceAfterFlush(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+	writeObj(t, s, 1, "obj", 0, []byte("data"))
+	ver, err := s.Snapshot(1, oid("obj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropSnapshot(1, oid("obj"), ver); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil { // reclaim
+		t.Fatal(err)
+	}
+	if err := s.Rollback(1, oid("obj"), ver); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("dropped snapshot still restorable: %v", err)
+	}
+	// Idempotent drop.
+	if err := s.DropSnapshot(1, oid("obj"), ver); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotsSurviveReopen(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	s := openTestStore(t, dev, opts)
+	writeObj(t, s, 1, "obj", 0, bytes.Repeat([]byte{9}, 1024))
+	ver, err := s.Snapshot(1, oid("obj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dev, opts)
+	defer s2.Close()
+	writeObj(t, s2, 1, "obj", 0, bytes.Repeat([]byte{8}, 1024))
+	if err := s2.Rollback(1, oid("obj"), ver); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Read(1, oid("obj"), 0, 1024)
+	if err != nil || got[0] != 9 {
+		t.Fatalf("rollback after reopen broken: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+
+	"rebloc/internal/btree"
+)
+
+// arena allocates contiguous extents of device space for SSTables.
+// Free space is tracked in two B+trees — by start offset and by end
+// offset — so both alloc and coalescing free are logarithmic.
+type arena struct {
+	mu    sync.Mutex
+	byOff *btree.Tree[uint64, uint64] // start offset -> length
+	byEnd *btree.Tree[uint64, uint64] // end offset -> start offset
+	total uint64
+	inUse uint64
+}
+
+// newArena covers [start, end).
+func newArena(start, end uint64) *arena {
+	a := &arena{
+		byOff: btree.New[uint64, uint64](),
+		byEnd: btree.New[uint64, uint64](),
+	}
+	if end > start {
+		a.insertFree(start, end-start)
+		a.total = end - start
+	}
+	return a
+}
+
+func (a *arena) insertFree(off, length uint64) {
+	a.byOff.Set(off, length)
+	a.byEnd.Set(off+length, off)
+}
+
+func (a *arena) removeFree(off, length uint64) {
+	a.byOff.Delete(off)
+	a.byEnd.Delete(off + length)
+}
+
+// alloc returns the offset of a free extent of exactly size bytes
+// (first-fit; the remainder stays free).
+func (a *arena) alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("lsm: zero-size alloc")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for it := a.byOff.Min(); it.Valid(); it.Next() {
+		off, length := it.Key(), it.Value()
+		if length < size {
+			continue
+		}
+		a.removeFree(off, length)
+		if length > size {
+			a.insertFree(off+size, length-size)
+		}
+		a.inUse += size
+		return off, nil
+	}
+	return 0, fmt.Errorf("lsm: arena exhausted allocating %d bytes (free %d)", size, a.total-a.inUse)
+}
+
+// freeExtent returns [off, off+size) to the pool, coalescing neighbours.
+func (a *arena) freeExtent(off, size uint64) {
+	if size == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inUse -= size
+	// Coalesce with the successor extent starting at off+size.
+	if succLen, ok := a.byOff.Get(off + size); ok {
+		a.removeFree(off+size, succLen)
+		size += succLen
+	}
+	// Coalesce with the predecessor extent ending at off.
+	if predOff, ok := a.byEnd.Get(off); ok {
+		predLen := off - predOff
+		a.removeFree(predOff, predLen)
+		off = predOff
+		size += predLen
+	}
+	a.insertFree(off, size)
+}
+
+// reserve removes the specific range [off, off+size) from the free pool.
+// Recovery uses it to re-mark extents referenced by the manifest.
+func (a *arena) reserve(off, size uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Find the free extent containing off: the extent with the smallest
+	// end > off.
+	it := a.byEnd.SeekGE(off + 1)
+	if !it.Valid() {
+		return fmt.Errorf("lsm: reserve [%d,%d): not free", off, off+size)
+	}
+	extEnd, extOff := it.Key(), it.Value()
+	if extOff > off || extEnd < off+size {
+		return fmt.Errorf("lsm: reserve [%d,%d): overlaps allocated space", off, off+size)
+	}
+	a.removeFree(extOff, extEnd-extOff)
+	if extOff < off {
+		a.insertFree(extOff, off-extOff)
+	}
+	if off+size < extEnd {
+		a.insertFree(off+size, extEnd-(off+size))
+	}
+	a.inUse += size
+	return nil
+}
+
+// freeBytes reports the total free space.
+func (a *arena) freeBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.inUse
+}

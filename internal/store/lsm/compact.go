@@ -1,0 +1,226 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+
+	"rebloc/internal/metrics"
+)
+
+// targetTableBytes is the size at which compaction output splits into a
+// new table.
+const targetTableBytes = 4 << 20
+
+// sortLevel orders a level's tables: L0 by fileNo (recency), deeper levels
+// by smallest key (they are non-overlapping).
+func sortLevel(ts []*table, level int) {
+	if level == 0 {
+		sort.Slice(ts, func(i, j int) bool { return ts[i].meta.fileNo < ts[j].meta.fileNo })
+		return
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].meta.smallest < ts[j].meta.smallest })
+}
+
+// compactionJob describes one merge: inputs ordered oldest-data-first and
+// the target level.
+type compactionJob struct {
+	inputs      []*table // oldest data first; later entries override earlier
+	fromLevel   int
+	targetLevel int
+}
+
+// pickCompaction chooses the next job under db.mu, or nil.
+func (db *DB) pickCompaction() *compactionJob {
+	// L0 pressure first: merge all of L0 with the overlapping part of L1.
+	if len(db.tables[0]) >= db.opts.L0Limit {
+		l0 := append([]*table(nil), db.tables[0]...)
+		smallest, largest := l0[0].meta.smallest, l0[0].meta.largest
+		for _, t := range l0[1:] {
+			if t.meta.smallest < smallest {
+				smallest = t.meta.smallest
+			}
+			if t.meta.largest > largest {
+				largest = t.meta.largest
+			}
+		}
+		overlap := overlapping(db.tables[1], smallest, largest)
+		// Oldest data first: L1, then L0 oldest -> newest.
+		inputs := append(append([]*table(nil), overlap...), l0...)
+		return &compactionJob{inputs: inputs, fromLevel: 0, targetLevel: 1}
+	}
+	// Size-triggered compaction of deeper levels.
+	target := db.opts.BaseLevelBytes
+	for lvl := 1; lvl < len(db.tables)-1; lvl++ {
+		var size uint64
+		for _, t := range db.tables[lvl] {
+			size += t.meta.size
+		}
+		if size > target {
+			victim := db.tables[lvl][0] // rotate from the left edge
+			overlap := overlapping(db.tables[lvl+1], victim.meta.smallest, victim.meta.largest)
+			inputs := append(append([]*table(nil), overlap...), victim)
+			return &compactionJob{inputs: inputs, fromLevel: lvl, targetLevel: lvl + 1}
+		}
+		target *= uint64(db.opts.LevelMultiplier)
+	}
+	return nil
+}
+
+// overlapping returns the tables in ts whose key range intersects
+// [smallest, largest].
+func overlapping(ts []*table, smallest, largest string) []*table {
+	var out []*table
+	for _, t := range ts {
+		if t.meta.largest < smallest || t.meta.smallest > largest {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// CompactOnce runs a single compaction job if one is needed. Exposed so
+// tests and benchmarks can drive maintenance deterministically. A mutex
+// serialises explicit calls with the background compactor — concurrent
+// compactions would double-free input extents.
+func (db *DB) CompactOnce() error {
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
+	db.mu.Lock()
+	job := db.pickCompaction()
+	db.mu.Unlock()
+	if job == nil {
+		return nil
+	}
+	var tm metrics.Timer
+	if db.opts.Account != nil {
+		tm = db.opts.Account.Start(metrics.CatMT)
+		defer tm.Stop()
+	}
+	return db.runCompaction(job)
+}
+
+// CompactNow compacts until no level is over its threshold.
+func (db *DB) CompactNow() error {
+	for db.needsCompaction() {
+		if err := db.CompactOnce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCompaction merges job.inputs into new tables at job.targetLevel.
+func (db *DB) runCompaction(job *compactionJob) error {
+	// Merge: process inputs oldest first so newer entries overwrite.
+	merged := make(map[string]kv)
+	var bytesIn uint64
+	for _, t := range job.inputs {
+		entries, err := t.loadAll()
+		if err != nil {
+			return fmt.Errorf("lsm: compaction read: %w", err)
+		}
+		bytesIn += t.meta.size
+		for i := range entries {
+			merged[entries[i].key] = entries[i]
+		}
+	}
+	db.stats.CompactIn.Add(int64(bytesIn))
+
+	// Decide whether tombstones can be dropped: only when no deeper level
+	// holds data that a resurrected key could shadow.
+	dropTombs := true
+	db.mu.Lock()
+	for lvl := job.targetLevel + 1; lvl < len(db.tables); lvl++ {
+		if len(db.tables[lvl]) > 0 {
+			dropTombs = false
+			break
+		}
+	}
+	db.mu.Unlock()
+
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		if dropTombs && merged[k].tomb {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Build output tables, splitting at targetTableBytes.
+	var outputs []*table
+	var pending []kv
+	var pendingBytes int
+	flushPending := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		db.mu.Lock()
+		fileNo := db.man.nextFileNo
+		db.man.nextFileNo++
+		db.mu.Unlock()
+		t, err := buildTable(db.dev, db.ar, fileNo, job.targetLevel, pending)
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, t)
+		db.stats.CompactOut.Add(int64(t.meta.size))
+		pending = nil
+		pendingBytes = 0
+		return nil
+	}
+	for _, k := range keys {
+		e := merged[k]
+		pending = append(pending, e)
+		pendingBytes += len(e.key) + len(e.val) + 16
+		if pendingBytes >= targetTableBytes {
+			if err := flushPending(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushPending(); err != nil {
+		return err
+	}
+
+	// Install: swap inputs for outputs in both the in-memory level lists
+	// and the manifest, persist, then free the old extents.
+	inputSet := make(map[uint64]bool, len(job.inputs))
+	for _, t := range job.inputs {
+		inputSet[t.meta.fileNo] = true
+	}
+	db.mu.Lock()
+	for lvl := range db.tables {
+		kept := db.tables[lvl][:0]
+		for _, t := range db.tables[lvl] {
+			if !inputSet[t.meta.fileNo] {
+				kept = append(kept, t)
+			}
+		}
+		db.tables[lvl] = kept
+	}
+	db.tables[job.targetLevel] = append(db.tables[job.targetLevel], outputs...)
+	sortLevel(db.tables[job.targetLevel], job.targetLevel)
+
+	keptMeta := db.man.tables[:0]
+	for _, m := range db.man.tables {
+		if !inputSet[m.fileNo] {
+			keptMeta = append(keptMeta, m)
+		}
+	}
+	for _, t := range outputs {
+		keptMeta = append(keptMeta, t.meta)
+	}
+	db.man.tables = keptMeta
+	err := db.persistManifest()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, t := range job.inputs {
+		db.ar.freeExtent(t.meta.off, t.meta.size)
+	}
+	db.stats.Compactions.Inc()
+	return nil
+}

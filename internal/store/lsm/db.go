@@ -1,0 +1,668 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rebloc/internal/device"
+	"rebloc/internal/metrics"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("lsm: closed")
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("lsm: key not found")
+
+// Options configures a DB.
+type Options struct {
+	// Offset/Size place the DB inside a shared device; Size 0 means "to the
+	// end of the device".
+	Offset uint64
+	Size   uint64
+	// MemtableBytes triggers a flush when the memtable grows past it.
+	MemtableBytes int
+	// WALBytes is the total WAL footprint (two ping-pong segments).
+	WALBytes uint64
+	// L0Limit triggers L0->L1 compaction when L0 holds this many tables.
+	L0Limit int
+	// BaseLevelBytes is the target size of L1; each deeper level is
+	// LevelMultiplier times larger.
+	BaseLevelBytes  uint64
+	LevelMultiplier int
+	MaxLevels       int
+	// Account, when set, attributes compaction and flush CPU to CatMT —
+	// the paper's "maintenance task" bar.
+	Account *metrics.CPUAccount
+	// DisableAutoCompact stops background compaction (tests drive it with
+	// CompactNow).
+	DisableAutoCompact bool
+}
+
+func (o *Options) fill(devSize uint64) {
+	if o.Size == 0 {
+		o.Size = devSize - o.Offset
+	}
+	if o.MemtableBytes == 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.WALBytes == 0 {
+		o.WALBytes = 16 << 20
+	}
+	if o.L0Limit == 0 {
+		o.L0Limit = 4
+	}
+	if o.BaseLevelBytes == 0 {
+		o.BaseLevelBytes = 32 << 20
+	}
+	if o.LevelMultiplier == 0 {
+		o.LevelMultiplier = 8
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 6
+	}
+}
+
+// Stats counts DB activity.
+type Stats struct {
+	Puts        metrics.Counter
+	Gets        metrics.Counter
+	Flushes     metrics.Counter // memtable flushes
+	Compactions metrics.Counter
+	CompactIn   metrics.Counter // bytes read by compaction
+	CompactOut  metrics.Counter // bytes written by compaction
+	WALWrites   metrics.Counter // bytes appended to the WAL
+}
+
+// DB is the LSM key/value store.
+type DB struct {
+	dev  device.Device
+	opts Options
+
+	slotBase [2]uint64
+	ar       *arena
+
+	commitMu  sync.Mutex // serialises WAL append + memtable insert
+	compactMu sync.Mutex // serialises compaction jobs
+
+	mu        sync.Mutex
+	cond      *sync.Cond // frozen == nil
+	mem       *memtable
+	frozen    *memtable
+	freezeSeq uint64
+	man       manifest
+	tables    [][]*table // per level; L0 ordered oldest -> newest
+	seq       uint64
+
+	walSegs [2]*walSegment
+
+	flushCh   chan struct{}
+	compactCh chan struct{}
+	closing   chan struct{}
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	bgErr     atomic.Value // error
+
+	stats Stats
+}
+
+// Open initialises (or recovers) a DB on dev.
+func Open(dev device.Device, opts Options) (*DB, error) {
+	opts.fill(uint64(dev.Size()))
+	if opts.Offset+opts.Size > uint64(dev.Size()) {
+		return nil, fmt.Errorf("lsm: region [%d,%d) exceeds device size %d", opts.Offset, opts.Offset+opts.Size, dev.Size())
+	}
+	base := opts.Offset
+	slotBase := [2]uint64{base, base + manifestSlotLen}
+	walBase := base + 2*manifestSlotLen
+	arenaBase := walBase + opts.WALBytes
+	arenaEnd := base + opts.Size
+	if arenaBase+opts.WALBytes >= arenaEnd {
+		return nil, fmt.Errorf("lsm: region too small (%d bytes)", opts.Size)
+	}
+
+	db := &DB{
+		dev:       dev,
+		opts:      opts,
+		slotBase:  slotBase,
+		ar:        newArena(arenaBase, arenaEnd),
+		mem:       newMemtable(),
+		tables:    make([][]*table, opts.MaxLevels),
+		flushCh:   make(chan struct{}, 1),
+		compactCh: make(chan struct{}, 1),
+		closing:   make(chan struct{}),
+	}
+	db.cond = sync.NewCond(&db.mu)
+
+	segSize := opts.WALBytes / 2
+	segs := [2]*walSegment{
+		{dev: dev, start: walBase, size: segSize},
+		{dev: dev, start: walBase + segSize, size: segSize},
+	}
+
+	if man, ok := readManifest(dev, slotBase); ok {
+		db.man = *man
+		for i := range man.tables {
+			t, err := openTable(dev, man.tables[i])
+			if err != nil {
+				return nil, fmt.Errorf("lsm: recover table %d: %w", man.tables[i].fileNo, err)
+			}
+			if t.meta.level >= opts.MaxLevels {
+				return nil, fmt.Errorf("lsm: table at level %d beyond MaxLevels", t.meta.level)
+			}
+			db.tables[t.meta.level] = append(db.tables[t.meta.level], t)
+			// Mark the extent as used by re-allocating it out of the arena.
+			if err := db.ar.reserve(t.meta.off, t.meta.size); err != nil {
+				return nil, fmt.Errorf("lsm: reserve table extent: %w", err)
+			}
+		}
+		for lvl := range db.tables {
+			sortLevel(db.tables[lvl], lvl)
+		}
+		// Replay the WAL: inactive segment first (older), then active.
+		segs[0].gen = man.walGens[0]
+		segs[1].gen = man.walGens[1]
+		db.seq = man.flushedSeq
+		order := []int{int(1 - man.walActive), int(man.walActive)}
+		for _, si := range order {
+			if segs[si].gen == 0 {
+				continue
+			}
+			maxSeq, err := segs[si].replay(segs[si].gen, func(seq uint64, ops []walOp) error {
+				if seq <= man.flushedSeq {
+					return nil
+				}
+				for _, op := range ops {
+					switch op.kind {
+					case walPut:
+						db.mem.put(op.key, op.val)
+					case walDel:
+						db.mem.del(op.key)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lsm: wal replay: %w", err)
+			}
+			if maxSeq > db.seq {
+				db.seq = maxSeq
+			}
+		}
+	} else {
+		// Fresh store: initialise WAL generations and persist manifest 1.
+		db.man = manifest{gen: 0, nextFileNo: 1, walGens: [2]uint64{1, 0}, walActive: 0}
+		segs[0].gen = 1
+		if err := db.persistManifest(); err != nil {
+			return nil, err
+		}
+	}
+	db.walSegs = segs
+
+	db.wg.Add(1)
+	go db.flusher()
+	if !opts.DisableAutoCompact {
+		db.wg.Add(1)
+		go db.compactor()
+	}
+	return db, nil
+}
+
+// persistManifest writes the current manifest under db.mu.
+func (db *DB) persistManifest() error {
+	db.man.gen++
+	return writeManifest(db.dev, db.slotBase, &db.man)
+}
+
+// Batch groups operations that commit atomically through one WAL record.
+type Batch struct {
+	ops []walOp
+}
+
+// Put adds a key/value write to the batch.
+func (b *Batch) Put(key string, val []byte) {
+	b.ops = append(b.ops, walOp{kind: walPut, key: key, val: val})
+}
+
+// Delete adds a deletion to the batch.
+func (b *Batch) Delete(key string) {
+	b.ops = append(b.ops, walOp{kind: walDel, key: key})
+}
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply commits the batch durably.
+func (db *DB) Apply(b *Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+
+	db.mu.Lock()
+	db.seq++
+	seq := db.seq
+	db.mu.Unlock()
+
+	n, err := db.activeSeg().append(seq, b.ops, nil)
+	if errors.Is(err, errWALFull) {
+		if err := db.rotateLocked(); err != nil {
+			return err
+		}
+		n, err = db.activeSeg().append(seq, b.ops, nil)
+	}
+	if err != nil {
+		return err
+	}
+	db.stats.WALWrites.Add(int64(n))
+	if err := db.dev.Flush(); err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	for _, op := range b.ops {
+		switch op.kind {
+		case walPut:
+			db.mem.put(op.key, op.val)
+			db.stats.Puts.Inc()
+		case walDel:
+			db.mem.del(op.key)
+			db.stats.Puts.Inc()
+		}
+	}
+	needRotate := db.mem.bytes >= db.opts.MemtableBytes
+	db.mu.Unlock()
+
+	if needRotate {
+		return db.rotateLocked()
+	}
+	return nil
+}
+
+// Put stores a single key/value durably.
+func (db *DB) Put(key string, val []byte) error {
+	var b Batch
+	b.Put(key, val)
+	return db.Apply(&b)
+}
+
+// Delete removes a key durably.
+func (db *DB) Delete(key string) error {
+	var b Batch
+	b.Delete(key)
+	return db.Apply(&b)
+}
+
+func (db *DB) activeSeg() *walSegment { return db.walSegs[db.man.walActive] }
+
+// rotateLocked freezes the memtable and switches WAL segments. The caller
+// must hold commitMu (but not mu).
+func (db *DB) rotateLocked() error {
+	db.mu.Lock()
+	// Wait for any in-flight flush so the other segment is recyclable.
+	for db.frozen != nil {
+		if db.closed.Load() {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		db.cond.Wait()
+	}
+	memEmpty := db.mem.len() == 0
+	if !memEmpty {
+		db.frozen = db.mem
+		db.freezeSeq = db.seq
+		db.mem = newMemtable()
+	}
+	// Recycle the inactive segment under a fresh generation and make it
+	// active. With an empty memtable every record in the old segment is
+	// already covered by flushedSeq, so recycling is still safe.
+	next := 1 - db.man.walActive
+	maxGen := db.man.walGens[0]
+	if db.man.walGens[1] > maxGen {
+		maxGen = db.man.walGens[1]
+	}
+	db.man.walGens[next] = maxGen + 1
+	db.man.walActive = next
+	db.walSegs[next].reset(db.man.walGens[next])
+	err := db.persistManifest()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !memEmpty {
+		select {
+		case db.flushCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (db *DB) Get(key string) ([]byte, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	db.stats.Gets.Inc()
+	db.mu.Lock()
+	if e, ok := db.mem.get(key); ok {
+		db.mu.Unlock()
+		if e.tomb {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.data...), nil
+	}
+	if db.frozen != nil {
+		if e, ok := db.frozen.get(key); ok {
+			db.mu.Unlock()
+			if e.tomb {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), e.data...), nil
+		}
+	}
+	// Snapshot candidate tables so device reads happen outside db.mu. The
+	// single-compactor design frees extents only after installing the new
+	// tables, and readers that raced an install simply read still-valid
+	// old extents before they are reused (reuse requires another
+	// compaction cycle, which requires db.mu).
+	candidates := db.candidateTables(key)
+	db.mu.Unlock()
+
+	for _, t := range candidates {
+		val, tomb, found, err := t.get(key)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if tomb {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// candidateTables returns tables that may hold key, newest first. Caller
+// holds db.mu.
+func (db *DB) candidateTables(key string) []*table {
+	var out []*table
+	l0 := db.tables[0]
+	for i := len(l0) - 1; i >= 0; i-- {
+		if key >= l0[i].meta.smallest && key <= l0[i].meta.largest {
+			out = append(out, l0[i])
+		}
+	}
+	for lvl := 1; lvl < len(db.tables); lvl++ {
+		ts := db.tables[lvl]
+		// Levels >= 1 are sorted by smallest and non-overlapping.
+		i := sort.Search(len(ts), func(i int) bool { return ts[i].meta.largest >= key })
+		if i < len(ts) && key >= ts[i].meta.smallest {
+			out = append(out, ts[i])
+		}
+	}
+	return out
+}
+
+// Scan calls fn for each live key in [start, end) in ascending order until
+// fn returns false. It materialises the merged view of the range, so it is
+// intended for the store's small metadata listings, not bulk export.
+func (db *DB) Scan(start, end string, fn func(key string, val []byte) bool) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	merged := make(map[string]entry)
+	lowerPriority := func(k string) bool {
+		_, seen := merged[k]
+		return seen
+	}
+
+	db.mu.Lock()
+	addMem := func(m *memtable) {
+		m.ascendGE(start, func(k string, e entry) bool {
+			if end != "" && k >= end {
+				return false
+			}
+			if !lowerPriority(k) {
+				merged[k] = e
+			}
+			return true
+		})
+	}
+	addMem(db.mem)
+	if db.frozen != nil {
+		addMem(db.frozen)
+	}
+	var tabs []*table
+	l0 := db.tables[0]
+	for i := len(l0) - 1; i >= 0; i-- {
+		tabs = append(tabs, l0[i])
+	}
+	for lvl := 1; lvl < len(db.tables); lvl++ {
+		tabs = append(tabs, db.tables[lvl]...)
+	}
+	db.mu.Unlock()
+
+	for _, t := range tabs {
+		if end != "" && t.meta.smallest >= end {
+			continue
+		}
+		if t.meta.largest < start {
+			continue
+		}
+		entries, err := t.loadAll()
+		if err != nil {
+			return err
+		}
+		for i := range entries {
+			k := entries[i].key
+			if k < start || (end != "" && k >= end) {
+				continue
+			}
+			if !lowerPriority(k) {
+				merged[k] = entry{data: entries[i].val, tomb: entries[i].tomb}
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(merged))
+	for k, e := range merged {
+		if !e.tomb {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(k, merged[k].data) {
+			break
+		}
+	}
+	return nil
+}
+
+// Flush forces the memtable into an SSTable and waits for it.
+func (db *DB) Flush() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.commitMu.Lock()
+	err := db.rotateLocked()
+	db.commitMu.Unlock()
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	for db.frozen != nil && !db.closed.Load() {
+		db.cond.Wait()
+	}
+	db.mu.Unlock()
+	return db.backgroundErr()
+}
+
+// backgroundErr surfaces the first flush/compaction failure.
+func (db *DB) backgroundErr() error {
+	if err, ok := db.bgErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Stats returns the DB's activity counters.
+func (db *DB) Stats() *Stats { return &db.stats }
+
+// LevelSizes reports the byte size of each level (diagnostics).
+func (db *DB) LevelSizes() []uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]uint64, len(db.tables))
+	for lvl := range db.tables {
+		for _, t := range db.tables[lvl] {
+			out[lvl] += t.meta.size
+		}
+	}
+	return out
+}
+
+// Close flushes the manifest and stops background work. Memtable contents
+// remain recoverable through the WAL.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	close(db.closing)
+	db.mu.Lock()
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.wg.Wait()
+	return db.backgroundErr()
+}
+
+// flusher drains frozen memtables into L0 tables.
+func (db *DB) flusher() {
+	defer db.wg.Done()
+	for {
+		select {
+		case <-db.closing:
+			return
+		case <-db.flushCh:
+		}
+		if err := db.flushFrozen(); err != nil {
+			db.bgErr.CompareAndSwap(nil, err)
+			return
+		}
+		db.maybeTriggerCompact()
+	}
+}
+
+// flushFrozen writes the frozen memtable to an L0 SSTable.
+func (db *DB) flushFrozen() error {
+	db.mu.Lock()
+	frozen := db.frozen
+	freezeSeq := db.freezeSeq
+	db.mu.Unlock()
+	if frozen == nil {
+		return nil
+	}
+	var tm metrics.Timer
+	if db.opts.Account != nil {
+		tm = db.opts.Account.Start(metrics.CatMT)
+	}
+	entries := make([]kv, 0, frozen.len())
+	frozen.ascend(func(k string, e entry) bool {
+		entries = append(entries, kv{key: k, val: e.data, tomb: e.tomb})
+		return true
+	})
+
+	db.mu.Lock()
+	fileNo := db.man.nextFileNo
+	db.man.nextFileNo++
+	db.mu.Unlock()
+
+	t, err := buildTable(db.dev, db.ar, fileNo, 0, entries)
+	if err != nil {
+		if db.opts.Account != nil {
+			tm.Stop()
+		}
+		return fmt.Errorf("lsm: flush memtable: %w", err)
+	}
+
+	db.mu.Lock()
+	db.tables[0] = append(db.tables[0], t)
+	db.man.tables = append(db.man.tables, t.meta)
+	if freezeSeq > db.man.flushedSeq {
+		db.man.flushedSeq = freezeSeq
+	}
+	err = db.persistManifest()
+	db.frozen = nil
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.stats.Flushes.Inc()
+	if db.opts.Account != nil {
+		tm.Stop()
+	}
+	return err
+}
+
+// maybeTriggerCompact nudges the compactor when thresholds are exceeded.
+func (db *DB) maybeTriggerCompact() {
+	if db.opts.DisableAutoCompact {
+		return
+	}
+	if db.needsCompaction() {
+		select {
+		case db.compactCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (db *DB) needsCompaction() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.tables[0]) >= db.opts.L0Limit {
+		return true
+	}
+	target := db.opts.BaseLevelBytes
+	for lvl := 1; lvl < len(db.tables)-1; lvl++ {
+		var size uint64
+		for _, t := range db.tables[lvl] {
+			size += t.meta.size
+		}
+		if size > target {
+			return true
+		}
+		target *= uint64(db.opts.LevelMultiplier)
+	}
+	return false
+}
+
+// compactor runs level compactions until close.
+func (db *DB) compactor() {
+	defer db.wg.Done()
+	for {
+		select {
+		case <-db.closing:
+			return
+		case <-db.compactCh:
+		}
+		for db.needsCompaction() {
+			if err := db.CompactOnce(); err != nil {
+				db.bgErr.CompareAndSwap(nil, err)
+				return
+			}
+			select {
+			case <-db.closing:
+				return
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,623 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/metrics"
+)
+
+func openTestDB(t *testing.T, dev device.Device, opts Options) *DB {
+	t.Helper()
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func smallOpts() Options {
+	return Options{
+		MemtableBytes:  64 << 10,
+		WALBytes:       1 << 20,
+		L0Limit:        3,
+		BaseLevelBytes: 256 << 10,
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	defer db.Close()
+
+	if err := db.Put("alpha", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get("alpha")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := db.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := db.Delete("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestOverwriteLatestWins(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		if err := db.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := db.Get("k")
+	if err != nil || string(v) != "v9" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestBatchAtomicVisibility(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	defer db.Close()
+	var b Batch
+	b.Put("a", []byte("1"))
+	b.Put("b", []byte("2"))
+	b.Delete("a")
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("a must be deleted (batch order)")
+	}
+	if v, _ := db.Get("b"); string(v) != "2" {
+		t.Fatal("b missing")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestFlushCreatesSSTableAndGetStillWorks(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		if err := db.Put(fmt.Sprintf("key%04d", i), bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := db.LevelSizes()
+	var total uint64
+	for _, s := range sizes {
+		total += s
+	}
+	if total == 0 {
+		t.Fatal("flush produced no tables")
+	}
+	for i := 0; i < 500; i++ {
+		v, err := db.Get(fmt.Sprintf("key%04d", i))
+		if err != nil {
+			t.Fatalf("Get key%04d: %v", i, err)
+		}
+		if len(v) != 64 || v[0] != byte(i) {
+			t.Fatalf("key%04d wrong value", i)
+		}
+	}
+	if db.Stats().Flushes.Load() == 0 {
+		t.Fatal("flush counter not incremented")
+	}
+}
+
+func TestDeleteAcrossFlush(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	defer db.Close()
+	if err := db.Put("gone", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The tombstone lives in a newer table than the value.
+	if _, err := db.Get("gone"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("tombstone in newer SSTable must shadow older value")
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.DisableAutoCompact = true
+	db := openTestDB(t, dev, opts)
+	defer db.Close()
+
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("key%04d", rng.Intn(1000))
+			v := fmt.Sprintf("r%d-%d", round, i)
+			if err := db.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Compactions.Load() == 0 {
+		t.Fatal("no compactions ran")
+	}
+	for k, want := range model {
+		v, err := db.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+		if string(v) != want {
+			t.Fatalf("Get(%s) = %q, want %q", k, v, want)
+		}
+	}
+}
+
+func TestCompactionDropsTombstonesAtBottom(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.DisableAutoCompact = true
+	db := openTestDB(t, dev, opts)
+	defer db.Close()
+	for i := 0; i < 200; i++ {
+		if err := db.Put(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.Delete(fmt.Sprintf("k%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Force enough L0 tables to trigger compaction.
+	for r := 0; r < 3; r++ {
+		if err := db.Put(fmt.Sprintf("other%d", r), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Get(fmt.Sprintf("k%03d", i)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("k%03d resurrected after compaction", i)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		if err := db.Put(fmt.Sprintf("k%03d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete("k050"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil { // spread across memtable and tables
+		t.Fatal(err)
+	}
+	if err := db.Put("k200", []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err := db.Scan("k040", "k060", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 19 { // 40..59 minus deleted k050
+		t.Fatalf("scan returned %d keys: %v", len(got), got)
+	}
+	for _, k := range got {
+		if k == "k050" {
+			t.Fatal("deleted key in scan")
+		}
+	}
+	if !strings.HasPrefix(got[0], "k040") {
+		t.Fatalf("first = %s", got[0])
+	}
+}
+
+func TestScanEmptyRangeAndEarlyStop(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		_ = db.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	n := 0
+	if err := db.Scan("z", "", func(k string, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("scan past end returned keys")
+	}
+	n = 0
+	if err := db.Scan("", "", func(k string, v []byte) bool { n++; return n < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestRecoveryFromWAL(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	for i := 0; i < 100; i++ {
+		if err := db.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash: no Close, reopen on the same device.
+	if err := db.Close(); err != nil { // Close does NOT flush the memtable
+		t.Fatal(err)
+	}
+	db2 := openTestDB(t, dev, smallOpts())
+	defer db2.Close()
+	for i := 0; i < 100; i++ {
+		v, err := db2.Get(fmt.Sprintf("k%03d", i))
+		if err != nil {
+			t.Fatalf("after recovery Get(k%03d): %v", i, err)
+		}
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("recovered wrong value %q", v)
+		}
+	}
+}
+
+func TestRecoveryAfterFlushAndMoreWrites(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	for i := 0; i < 200; i++ {
+		if err := db.Put(fmt.Sprintf("a%03d", i), []byte("flushed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Put(fmt.Sprintf("b%03d", i), []byte("in-wal")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete("a000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openTestDB(t, dev, smallOpts())
+	defer db2.Close()
+	if v, err := db2.Get("a100"); err != nil || string(v) != "flushed" {
+		t.Fatalf("sstable data lost: %q %v", v, err)
+	}
+	if v, err := db2.Get("b049"); err != nil || string(v) != "in-wal" {
+		t.Fatalf("wal data lost: %q %v", v, err)
+	}
+	if _, err := db2.Get("a000"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("wal tombstone lost")
+	}
+}
+
+func TestRecoveryIgnoresTornWALRecord(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	opts := smallOpts()
+	db := openTestDB(t, dev, opts)
+	if err := db.Put("good", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Find the active WAL segment and corrupt bytes just past the valid
+	// records, simulating a torn append.
+	seg := db.activeSeg()
+	torn := []byte{0x20, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef}
+	if _, err := dev.WriteAt(torn, int64(seg.start+seg.writeOff)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openTestDB(t, dev, opts)
+	defer db2.Close()
+	if v, err := db2.Get("good"); err != nil || string(v) != "1" {
+		t.Fatalf("valid record lost: %q %v", v, err)
+	}
+}
+
+func TestWALRotationOnSegmentFull(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	opts := smallOpts()
+	opts.WALBytes = 64 << 10 // 32 KiB per segment forces rotations
+	opts.MemtableBytes = 1 << 20
+	db := openTestDB(t, dev, opts)
+	defer db.Close()
+	val := bytes.Repeat([]byte{7}, 1024)
+	for i := 0; i < 200; i++ {
+		if err := db.Put(fmt.Sprintf("k%04d", i), val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		v, err := db.Get(fmt.Sprintf("k%04d", i))
+		if err != nil || len(v) != 1024 {
+			t.Fatalf("Get k%04d: %v", i, err)
+		}
+	}
+}
+
+func TestMaintenanceCPUAccounted(t *testing.T) {
+	acct := metrics.NewCPUAccount()
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.Account = acct
+	opts.DisableAutoCompact = true
+	db := openTestDB(t, dev, opts)
+	defer db.Close()
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 500; i++ {
+			_ = db.Put(fmt.Sprintf("k%04d", i), bytes.Repeat([]byte{1}, 128))
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Busy(metrics.CatMT) == 0 {
+		t.Fatal("maintenance CPU not accounted to MT")
+	}
+}
+
+func TestWriteAmplificationObservable(t *testing.T) {
+	// The point of the baseline model: device writes must significantly
+	// exceed user bytes once flush+compaction run.
+	dev := device.NewMem(512 << 20)
+	opts := smallOpts()
+	db := openTestDB(t, dev, opts)
+	defer db.Close()
+	before := dev.Stats().Snapshot()
+	var userBytes int64
+	val := bytes.Repeat([]byte{9}, 512)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("key%05d", rng.Intn(4000))
+		if err := db.Put(k, val); err != nil {
+			t.Fatal(err)
+		}
+		userBytes += int64(len(k) + len(val))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	wrote := dev.Stats().Snapshot().Sub(before).BytesWritten
+	waf := float64(wrote) / float64(userBytes)
+	t.Logf("user=%d device=%d WAF=%.2f", userBytes, wrote, waf)
+	if waf < 1.5 {
+		t.Fatalf("LSM WAF = %.2f, expected noticeable amplification", waf)
+	}
+}
+
+func TestRandomOpsAgainstModelWithAutoCompact(t *testing.T) {
+	dev := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.MemtableBytes = 16 << 10 // flush often
+	db := openTestDB(t, dev, opts)
+	defer db.Close()
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key%03d", rng.Intn(500))
+		if rng.Intn(4) == 0 {
+			if err := db.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		} else {
+			v := fmt.Sprintf("v%d", i)
+			if err := db.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+		if i%500 == 0 {
+			for k, want := range model {
+				v, err := db.Get(k)
+				if err != nil || string(v) != want {
+					t.Fatalf("step %d: Get(%s) = %q,%v want %q", i, k, v, err, want)
+				}
+			}
+		}
+	}
+	for k, want := range model {
+		v, err := db.Get(k)
+		if err != nil || string(v) != want {
+			t.Fatalf("final: Get(%s) = %q,%v want %q", k, v, err, want)
+		}
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	dev := device.NewMem(64 << 20)
+	db := openTestDB(t, dev, smallOpts())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if _, err := db.Get("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestArenaAllocFree(t *testing.T) {
+	a := newArena(0, 1<<20)
+	o1, err := a.alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := a.alloc(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 == o2 {
+		t.Fatal("overlapping allocations")
+	}
+	a.freeExtent(o1, 1000)
+	a.freeExtent(o2, 2000)
+	if a.freeBytes() != 1<<20 {
+		t.Fatalf("freeBytes = %d after freeing all", a.freeBytes())
+	}
+	// Coalescing must allow a full-size alloc again.
+	if _, err := a.alloc(1 << 20); err != nil {
+		t.Fatalf("arena failed to coalesce: %v", err)
+	}
+}
+
+func TestArenaReserve(t *testing.T) {
+	a := newArena(0, 1000)
+	if err := a.reserve(100, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.reserve(100, 50); err == nil {
+		t.Fatal("double reserve must fail")
+	}
+	if a.freeBytes() != 950 {
+		t.Fatalf("freeBytes = %d", a.freeBytes())
+	}
+	// Allocations must avoid the reserved range.
+	seen := map[uint64]bool{}
+	for {
+		off, err := a.alloc(50)
+		if err != nil {
+			break
+		}
+		if off < 150 && off+50 > 100 {
+			t.Fatalf("alloc overlapped reserved range: %d", off)
+		}
+		seen[off] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	b := newBloom(1000)
+	for i := 0; i < 1000; i++ {
+		b.add(fmt.Sprintf("key%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain(fmt.Sprintf("key%d", i)) {
+			t.Fatalf("false negative on key%d", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.mayContain(fmt.Sprintf("other%d", i)) {
+			fp++
+		}
+	}
+	if fp > 500 { // ~1% expected; allow 5%
+		t.Fatalf("false positive rate too high: %d/10000", fp)
+	}
+}
+
+func BenchmarkPut512B(b *testing.B) {
+	dev := device.NewMem(1 << 30)
+	db, err := Open(dev, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	val := bytes.Repeat([]byte{1}, 512)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(fmt.Sprintf("key%07d", rng.Intn(100000)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetAfterFlush(b *testing.B) {
+	dev := device.NewMem(1 << 30)
+	db, err := Open(dev, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	val := bytes.Repeat([]byte{1}, 512)
+	for i := 0; i < 50000; i++ {
+		if err := db.Put(fmt.Sprintf("key%07d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get(fmt.Sprintf("key%07d", i%50000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

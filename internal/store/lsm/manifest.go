@@ -1,0 +1,133 @@
+package lsm
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"rebloc/internal/device"
+	"rebloc/internal/wire"
+)
+
+// The manifest records the durable state of the tree: which SSTables exist
+// at which levels, the WAL generations, and the highest sequence number
+// already captured in SSTables. It is written alternately into two fixed
+// device slots; open picks the valid slot with the higher generation, so a
+// torn manifest write falls back to the previous state (whose WAL is still
+// replayable).
+
+const (
+	manifestMagic   = 0x4D4E4653
+	manifestSlotLen = 256 << 10
+)
+
+type manifest struct {
+	gen        uint64 // manifest generation, bumped on every persist
+	flushedSeq uint64 // all ops with seq <= flushedSeq live in SSTables
+	nextFileNo uint64
+	walGens    [2]uint64
+	walActive  uint8
+	tables     []tableMeta
+}
+
+func (m *manifest) encode() []byte {
+	e := wire.NewEncoder(nil)
+	e.U32(0) // crc placeholder
+	e.U32(manifestMagic)
+	e.U64(m.gen)
+	e.U64(m.flushedSeq)
+	e.U64(m.nextFileNo)
+	e.U64(m.walGens[0])
+	e.U64(m.walGens[1])
+	e.U8(m.walActive)
+	e.U32(uint32(len(m.tables)))
+	for i := range m.tables {
+		t := &m.tables[i]
+		e.U64(t.fileNo)
+		e.U8(uint8(t.level))
+		e.U64(t.off)
+		e.U64(t.size)
+		e.U32(t.count)
+		e.String32(t.smallest)
+		e.String32(t.largest)
+	}
+	buf := e.Bytes()
+	putU32(buf, crc32.ChecksumIEEE(buf[4:]))
+	return buf
+}
+
+func decodeManifest(buf []byte) (*manifest, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("lsm: manifest too short")
+	}
+	crc := getU32(buf)
+	d := wire.NewDecoder(buf[4:])
+	if d.U32() != manifestMagic {
+		return nil, fmt.Errorf("lsm: manifest bad magic")
+	}
+	m := &manifest{}
+	m.gen = d.U64()
+	m.flushedSeq = d.U64()
+	m.nextFileNo = d.U64()
+	m.walGens[0] = d.U64()
+	m.walGens[1] = d.U64()
+	m.walActive = d.U8()
+	n := int(d.U32())
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("lsm: manifest absurd table count %d", n)
+	}
+	m.tables = make([]tableMeta, 0, n)
+	for i := 0; i < n; i++ {
+		t := tableMeta{}
+		t.fileNo = d.U64()
+		t.level = int(d.U8())
+		t.off = d.U64()
+		t.size = d.U64()
+		t.count = d.U32()
+		t.smallest = d.String32()
+		t.largest = d.String32()
+		m.tables = append(m.tables, t)
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("lsm: manifest decode: %w", d.Err())
+	}
+	// CRC covers exactly the bytes we consumed; trailing slot padding is
+	// not part of the encoded manifest.
+	encLen := len(buf) - d.Remaining()
+	if crc32.ChecksumIEEE(buf[4:encLen]) != crc {
+		return nil, fmt.Errorf("lsm: manifest crc mismatch")
+	}
+	return m, nil
+}
+
+// writeManifest persists m into the slot determined by its generation.
+func writeManifest(dev device.Device, slotBase [2]uint64, m *manifest) error {
+	buf := m.encode()
+	if len(buf) > manifestSlotLen {
+		return fmt.Errorf("lsm: manifest %d bytes exceeds slot %d", len(buf), manifestSlotLen)
+	}
+	slot := m.gen % 2
+	if _, err := dev.WriteAt(buf, int64(slotBase[slot])); err != nil {
+		return fmt.Errorf("lsm: write manifest: %w", err)
+	}
+	return dev.Flush()
+}
+
+// readManifest loads the newest valid manifest from the two slots; ok is
+// false when neither slot holds one (fresh device).
+func readManifest(dev device.Device, slotBase [2]uint64) (*manifest, bool) {
+	var best *manifest
+	buf := make([]byte, manifestSlotLen)
+	for slot := 0; slot < 2; slot++ {
+		if _, err := dev.ReadAt(buf, int64(slotBase[slot])); err != nil {
+			continue
+		}
+		m, err := decodeManifest(buf)
+		if err != nil {
+			continue
+		}
+		if best == nil || m.gen > best.gen {
+			best = m
+		}
+	}
+	return best, best != nil
+}

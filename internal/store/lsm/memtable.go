@@ -1,0 +1,56 @@
+package lsm
+
+import (
+	"rebloc/internal/btree"
+)
+
+// entry is a memtable value: data, or a tombstone marking deletion.
+type entry struct {
+	data []byte
+	tomb bool
+}
+
+// memtable buffers recent writes in sorted order before they are flushed
+// to an SSTable. It is guarded by the DB's structure lock.
+type memtable struct {
+	tree  *btree.Tree[string, entry]
+	bytes int // approximate memory footprint
+}
+
+func newMemtable() *memtable {
+	return &memtable{tree: btree.New[string, entry]()}
+}
+
+// put inserts or overwrites key.
+func (m *memtable) put(key string, val []byte) {
+	m.tree.Set(key, entry{data: val})
+	m.bytes += len(key) + len(val) + 32
+}
+
+// del inserts a tombstone.
+func (m *memtable) del(key string) {
+	m.tree.Set(key, entry{tomb: true})
+	m.bytes += len(key) + 32
+}
+
+// get returns the entry for key if present.
+func (m *memtable) get(key string) (entry, bool) {
+	return m.tree.Get(key)
+}
+
+// len returns the number of live entries (including tombstones).
+func (m *memtable) len() int { return m.tree.Len() }
+
+// ascend iterates entries in key order.
+func (m *memtable) ascend(fn func(key string, e entry) bool) {
+	m.tree.Ascend(func(k string, e entry) bool { return fn(k, e) })
+}
+
+// ascendGE iterates entries with key >= start in key order.
+func (m *memtable) ascendGE(start string, fn func(key string, e entry) bool) {
+	for it := m.tree.SeekGE(start); it.Valid(); it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}

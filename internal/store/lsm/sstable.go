@@ -1,0 +1,238 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+
+	"rebloc/internal/device"
+	"rebloc/internal/wire"
+)
+
+const (
+	ssMagic       = 0x5EB10C51
+	indexInterval = 16 // one sparse-index entry every N entries
+	footerSize    = 32 // 3×u64 + 2×u32
+)
+
+// tableMeta describes one SSTable; it lives in the manifest.
+type tableMeta struct {
+	fileNo   uint64
+	level    int
+	off      uint64 // device offset of the extent
+	size     uint64 // extent size
+	count    uint32
+	smallest string
+	largest  string
+}
+
+// table is an open SSTable: metadata plus the in-memory sparse index and
+// bloom filter.
+type table struct {
+	meta       tableMeta
+	dev        device.Device
+	indexKeys  []string
+	indexOffs  []uint64 // entry offsets relative to extent start
+	entriesLen uint64
+	filter     *bloom
+}
+
+// kv is one key/value produced by table builds and iterators.
+type kv struct {
+	key  string
+	val  []byte
+	tomb bool
+}
+
+// buildTable serialises sorted entries into a device extent allocated from
+// the arena and returns the open table. Entries must be sorted by key with
+// no duplicates.
+func buildTable(dev device.Device, ar *arena, fileNo uint64, level int, entries []kv) (*table, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("lsm: building empty table")
+	}
+	e := wire.NewEncoder(nil)
+	filter := newBloom(len(entries))
+	var indexKeys []string
+	var indexOffs []uint64
+	for i := range entries {
+		if i%indexInterval == 0 {
+			indexKeys = append(indexKeys, entries[i].key)
+			indexOffs = append(indexOffs, uint64(len(e.Bytes())))
+		}
+		e.String32(entries[i].key)
+		if entries[i].tomb {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		e.Bytes32(entries[i].val)
+		filter.add(entries[i].key)
+	}
+	entriesLen := uint64(len(e.Bytes()))
+	indexOff := entriesLen
+	e.U32(uint32(len(indexKeys)))
+	for i := range indexKeys {
+		e.String32(indexKeys[i])
+		e.U64(indexOffs[i])
+	}
+	bloomOff := uint64(len(e.Bytes()))
+	e.Bytes32(filter.bits)
+	// Footer.
+	e.U64(indexOff)
+	e.U64(bloomOff)
+	e.U64(entriesLen)
+	e.U32(uint32(len(entries)))
+	e.U32(ssMagic)
+	buf := e.Bytes()
+
+	off, err := ar.alloc(uint64(len(buf)))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dev.WriteAt(buf, int64(off)); err != nil {
+		ar.freeExtent(off, uint64(len(buf)))
+		return nil, fmt.Errorf("lsm: write table: %w", err)
+	}
+	t := &table{
+		meta: tableMeta{
+			fileNo:   fileNo,
+			level:    level,
+			off:      off,
+			size:     uint64(len(buf)),
+			count:    uint32(len(entries)),
+			smallest: entries[0].key,
+			largest:  entries[len(entries)-1].key,
+		},
+		dev:        dev,
+		indexKeys:  indexKeys,
+		indexOffs:  indexOffs,
+		entriesLen: entriesLen,
+		filter:     filter,
+	}
+	return t, nil
+}
+
+// openTable loads a table's index and bloom filter from the device using
+// its manifest metadata.
+func openTable(dev device.Device, meta tableMeta) (*table, error) {
+	if meta.size < footerSize {
+		return nil, fmt.Errorf("lsm: table %d too small", meta.fileNo)
+	}
+	foot := make([]byte, footerSize)
+	if _, err := dev.ReadAt(foot, int64(meta.off+meta.size-footerSize)); err != nil {
+		return nil, fmt.Errorf("lsm: read table footer: %w", err)
+	}
+	d := wire.NewDecoder(foot)
+	indexOff := d.U64()
+	bloomOff := d.U64()
+	entriesLen := d.U64()
+	count := d.U32()
+	magic := d.U32()
+	if magic != ssMagic {
+		return nil, fmt.Errorf("lsm: table %d bad magic", meta.fileNo)
+	}
+	if count != meta.count || entriesLen != indexOff {
+		return nil, fmt.Errorf("lsm: table %d metadata mismatch", meta.fileNo)
+	}
+	midLen := meta.size - footerSize - indexOff
+	mid := make([]byte, midLen)
+	if _, err := dev.ReadAt(mid, int64(meta.off+indexOff)); err != nil {
+		return nil, fmt.Errorf("lsm: read table index: %w", err)
+	}
+	di := wire.NewDecoder(mid)
+	n := int(di.U32())
+	t := &table{meta: meta, dev: dev, entriesLen: entriesLen}
+	t.indexKeys = make([]string, 0, n)
+	t.indexOffs = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		t.indexKeys = append(t.indexKeys, di.String32())
+		t.indexOffs = append(t.indexOffs, di.U64())
+	}
+	_ = bloomOff
+	t.filter = &bloom{bits: di.Bytes32()}
+	if err := di.Err(); err != nil {
+		return nil, fmt.Errorf("lsm: decode table %d index: %w", meta.fileNo, err)
+	}
+	return t, nil
+}
+
+// blockFor returns the entry-region byte range that may contain key.
+func (t *table) blockFor(key string) (start, end uint64, ok bool) {
+	i := sort.SearchStrings(t.indexKeys, key)
+	// indexKeys[i] is the first index key >= key; the block to scan starts
+	// at the previous index point (or i itself on an exact match).
+	var bi int
+	switch {
+	case i < len(t.indexKeys) && t.indexKeys[i] == key:
+		bi = i
+	case i == 0:
+		return 0, 0, false // key below the smallest indexed key
+	default:
+		bi = i - 1
+	}
+	start = t.indexOffs[bi]
+	if bi+1 < len(t.indexOffs) {
+		end = t.indexOffs[bi+1]
+	} else {
+		end = t.entriesLen
+	}
+	return start, end, true
+}
+
+// get looks key up in the table.
+func (t *table) get(key string) (val []byte, tomb, found bool, err error) {
+	if key < t.meta.smallest || key > t.meta.largest {
+		return nil, false, false, nil
+	}
+	if !t.filter.mayContain(key) {
+		return nil, false, false, nil
+	}
+	start, end, ok := t.blockFor(key)
+	if !ok {
+		return nil, false, false, nil
+	}
+	if end <= start {
+		return nil, false, false, nil
+	}
+	block := make([]byte, end-start)
+	if _, err := t.dev.ReadAt(block, int64(t.meta.off+start)); err != nil {
+		return nil, false, false, fmt.Errorf("lsm: read table block: %w", err)
+	}
+	d := wire.NewDecoder(block)
+	for d.Remaining() > 0 {
+		k := d.String32()
+		flags := d.U8()
+		v := d.Bytes32()
+		if d.Err() != nil {
+			return nil, false, false, fmt.Errorf("lsm: corrupt table block: %w", d.Err())
+		}
+		if k == key {
+			return v, flags&1 != 0, true, nil
+		}
+		if k > key {
+			return nil, false, false, nil
+		}
+	}
+	return nil, false, false, nil
+}
+
+// loadAll reads and decodes every entry in the table (compaction and range
+// scans; tables are at most a few MB).
+func (t *table) loadAll() ([]kv, error) {
+	buf := make([]byte, t.entriesLen)
+	if _, err := t.dev.ReadAt(buf, int64(t.meta.off)); err != nil {
+		return nil, fmt.Errorf("lsm: read table entries: %w", err)
+	}
+	d := wire.NewDecoder(buf)
+	out := make([]kv, 0, t.meta.count)
+	for d.Remaining() > 0 {
+		k := d.String32()
+		flags := d.U8()
+		v := d.Bytes32()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("lsm: corrupt table: %w", d.Err())
+		}
+		out = append(out, kv{key: k, val: v, tomb: flags&1 != 0})
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package lsm
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"rebloc/internal/device"
+	"rebloc/internal/wire"
+)
+
+// The write-ahead log is two fixed device segments used ping-pong style:
+// one segment is active while the other holds records belonging to the
+// memtable currently being flushed. A segment is recycled (generation
+// bumped) once its memtable's SSTable is durable in the manifest.
+//
+// Record layout: [u32 payloadLen][u32 crc][payload] where payload is
+// (u64 generation, u64 seq, u32 count, count × {u8 kind, key, val}).
+// Replay stops at the first record whose CRC or generation is wrong.
+
+type walRecKind uint8
+
+const (
+	walPut walRecKind = iota + 1
+	walDel
+)
+
+type walSegment struct {
+	dev      device.Device
+	start    uint64 // device offset
+	size     uint64
+	gen      uint64 // current generation
+	writeOff uint64 // next append position relative to start
+}
+
+// reset recycles the segment for a new generation.
+func (s *walSegment) reset(gen uint64) {
+	s.gen = gen
+	s.writeOff = 0
+}
+
+// spaceLeft reports usable bytes remaining.
+func (s *walSegment) spaceLeft() uint64 {
+	if s.writeOff >= s.size {
+		return 0
+	}
+	return s.size - s.writeOff
+}
+
+// append encodes and durably writes one batch record. Returns the record
+// size or an error if the segment is full.
+func (s *walSegment) append(seq uint64, ops []walOp, scratch []byte) (int, error) {
+	e := wire.NewEncoder(scratch)
+	e.U32(0) // length placeholder
+	e.U32(0) // crc placeholder
+	e.U64(s.gen)
+	e.U64(seq)
+	e.U32(uint32(len(ops)))
+	for i := range ops {
+		e.U8(uint8(ops[i].kind))
+		e.String32(ops[i].key)
+		e.Bytes32(ops[i].val)
+	}
+	buf := e.Bytes()
+	payload := buf[8:]
+	putU32(buf[0:], uint32(len(payload)))
+	putU32(buf[4:], crc32.ChecksumIEEE(payload))
+	if uint64(len(buf)) > s.spaceLeft() {
+		return 0, errWALFull
+	}
+	if _, err := s.dev.WriteAt(buf, int64(s.start+s.writeOff)); err != nil {
+		return 0, fmt.Errorf("wal append: %w", err)
+	}
+	s.writeOff += uint64(len(buf))
+	return len(buf), nil
+}
+
+var errWALFull = fmt.Errorf("lsm: wal segment full")
+
+type walOp struct {
+	kind walRecKind
+	key  string
+	val  []byte
+}
+
+// replay scans the segment from the start and calls fn for each valid
+// record of the expected generation, in order. It returns the highest seq
+// seen.
+func (s *walSegment) replay(expectGen uint64, fn func(seq uint64, ops []walOp) error) (uint64, error) {
+	var maxSeq uint64
+	off := uint64(0)
+	hdr := make([]byte, 8)
+	for off+8 <= s.size {
+		if _, err := s.dev.ReadAt(hdr, int64(s.start+off)); err != nil {
+			return maxSeq, fmt.Errorf("wal replay header: %w", err)
+		}
+		plen := getU32(hdr[0:])
+		crc := getU32(hdr[4:])
+		if plen == 0 || uint64(plen) > s.size-off-8 {
+			break // end of log
+		}
+		payload := make([]byte, plen)
+		if _, err := s.dev.ReadAt(payload, int64(s.start+off+8)); err != nil {
+			return maxSeq, fmt.Errorf("wal replay payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // torn or stale record
+		}
+		d := wire.NewDecoder(payload)
+		gen := d.U64()
+		seq := d.U64()
+		count := int(d.U32())
+		if gen != expectGen {
+			break // record from a previous life of this segment
+		}
+		ops := make([]walOp, 0, count)
+		for i := 0; i < count; i++ {
+			ops = append(ops, walOp{
+				kind: walRecKind(d.U8()),
+				key:  d.String32(),
+				val:  d.Bytes32(),
+			})
+		}
+		if d.Err() != nil {
+			break
+		}
+		if err := fn(seq, ops); err != nil {
+			return maxSeq, err
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		off += 8 + uint64(plen)
+		s.writeOff = off
+	}
+	return maxSeq, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,118 @@
+// Package store defines the backend object-store contract shared by the
+// baseline BlueStore-model store and the CPU-efficient object store (COS).
+//
+// An OSD submits Transactions — atomic groups of object data writes,
+// attribute updates and raw key/value puts (PG log, object_info, snapset
+// in the baseline) — and reads objects back. Object keys carry their
+// placement-group id so stores can shard by logical group.
+package store
+
+import (
+	"errors"
+
+	"rebloc/internal/wire"
+)
+
+// Errors shared by object-store implementations.
+var (
+	ErrNotFound      = errors.New("store: object not found")
+	ErrClosed        = errors.New("store: closed")
+	ErrHashCollision = errors.New("store: object key hash collision")
+	ErrNoSpace       = errors.New("store: out of space")
+)
+
+// Key is the 64-bit object key: the placement group in the high 16 bits
+// (the paper's "logical group id in the leftmost bits of the object id")
+// and a 48-bit hash of the object name below it.
+type Key uint64
+
+// MakeKey builds the store key for an object in pg.
+func MakeKey(pg uint32, oid wire.ObjectID) Key {
+	return Key(uint64(pg)<<48 | (oid.Hash() & 0xFFFFFFFFFFFF))
+}
+
+// PG extracts the placement-group id from a key.
+func (k Key) PG() uint32 { return uint32(uint64(k) >> 48) }
+
+// TxnKind identifies one operation inside a transaction.
+type TxnKind uint8
+
+// Transaction op kinds.
+const (
+	TxnWrite   TxnKind = iota + 1 // object data write at Off
+	TxnDelete                     // remove object
+	TxnSetAttr                    // set a named attribute on the object
+	TxnPutKV                      // raw KV put (pglog, object_info, ...)
+	TxnDelKV                      // raw KV delete
+)
+
+// TxnOp is one operation inside a Transaction.
+type TxnOp struct {
+	Kind TxnKind
+	PG   uint32
+	OID  wire.ObjectID
+	Off  uint64
+	Data []byte
+	Key  string // attr name or raw KV key
+}
+
+// Transaction is an atomic group of operations; Submit makes all of it
+// durable before returning.
+type Transaction struct {
+	Ops []TxnOp
+}
+
+// AddWrite appends an object data write.
+func (t *Transaction) AddWrite(pg uint32, oid wire.ObjectID, off uint64, data []byte) {
+	t.Ops = append(t.Ops, TxnOp{Kind: TxnWrite, PG: pg, OID: oid, Off: off, Data: data})
+}
+
+// AddDelete appends an object removal.
+func (t *Transaction) AddDelete(pg uint32, oid wire.ObjectID) {
+	t.Ops = append(t.Ops, TxnOp{Kind: TxnDelete, PG: pg, OID: oid})
+}
+
+// AddSetAttr appends an attribute write.
+func (t *Transaction) AddSetAttr(pg uint32, oid wire.ObjectID, name string, val []byte) {
+	t.Ops = append(t.Ops, TxnOp{Kind: TxnSetAttr, PG: pg, OID: oid, Key: name, Data: val})
+}
+
+// AddPutKV appends a raw key/value put.
+func (t *Transaction) AddPutKV(key string, val []byte) {
+	t.Ops = append(t.Ops, TxnOp{Kind: TxnPutKV, Key: key, Data: val})
+}
+
+// AddDelKV appends a raw key/value delete.
+func (t *Transaction) AddDelKV(key string) {
+	t.Ops = append(t.Ops, TxnOp{Kind: TxnDelKV, Key: key})
+}
+
+// ObjectInfo describes one stored object, for listing and backfill.
+type ObjectInfo struct {
+	OID     wire.ObjectID
+	Key     Key
+	Size    uint64
+	Version uint64
+}
+
+// ObjectStore is the backend store contract.
+type ObjectStore interface {
+	// Submit applies a transaction durably.
+	Submit(txn *Transaction) error
+	// Read returns length bytes of the object at off. Reads past the
+	// current object size are zero-filled up to the object's allocated
+	// extent, mirroring block-device semantics.
+	Read(pg uint32, oid wire.ObjectID, off uint64, length uint32) ([]byte, error)
+	// GetAttr returns a named attribute.
+	GetAttr(pg uint32, oid wire.ObjectID, name string) ([]byte, error)
+	// Stat returns object metadata.
+	Stat(pg uint32, oid wire.ObjectID) (ObjectInfo, error)
+	// ListPG lists objects of a PG in key order starting after cursor
+	// (0 = start); it returns up to max entries and whether the listing
+	// is complete.
+	ListPG(pg uint32, cursor Key, max int) ([]ObjectInfo, Key, bool, error)
+	// Flush persists all buffered state.
+	Flush() error
+	// Close flushes and shuts down background work.
+	Close() error
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single frame payload (64 MiB): larger than any block op
+// plus headroom for backfill chunks, small enough to reject garbage.
+const MaxFrame = 64 << 20
+
+// Marshal encodes m into a framed byte slice ready for the wire.
+func Marshal(m Message) []byte {
+	e := NewEncoder(make([]byte, 0, 64))
+	// Reserve the frame header.
+	e.U32(0)
+	e.U8(uint8(m.Type()))
+	m.Encode(e)
+	buf := e.Bytes()
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-5))
+	return buf
+}
+
+// AppendFrame encodes m into dst (reusing its capacity) and returns the
+// framed bytes. Callers on hot paths use this to avoid per-message allocs.
+func AppendFrame(dst []byte, m Message) []byte {
+	e := NewEncoder(dst)
+	e.U32(0)
+	e.U8(uint8(m.Type()))
+	m.Encode(e)
+	buf := e.Bytes()
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-5))
+	return buf
+}
+
+// WriteMessage frames and writes m to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf := Marshal(m)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one framed message from r. The scratch slice, if large
+// enough, is reused for the payload; pass nil for a fresh buffer each time.
+func ReadMessage(r io.Reader, scratch []byte) (Message, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return nil, scratch, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	t := MsgType(hdr[4])
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	payload := scratch[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, scratch, fmt.Errorf("wire: read %s payload: %w", t, err)
+	}
+	m := New(t)
+	if m == nil {
+		return nil, scratch, fmt.Errorf("wire: unknown message type %d", uint8(t))
+	}
+	d := NewDecoder(payload)
+	m.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, scratch, fmt.Errorf("wire: decode %s: %w", t, err)
+	}
+	return m, scratch, nil
+}
+
+// Unmarshal decodes a single framed message from buf.
+func Unmarshal(buf []byte) (Message, error) {
+	if len(buf) < 5 {
+		return nil, ErrShortBuffer
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	if int(n) != len(buf)-5 {
+		return nil, fmt.Errorf("wire: frame length %d does not match buffer %d", n, len(buf)-5)
+	}
+	t := MsgType(buf[4])
+	m := New(t)
+	if m == nil {
+		return nil, fmt.Errorf("wire: unknown message type %d", uint8(t))
+	}
+	d := NewDecoder(buf[5:])
+	m.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decode %s: %w", t, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestUnmarshalGarbageNeverPanics feeds random frames to the decoder:
+// every outcome must be a clean message or error, never a panic or a
+// huge allocation.
+func TestUnmarshalGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(256)
+		buf := make([]byte, 5+n)
+		rng.Read(buf)
+		binary.LittleEndian.PutUint32(buf, uint32(n))
+		// Half the time use a valid type byte so the decoder goes deep.
+		if i%2 == 0 {
+			buf[4] = byte(rng.Intn(int(TBackfillChunk)) + 1)
+		}
+		_, _ = Unmarshal(buf) // must not panic
+	}
+}
+
+// TestDecodeTruncatedValidFrames truncates real frames at every length:
+// decoding must error gracefully, never panic.
+func TestDecodeTruncatedValidFrames(t *testing.T) {
+	msgs := []Message{
+		&ClientWrite{ReqID: 1, OID: ObjectID{Pool: 1, Name: "object-name"}, Offset: 4096, Data: make([]byte, 128)},
+		&Repl{ReqID: 2, PG: 3, Op: Op{Kind: OpWrite, OID: ObjectID{Name: "x"}, Data: make([]byte, 64)}},
+		&OplogChunk{ReqID: 1, Ops: []Op{{Kind: OpDelete, OID: ObjectID{Name: "y"}}}},
+		&BackfillChunk{Objects: []BackfillObject{{OID: ObjectID{Name: "z"}, Data: make([]byte, 32)}}, Done: true},
+	}
+	for _, m := range msgs {
+		frame := Marshal(m)
+		for cut := 0; cut < len(frame); cut++ {
+			truncated := make([]byte, cut)
+			copy(truncated, frame[:cut])
+			_, _ = Unmarshal(truncated) // must not panic
+		}
+	}
+}
