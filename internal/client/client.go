@@ -201,6 +201,10 @@ func (c *Client) do(oid wire.ObjectID, build func(reqID uint64, epoch uint32) wi
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
+	// One reusable timer per operation instead of a time.After allocation
+	// per attempt: this sits on the 4 KB-write hot path.
+	timer := time.NewTimer(c.opts.RequestTimeout)
+	defer timer.Stop()
 	var lastStatus wire.Status
 	for attempt := 0; attempt < c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -230,6 +234,13 @@ func (c *Client) do(oid wire.ObjectID, build func(reqID uint64, epoch uint32) wi
 			lastStatus = wire.StatusAgain
 			continue
 		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.opts.RequestTimeout)
 		select {
 		case reply := <-ch:
 			switch reply.Status {
@@ -243,7 +254,7 @@ func (c *Client) do(oid wire.ObjectID, build func(reqID uint64, epoch uint32) wi
 			default:
 				return reply, fmt.Errorf("client: %s", reply.Status)
 			}
-		case <-time.After(c.opts.RequestTimeout):
+		case <-timer.C:
 			oc.cancelWait(reqID)
 			return nil, ErrTimeout
 		}

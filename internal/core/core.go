@@ -100,6 +100,8 @@ func (o *Options) fill() {
 type Cluster struct {
 	opts    Options
 	tr      messenger.Transport
+	msgr    *messenger.Stats
+	reg     *metrics.Registry
 	mon     *monitor.Monitor
 	osds    []*osd.OSD
 	devices []device.Device
@@ -113,13 +115,17 @@ type Cluster struct {
 // map.
 func New(opts Options) (*Cluster, error) {
 	opts.fill()
-	c := &Cluster{opts: opts}
+	c := &Cluster{opts: opts, msgr: &messenger.Stats{}}
 	switch opts.Transport {
 	case TransportTCP:
-		c.tr = messenger.TCP{}
+		c.tr = messenger.TCP{Stats: c.msgr}
 	default:
-		c.tr = messenger.NewInProc()
+		in := messenger.NewInProc()
+		in.Stats = c.msgr
+		c.tr = in
 	}
+	c.reg = metrics.NewRegistry()
+	c.msgr.Register(c.reg, "msgr")
 
 	listenAddr := func(what string, i int) string {
 		if opts.Transport == TransportTCP {
@@ -247,6 +253,14 @@ func (c *Cluster) Map() *crush.Map { return c.mon.Map() }
 
 // Accounts returns the per-OSD CPU accounts.
 func (c *Cluster) Accounts() []*metrics.CPUAccount { return c.acct }
+
+// MessengerStats returns the send-path counters shared by every
+// connection in the cluster (frames per flush, queue depth, …).
+func (c *Cluster) MessengerStats() *messenger.Stats { return c.msgr }
+
+// Metrics returns the cluster's metrics registry; the messenger send
+// path and frame pool are registered under the "msgr." prefix.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 
 // ResetAccounting zeroes every OSD's CPU window (benchmark warm-up).
 func (c *Cluster) ResetAccounting() {

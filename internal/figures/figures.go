@@ -206,6 +206,27 @@ func sumWritten(deltas []device.Snapshot) int64 {
 	return total
 }
 
+// msgrRow summarises the messenger send path for one cluster-under-test:
+// the corking factor (frames per bufio flush; TCP only — the in-process
+// transport never flushes) and the replication fan-out batching factor
+// (ops per ReplBatch frame, summed over OSDs).
+func msgrRow(u *cut) string {
+	var batchFrames, batchedOps int64
+	for i := 0; i < u.c.OSDs(); i++ {
+		o := u.c.OSD(i)
+		if o == nil {
+			continue
+		}
+		batchFrames += o.ReplBatchFrames.Load()
+		batchedOps += o.ReplBatchedOps.Load()
+	}
+	opsPerBatch := 0.0
+	if batchFrames > 0 {
+		opsPerBatch = float64(batchedOps) / float64(batchFrames)
+	}
+	return fmt.Sprintf("%.1ff/fl %.1fop/rb", u.c.MessengerStats().FramesPerFlush(), opsPerBatch)
+}
+
 // cpuRow renders the usage breakdown like the paper's stacked bars.
 func cpuRow(u metrics.Usage) string {
 	return fmt.Sprintf("total=%4.0f%%  NP=%4.0f%%  SP=%4.0f%%  MT=%4.0f%%  PT=%4.0f%%  NPT=%4.0f%%",

@@ -1,0 +1,63 @@
+// Messenger send-path instrumentation. The paper's Fig 7a/Table II
+// attribute a large share of write-path CPU to message processing; these
+// counters make the two levers this package pulls — corked flushing
+// (frames per flush) and frame pooling (pool hit rate) — observable.
+package messenger
+
+import (
+	"rebloc/internal/metrics"
+	"rebloc/internal/wire"
+)
+
+// Stats aggregates send-path counters across every connection created by
+// the transports that share it. All fields are safe for concurrent use.
+type Stats struct {
+	// Sends counts messages accepted by Conn.Send.
+	Sends metrics.Counter
+	// Flushes counts bufio flushes on the TCP writer (one syscall each).
+	Flushes metrics.Counter
+	// FramesFlushed counts frames written; FramesFlushed/Flushes is the
+	// corking factor (1.0 when idle, >1 under load).
+	FramesFlushed metrics.Counter
+	// BytesFlushed counts framed bytes written to the kernel.
+	BytesFlushed metrics.Counter
+	// SendQueueDepth is the instantaneous number of frames queued behind
+	// TCP writer goroutines (aggregated over connections).
+	SendQueueDepth metrics.Gauge
+	// SendErrors counts sends rejected because the connection is down.
+	SendErrors metrics.Counter
+}
+
+// DefaultStats receives send-path counters for transports constructed
+// without an explicit Stats (messenger.TCP{}, NewInProc()).
+var DefaultStats = &Stats{}
+
+// FramesPerFlush returns the average corking factor so far (0 before any
+// flush).
+func (s *Stats) FramesPerFlush() float64 {
+	fl := s.Flushes.Load()
+	if fl == 0 {
+		return 0
+	}
+	return float64(s.FramesFlushed.Load()) / float64(fl)
+}
+
+// Register wires the stats and the shared frame pool into a metrics
+// registry under prefix (e.g. "msgr").
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.RegisterCounter(prefix+".sends", &s.Sends)
+	r.RegisterCounter(prefix+".flushes", &s.Flushes)
+	r.RegisterCounter(prefix+".frames_flushed", &s.FramesFlushed)
+	r.RegisterCounter(prefix+".bytes_flushed", &s.BytesFlushed)
+	r.RegisterGauge(prefix+".send_queue_depth", &s.SendQueueDepth)
+	r.RegisterCounter(prefix+".send_errors", &s.SendErrors)
+	r.RegisterFunc(prefix+".pool_gets", func() int64 {
+		return int64(wire.FramePoolStats().Gets)
+	})
+	r.RegisterFunc(prefix+".pool_hits", func() int64 {
+		return int64(wire.FramePoolStats().Hits)
+	})
+	r.RegisterFunc(prefix+".pool_hit_pct", func() int64 {
+		return int64(wire.FramePoolStats().HitRate() * 100)
+	})
+}

@@ -47,19 +47,27 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
-// Registry is a named collection of counters and histograms, used by
-// components that want to expose their metrics for reporting.
+// Registry is a named collection of counters, gauges and histograms, used
+// by components that want to expose their metrics for reporting. Besides
+// creating metrics on demand, a registry can adopt externally-owned
+// counters/gauges (RegisterCounter/RegisterGauge) and lazily-evaluated
+// values (RegisterFunc), so subsystems with their own hot-path counters —
+// the messenger send path, the frame pool — surface in the same report.
 type Registry struct {
 	mu     sync.Mutex
 	counts map[string]*Counter
+	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	funcs  map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		funcs:  make(map[string]func() int64),
 	}
 }
 
@@ -73,6 +81,41 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counts[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterCounter adopts an externally-owned counter under name; later
+// Counter(name) calls return the same instance.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.mu.Lock()
+	r.counts[name] = c
+	r.mu.Unlock()
+}
+
+// RegisterGauge adopts an externally-owned gauge under name.
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	r.mu.Lock()
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// RegisterFunc registers a value evaluated at report time (for values
+// derived from counters owned elsewhere, e.g. pool hit counts).
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
 }
 
 // Histogram returns the histogram registered under name, creating it if
@@ -92,14 +135,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) String() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counts))
-	for n := range r.counts {
+	vals := make(map[string]int64, len(r.counts)+len(r.gauges)+len(r.funcs))
+	for n, c := range r.counts {
+		vals[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		vals[n] = g.Load()
+	}
+	for n, fn := range r.funcs {
+		vals[n] = fn()
+	}
+	names := make([]string, 0, len(vals))
+	for n := range vals {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
-		fmt.Fprintf(&b, "%s=%d ", n, r.counts[n].Load())
+		fmt.Fprintf(&b, "%s=%d ", n, vals[n])
 	}
 	return strings.TrimSpace(b.String())
 }

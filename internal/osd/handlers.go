@@ -90,6 +90,12 @@ func (o *OSD) dispatch(conn messenger.Conn, m wire.Message) {
 		o.handleClientRead(conn, msg)
 	case *wire.Repl:
 		o.handleRepl(conn, msg)
+	case *wire.ReplBatch:
+		// Items apply in order; each acks individually, and the corked
+		// messenger coalesces the acks into one flush on the way back.
+		for i := range msg.Items {
+			o.handleRepl(conn, &msg.Items[i])
+		}
 	case *wire.ReplAck:
 		o.pending.complete(msg.ReqID, msg.Status)
 	case *wire.Flush:

@@ -109,6 +109,11 @@ type Config struct {
 	FlushInterval time.Duration
 	// OplogRegionBytes sizes each PG's NVM op-log region.
 	OplogRegionBytes int64
+	// ReplBatchMax caps how many queued ops for one peer coalesce into a
+	// single ReplBatch frame. The batch engages only when more than one
+	// op is waiting (idle peers see plain Repl frames, unchanged
+	// latency); 1 disables batching entirely. Default 32.
+	ReplBatchMax int
 	// Account receives the CPU breakdown; a fresh one is created if nil.
 	Account *metrics.CPUAccount
 	// Pools optionally pins priority/non-priority workers to CPU pools.
@@ -169,6 +174,9 @@ func (c *Config) fill() error {
 	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.ReplBatchMax <= 0 {
+		c.ReplBatchMax = 32
 	}
 	if c.Account == nil {
 		c.Account = metrics.NewCPUAccount()
@@ -241,6 +249,11 @@ type OSD struct {
 	ReplOps     metrics.Counter
 	ForcedFlush metrics.Counter
 	Backfills   metrics.Counter
+	// ReplBatchFrames counts ReplBatch frames shipped to peers;
+	// ReplBatchedOps counts the ops they carried (ops/frame is the
+	// fan-out batching factor).
+	ReplBatchFrames metrics.Counter
+	ReplBatchedOps  metrics.Counter
 }
 
 // task is a unit of work handed between threads; replies travel inside

@@ -101,16 +101,34 @@ func (p *pendingSet) size() int {
 	return len(p.m)
 }
 
+// replQueueDepth bounds ops queued behind one peer's replication sender.
+// A full queue blocks the enqueuing priority thread — backpressure, the
+// same behaviour the old synchronous Send had when the socket filled.
+const replQueueDepth = 1024
+
+// replItem is one mutation queued for shipment to a peer.
+type replItem struct {
+	pendingID uint64
+	pg        uint32
+	epoch     uint32
+	op        wire.Op
+}
+
 // peer is a cached outbound connection to another OSD, used for
-// replication requests; acknowledgements flow back on the same conn.
+// replication requests; acknowledgements flow back on the same conn. Ops
+// pass through q to a dedicated sender goroutine that coalesces queued
+// ops for this peer into ReplBatch frames (fan-out batching).
 type peer struct {
 	id   uint32
 	conn messenger.Conn
+	q    chan replItem
+	down chan struct{}
 	once sync.Once
 }
 
 func (pr *peer) close() {
 	pr.once.Do(func() {
+		close(pr.down)
 		if pr.conn != nil {
 			pr.conn.Close()
 		}
@@ -118,7 +136,8 @@ func (pr *peer) close() {
 }
 
 // peerFor returns a live connection to the given OSD, dialling on first
-// use. The receive loop delivers ReplAcks to the pending set.
+// use. The receive loop delivers ReplAcks to the pending set; the send
+// loop ships queued ops.
 func (o *OSD) peerFor(id uint32) (*peer, error) {
 	if v, ok := o.peers.Load(id); ok {
 		return v.(*peer), nil
@@ -135,12 +154,29 @@ func (o *OSD) peerFor(id uint32) (*peer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("osd %d: dial peer %d: %w", o.cfg.ID, id, err)
 	}
-	pr := &peer{id: id, conn: conn}
+	pr := &peer{
+		id:   id,
+		conn: conn,
+		q:    make(chan replItem, replQueueDepth),
+		down: make(chan struct{}),
+	}
 	if actual, loaded := o.peers.LoadOrStore(id, pr); loaded {
 		conn.Close()
 		return actual.(*peer), nil
 	}
 	o.group.Go(func(stop <-chan struct{}) { o.peerRecvLoop(pr, stop) })
+	o.group.Go(func(stop <-chan struct{}) { o.peerSendLoop(pr, stop) })
+	// Tie the connection's lifetime to the group: peerRecvLoop blocks in
+	// Recv, so a stop must close the conn to unblock it. Close's
+	// peers.Range alone cannot guarantee that — a dial racing with Close
+	// can store the peer after the sweep has already run.
+	o.group.Go(func(stop <-chan struct{}) {
+		select {
+		case <-stop:
+			o.dropPeer(pr)
+		case <-pr.down:
+		}
+	})
 	return pr, nil
 }
 
@@ -150,7 +186,9 @@ func (o *OSD) dropPeer(pr *peer) {
 	pr.close()
 }
 
-// peerRecvLoop consumes acknowledgements from a peer connection.
+// peerRecvLoop consumes acknowledgements from a peer connection. An ack
+// already received is delivered even when a stop races in: dropping it
+// would strand the pending op until the sweep fails it seconds later.
 func (o *OSD) peerRecvLoop(pr *peer, stop <-chan struct{}) {
 	for {
 		m, err := pr.conn.Recv()
@@ -158,30 +196,88 @@ func (o *OSD) peerRecvLoop(pr *peer, stop <-chan struct{}) {
 			o.dropPeer(pr)
 			return
 		}
+		if ack, ok := m.(*wire.ReplAck); ok {
+			o.pending.complete(ack.ReqID, ack.Status)
+		}
 		select {
 		case <-stop:
 			return
 		default:
 		}
-		if ack, ok := m.(*wire.ReplAck); ok {
-			o.pending.complete(ack.ReqID, ack.Status)
+	}
+}
+
+// peerSendLoop drains a peer's replication queue. A single queued op
+// ships as a plain Repl (identical wire behaviour to the unbatched
+// path); when more than one op is waiting — replication fan-out under
+// load — up to ReplBatchMax coalesce into one ReplBatch frame, saving
+// per-frame encode/flush overhead on both sides. Send failures complete
+// the affected ops with StatusAgain so clients retry after a map
+// refresh.
+func (o *OSD) peerSendLoop(pr *peer, stop <-chan struct{}) {
+	maxBatch := o.cfg.ReplBatchMax
+	batch := make([]wire.Repl, 0, maxBatch)
+	for {
+		var it replItem
+		select {
+		case it = <-pr.q:
+		case <-pr.down:
+			// Fail whatever is still queued so clients retry promptly
+			// instead of waiting out the pending sweep.
+			for {
+				select {
+				case it := <-pr.q:
+					o.pending.complete(it.pendingID, wire.StatusAgain)
+				default:
+					return
+				}
+			}
+		case <-stop:
+			return
+		}
+		batch = append(batch[:0], wire.Repl{ReqID: it.pendingID, PG: it.pg, Epoch: it.epoch, Op: it.op})
+	fill:
+		for len(batch) < maxBatch {
+			select {
+			case it = <-pr.q:
+				batch = append(batch, wire.Repl{ReqID: it.pendingID, PG: it.pg, Epoch: it.epoch, Op: it.op})
+			default:
+				break fill
+			}
+		}
+		var err error
+		if len(batch) == 1 {
+			err = pr.conn.Send(&batch[0])
+		} else {
+			err = pr.conn.Send(&wire.ReplBatch{Items: batch})
+			o.ReplBatchFrames.Inc()
+			o.ReplBatchedOps.Add(int64(len(batch)))
+		}
+		if err != nil {
+			o.dropPeer(pr)
+			for i := range batch {
+				o.pending.complete(batch[i].ReqID, wire.StatusAgain)
+			}
 		}
 	}
 }
 
-// replicate ships op to every secondary in the acting set, completing the
-// pending op entry per ack. Send failures complete immediately with
-// StatusAgain so the client retries after a map refresh.
+// replicate queues op for every secondary in the acting set, completing
+// the pending op entry per ack. The actual shipment happens on the
+// per-peer sender goroutines, keeping encode/flush cost off this
+// latency-critical top half.
 func (o *OSD) replicate(pendingID uint64, pg, epoch uint32, secondaries []uint32, op wire.Op) {
-	msg := &wire.Repl{ReqID: pendingID, PG: pg, Epoch: epoch, Op: op}
 	for _, id := range secondaries {
 		pr, err := o.peerFor(id)
 		if err != nil {
 			o.pending.complete(pendingID, wire.StatusAgain)
 			continue
 		}
-		if err := pr.conn.Send(msg); err != nil {
-			o.dropPeer(pr)
+		select {
+		case pr.q <- replItem{pendingID: pendingID, pg: pg, epoch: epoch, op: op}:
+		case <-pr.down:
+			o.pending.complete(pendingID, wire.StatusAgain)
+		case <-o.group.Stopping():
 			o.pending.complete(pendingID, wire.StatusAgain)
 		}
 	}

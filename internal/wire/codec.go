@@ -12,24 +12,22 @@ const MaxFrame = 64 << 20
 
 // Marshal encodes m into a framed byte slice ready for the wire.
 func Marshal(m Message) []byte {
-	e := NewEncoder(make([]byte, 0, 64))
-	// Reserve the frame header.
-	e.U32(0)
-	e.U8(uint8(m.Type()))
-	m.Encode(e)
-	buf := e.Bytes()
-	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-5))
-	return buf
+	return AppendFrame(make([]byte, 0, 64), m)
 }
 
 // AppendFrame encodes m into dst (reusing its capacity) and returns the
-// framed bytes. Callers on hot paths use this to avoid per-message allocs.
+// framed bytes. Callers on hot paths use this to avoid per-message allocs;
+// the Encoder itself is pooled because passing it through the Message
+// interface would otherwise heap-allocate one per call.
 func AppendFrame(dst []byte, m Message) []byte {
-	e := NewEncoder(dst)
+	e := encoderPool.Get().(*Encoder)
+	e.buf = dst[:0]
 	e.U32(0)
 	e.U8(uint8(m.Type()))
 	m.Encode(e)
-	buf := e.Bytes()
+	buf := e.buf
+	e.buf = nil
+	encoderPool.Put(e)
 	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-5))
 	return buf
 }

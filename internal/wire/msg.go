@@ -26,6 +26,7 @@ const (
 	TOplogChunk
 	TBackfillPull
 	TBackfillChunk
+	TReplBatch
 )
 
 // String names the message type.
@@ -63,6 +64,8 @@ func (t MsgType) String() string {
 		return "BackfillPull"
 	case TBackfillChunk:
 		return "BackfillChunk"
+	case TReplBatch:
+		return "ReplBatch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -345,6 +348,53 @@ func (m *Repl) Decode(d *Decoder) {
 	m.Op = decodeOp(d)
 }
 
+// ReplBatch carries several mutations from the primary to one replica in
+// a single frame. The primary coalesces ops queued for the same peer
+// (replication fan-out batching); the replica processes the items in
+// order and acknowledges each with its own ReplAck, so the ack path and
+// the pending-op bookkeeping are identical to unbatched Repl.
+type ReplBatch struct {
+	Items []Repl
+}
+
+// Type implements Message.
+func (*ReplBatch) Type() MsgType { return TReplBatch }
+
+// Encode implements Message.
+func (m *ReplBatch) Encode(e *Encoder) {
+	e.U32(uint32(len(m.Items)))
+	for i := range m.Items {
+		it := &m.Items[i]
+		e.U64(it.ReqID)
+		e.U32(it.PG)
+		e.U32(it.Epoch)
+		it.Op.encode(e)
+	}
+}
+
+// Decode implements Message.
+func (m *ReplBatch) Decode(d *Decoder) {
+	n := int(d.U32())
+	if n == 0 {
+		return
+	}
+	// Every item occupies at least 16 bytes on the wire, so a count the
+	// payload cannot hold is garbage: fail instead of over-allocating.
+	if n < 0 || n > 1<<20 || n > d.Remaining()/16 {
+		d.err = ErrShortBuffer
+		return
+	}
+	m.Items = make([]Repl, 0, n)
+	for i := 0; i < n; i++ {
+		m.Items = append(m.Items, Repl{
+			ReqID: d.U64(),
+			PG:    d.U32(),
+			Epoch: d.U32(),
+			Op:    decodeOp(d),
+		})
+	}
+}
+
 // ReplAck acknowledges a replicated mutation.
 type ReplAck struct {
 	ReqID  uint64
@@ -538,7 +588,11 @@ func (m *OplogChunk) Decode(d *Decoder) {
 	m.PG = d.U32()
 	m.Status = Status(d.U8())
 	n := int(d.U32())
-	if n < 0 || n > 1<<20 {
+	if n == 0 {
+		return
+	}
+	if n < 0 || n > 1<<20 || n > d.Remaining()/16 {
+		d.err = ErrShortBuffer
 		return
 	}
 	m.Ops = make([]Op, 0, n)
@@ -616,16 +670,19 @@ func (m *BackfillChunk) Decode(d *Decoder) {
 	m.PG = d.U32()
 	m.Status = Status(d.U8())
 	n := int(d.U32())
-	if n < 0 || n > 1<<20 {
-		return
-	}
-	m.Objects = make([]BackfillObject, 0, n)
-	for i := 0; i < n; i++ {
-		m.Objects = append(m.Objects, BackfillObject{
-			OID:     decodeObjectID(d),
-			Version: d.U64(),
-			Data:    d.Bytes32(),
-		})
+	if n != 0 {
+		if n < 0 || n > 1<<20 || n > d.Remaining()/16 {
+			d.err = ErrShortBuffer
+			return
+		}
+		m.Objects = make([]BackfillObject, 0, n)
+		for i := 0; i < n; i++ {
+			m.Objects = append(m.Objects, BackfillObject{
+				OID:     decodeObjectID(d),
+				Version: d.U64(),
+				Data:    d.Bytes32(),
+			})
+		}
 	}
 	m.NextCursor = d.String32()
 	m.Done = d.Bool()
@@ -666,6 +723,8 @@ func New(t MsgType) Message {
 		return &BackfillPull{}
 	case TBackfillChunk:
 		return &BackfillChunk{}
+	case TReplBatch:
+		return &ReplBatch{}
 	default:
 		return nil
 	}

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame buffers travel from the sender that encodes a message to the
+// transport goroutine that writes it out (or the receiver that decodes
+// it), then return to a size-classed pool. Pooling them makes the
+// steady-state send path allocation-free: the paper's analysis shows
+// message processing CPU on the critical path, and per-message buffer
+// churn is pure MP overhead.
+//
+// Size classes are powers of two from minFrameClass to maxFrameClass.
+// Buffers above the largest class (rare: backfill/oplog chunks) are
+// allocated fresh and never retained, so one oversized frame cannot pin
+// megabytes of memory for the life of a connection.
+const (
+	minFrameClass = 9  // 512 B: covers acks, replies, heartbeats
+	maxFrameClass = 18 // 256 KiB: covers any 4 KB-write era frame with room
+)
+
+// MaxPooledFrame is the largest buffer capacity the frame pool retains.
+const MaxPooledFrame = 1 << maxFrameClass
+
+// Frame is a pooled, framed message buffer. B holds the encoded bytes;
+// the wrapper (rather than a bare slice) keeps sync.Pool round-trips
+// allocation-free and survives append growth of B.
+type Frame struct {
+	B []byte
+}
+
+var framePools [maxFrameClass + 1]sync.Pool
+
+// Frame-pool counters (atomic; see PoolStats).
+var (
+	poolGets   atomic.Uint64
+	poolHits   atomic.Uint64
+	poolPuts   atomic.Uint64
+	poolDrops  atomic.Uint64 // oversized buffers not retained on Put
+	poolJumbos atomic.Uint64 // Gets larger than the biggest class
+)
+
+// frameClass returns the pool class whose buffers hold at least n bytes.
+func frameClass(n int) int {
+	if n <= 1<<minFrameClass {
+		return minFrameClass
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	return c
+}
+
+// GetFrame returns a frame whose buffer has len 0 and capacity >= sizeHint.
+// Callers encode into F.B with append and hand the frame to the transport,
+// which releases it with PutFrame once the bytes are written (or decoded).
+func GetFrame(sizeHint int) *Frame {
+	poolGets.Add(1)
+	if sizeHint > MaxPooledFrame {
+		poolJumbos.Add(1)
+		return &Frame{B: make([]byte, 0, sizeHint)}
+	}
+	c := frameClass(sizeHint)
+	if v := framePools[c].Get(); v != nil {
+		poolHits.Add(1)
+		f := v.(*Frame)
+		f.B = f.B[:0]
+		return f
+	}
+	return &Frame{B: make([]byte, 0, 1<<c)}
+}
+
+// PutFrame returns a frame to its size class. Buffers that grew beyond the
+// largest class are dropped, capping per-frame retention. Callers must not
+// touch the frame after releasing it.
+func PutFrame(f *Frame) {
+	if f == nil {
+		return
+	}
+	poolPuts.Add(1)
+	c := cap(f.B)
+	if c > MaxPooledFrame || c < 1<<minFrameClass {
+		poolDrops.Add(1)
+		return
+	}
+	// A buffer with capacity in [1<<k, 1<<(k+1)) files under class k, so a
+	// Get for class k always receives at least 1<<k bytes of capacity.
+	class := bits.Len(uint(c)) - 1
+	f.B = f.B[:0]
+	framePools[class].Put(f)
+}
+
+// PoolStats is a snapshot of the frame-pool counters.
+type PoolStats struct {
+	Gets   uint64 // GetFrame calls
+	Hits   uint64 // Gets satisfied from a pool
+	Puts   uint64 // PutFrame calls
+	Drops  uint64 // Puts dropped for being outside the retained classes
+	Jumbos uint64 // Gets above MaxPooledFrame (never pooled)
+}
+
+// HitRate returns hits/gets in [0,1], or 0 before any Get.
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// FramePoolStats snapshots the global frame-pool counters.
+func FramePoolStats() PoolStats {
+	return PoolStats{
+		Gets:   poolGets.Load(),
+		Hits:   poolHits.Load(),
+		Puts:   poolPuts.Load(),
+		Drops:  poolDrops.Load(),
+		Jumbos: poolJumbos.Load(),
+	}
+}
+
+// encoderPool recycles Encoders so AppendFrame does not heap-allocate one
+// per message (passing *Encoder through the Message interface makes it
+// escape).
+var encoderPool = sync.Pool{New: func() any { return &Encoder{} }}

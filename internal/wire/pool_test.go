@@ -1,0 +1,83 @@
+package wire
+
+import "testing"
+
+func TestFramePoolRoundTrip(t *testing.T) {
+	f := GetFrame(600)
+	if cap(f.B) < 600 {
+		t.Fatalf("cap %d < requested 600", cap(f.B))
+	}
+	if len(f.B) != 0 {
+		t.Fatalf("fresh frame has len %d", len(f.B))
+	}
+	f.B = append(f.B, make([]byte, 600)...)
+	PutFrame(f)
+	g := GetFrame(600)
+	if len(g.B) != 0 {
+		t.Fatal("recycled frame must come back empty")
+	}
+	PutFrame(g)
+}
+
+func TestFramePoolJumboNeverRetained(t *testing.T) {
+	before := FramePoolStats()
+	f := GetFrame(MaxPooledFrame + 1)
+	if cap(f.B) < MaxPooledFrame+1 {
+		t.Fatal("jumbo frame too small")
+	}
+	PutFrame(f)
+	after := FramePoolStats()
+	if after.Jumbos != before.Jumbos+1 {
+		t.Fatalf("jumbo get not counted: %+v -> %+v", before, after)
+	}
+	if after.Drops != before.Drops+1 {
+		t.Fatal("jumbo put must be dropped, not pooled")
+	}
+}
+
+func TestFramePoolClassBounds(t *testing.T) {
+	for _, tc := range []struct{ n, class int }{
+		{0, minFrameClass},
+		{1, minFrameClass},
+		{512, minFrameClass},
+		{513, 10},
+		{1 << 12, 12},
+		{(1 << 12) + 1, 13},
+		{MaxPooledFrame, maxFrameClass},
+	} {
+		if got := frameClass(tc.n); got != tc.class {
+			t.Errorf("frameClass(%d) = %d, want %d", tc.n, got, tc.class)
+		}
+	}
+}
+
+func TestPoolStatsHitRate(t *testing.T) {
+	s := PoolStats{Gets: 0}
+	if s.HitRate() != 0 {
+		t.Fatal("zero gets must report 0 hit rate")
+	}
+	s = PoolStats{Gets: 10, Hits: 9}
+	if s.HitRate() != 0.9 {
+		t.Fatalf("hit rate %f, want 0.9", s.HitRate())
+	}
+}
+
+// BenchmarkAppendFramePooled is the allocation floor of the send path:
+// frame buffer and encoder both come from pools, so steady state should
+// report ~0 allocs/op.
+func BenchmarkAppendFramePooled(b *testing.B) {
+	msg := &ClientWrite{ReqID: 1, OID: ObjectID{Pool: 1, Name: "bench-object"}, Offset: 4096, Data: make([]byte, 4096)}
+	// Warm the pool's per-P caches.
+	for i := 0; i < 64; i++ {
+		f := GetFrame(4 << 10)
+		f.B = AppendFrame(f.B, msg)
+		PutFrame(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := GetFrame(8 << 10)
+		f.B = AppendFrame(f.B, msg)
+		PutFrame(f)
+	}
+}
