@@ -7,7 +7,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/messenger/... ./internal/oplog/... ./internal/osd/... ./internal/sched/...
 
-.PHONY: check vet test race bench-msgr
+.PHONY: check vet test race bench-msgr bench-oplog
 
 check: vet race
 	$(GO) test ./...
@@ -25,3 +25,9 @@ race:
 # plus the send-path allocation floor (expect ~0 allocs/op).
 bench-msgr:
 	$(GO) test -bench 'Echo4K|SendPath4K|AppendFramePooled' -benchtime 1s -run XXX ./internal/messenger/ ./internal/wire/
+
+# Oplog microbenchmarks: the group-committed append path (expect 0
+# allocs/op; persists/op < 1 at 8 appenders), the extent-index lookup,
+# and the coalescing bottom half (expect storeops/entry << 1).
+bench-oplog:
+	$(GO) test -bench 'OplogAppend|OplogLookup|FlushCoalesced' -benchmem -benchtime 1s -run XXX ./internal/oplog/

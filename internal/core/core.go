@@ -65,6 +65,9 @@ type Options struct {
 	NonPriority    int
 	FlushThreshold int
 	FlushInterval  time.Duration
+	// GroupCommitMax caps the oplog group-commit batch per PG (zero =
+	// oplog default).
+	GroupCommitMax int
 	// PinCPUs pins priority/non-priority workers to disjoint core pools.
 	PinCPUs bool
 	// COS overrides the CPU-efficient store options (ablations); COSSet
@@ -192,6 +195,7 @@ func (c *Cluster) startOSD(id uint32, addr string, dev device.Device, bank *nvm.
 		Partitions:     c.opts.Partitions,
 		FlushThreshold: c.opts.FlushThreshold,
 		FlushInterval:  c.opts.FlushInterval,
+		GroupCommitMax: c.opts.GroupCommitMax,
 		Account:        acct,
 		COS:            c.opts.COS,
 		COSSet:         c.opts.COSSet,
@@ -206,6 +210,7 @@ func (c *Cluster) startOSD(id uint32, addr string, dev device.Device, bank *nvm.
 	if err := o.Start(); err != nil {
 		return nil, err
 	}
+	o.RegisterMetrics(c.reg, fmt.Sprintf("osd%d", id))
 	if int(id) < len(c.osds) {
 		c.osds[id] = o
 		c.acct[id] = acct

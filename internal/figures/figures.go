@@ -18,6 +18,7 @@ import (
 	"rebloc/internal/core"
 	"rebloc/internal/device"
 	"rebloc/internal/metrics"
+	"rebloc/internal/oplog"
 	"rebloc/internal/osd"
 	"rebloc/internal/rbd"
 )
@@ -225,6 +226,42 @@ func msgrRow(u *cut) string {
 		opsPerBatch = float64(batchedOps) / float64(batchFrames)
 	}
 	return fmt.Sprintf("%.1ff/fl %.1fop/rb", u.c.MessengerStats().FramesPerFlush(), opsPerBatch)
+}
+
+// oplogRow summarises the NVM op-log for one cluster-under-test: the
+// group-commit factor (appends per header persist), the bottom-half
+// batching factor (entries per flush pass) and the coalesce ratio
+// (staged entries per store op submitted). Replicated mode has no op
+// log, so the row renders as "-".
+func oplogRow(u *cut) string {
+	var snap oplog.StatsSnapshot
+	var batches, entries, storeOps int64
+	for i := 0; i < u.c.OSDs(); i++ {
+		o := u.c.OSD(i)
+		if o == nil {
+			continue
+		}
+		snap = snap.Add(o.OplogSnapshot())
+		batches += o.FlushBatches.Load()
+		entries += o.FlushedEntries.Load()
+		storeOps += o.FlushStoreOps.Load()
+	}
+	if snap.Appends == 0 {
+		return "-"
+	}
+	opsPerGroup := 0.0
+	if snap.Groups > 0 {
+		opsPerGroup = float64(snap.Appends) / float64(snap.Groups)
+	}
+	entriesPerBatch := 0.0
+	if batches > 0 {
+		entriesPerBatch = float64(entries) / float64(batches)
+	}
+	coalesce := 1.0
+	if storeOps > 0 {
+		coalesce = float64(entries) / float64(storeOps)
+	}
+	return fmt.Sprintf("%.1fop/gc %.1fe/fl %.1fx", opsPerGroup, entriesPerBatch, coalesce)
 }
 
 // cpuRow renders the usage breakdown like the paper's stacked bars.

@@ -44,6 +44,17 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Add adjusts the gauge by delta (may be negative).
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
+// SetMax raises the gauge to v if v exceeds the current value (high-water
+// marks, e.g. the largest commit group observed).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 

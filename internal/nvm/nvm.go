@@ -105,6 +105,13 @@ func (b *Bank) Region(name string) (*Region, error) {
 	return r, nil
 }
 
+// PersistStats reads both persist counters at once. Benchmarks diff two
+// snapshots around a measured window to report persists/op without
+// touching the counters' internals.
+func (b *Bank) PersistStats() (ops, bytes int64) {
+	return b.PersistOps.Load(), b.PersistBytes.Load()
+}
+
 // Crash simulates power loss: the volatile view reverts to the last
 // persisted state. Regions and their layout survive (they would be
 // rediscovered from a superblock in real hardware).

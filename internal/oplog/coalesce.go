@@ -1,0 +1,109 @@
+package oplog
+
+import "rebloc/internal/wire"
+
+// Coalescer merges a flush batch's staged writes per object before the
+// bottom half submits them to the store (paper §IV-A: the batched flush is
+// where write amplification is won or lost). N overwrites of one hot block
+// become one store write (newest wins, via the same extent overlay the
+// index cache uses), and adjacent extents concatenate into single larger
+// writes up to maxMergedWrite.
+//
+// A Coalescer is single-threaded scratch state: the OSD keeps one per PG,
+// used under the PG's flush lock. The zero value is ready to use.
+type Coalescer struct {
+	objs  map[wire.ObjectID]*objStage
+	order []*objStage // first-touch order (stable output for tests/replay)
+	out   []MergedOp
+	buf   []byte // concatenation arena, reused across Emit calls
+}
+
+// MergedOp is one store operation produced by coalescing: either a delete
+// of the object or a write of one merged extent. Data aliases staged entry
+// payloads or the Coalescer's arena — valid until the next Reset/Emit.
+type MergedOp struct {
+	OID    wire.ObjectID
+	Delete bool
+	Off    uint64
+	Data   []byte
+}
+
+// maxMergedWrite caps adjacent-extent concatenation so one merged store
+// write stays within a sane I/O size.
+const maxMergedWrite = 1 << 20
+
+// Reset drops all buffered state (start of a new flush batch).
+func (c *Coalescer) Reset() {
+	c.clear()
+	c.out = c.out[:0]
+	c.buf = c.buf[:0]
+}
+
+func (c *Coalescer) clear() {
+	for _, st := range c.order {
+		delete(c.objs, st.oid)
+		putObjStage(st)
+	}
+	c.order = c.order[:0]
+}
+
+// Add folds one staged entry into the per-object overlay. Logged reads
+// carry no data and are ignored (the OSD serves them between Emit calls).
+func (c *Coalescer) Add(e *Entry) {
+	op := &e.Op
+	if op.Kind != wire.OpWrite && op.Kind != wire.OpDelete {
+		return
+	}
+	if c.objs == nil {
+		c.objs = make(map[wire.ObjectID]*objStage)
+	}
+	st, ok := c.objs[op.OID]
+	if !ok {
+		st = getObjStage(op.OID)
+		c.objs[op.OID] = st
+		c.order = append(c.order, st)
+	}
+	if op.Kind == wire.OpDelete {
+		st.stageDelete()
+	} else {
+		st.stageWrite(op.Offset, op.Data)
+	}
+}
+
+// Emit returns the merged store operations for everything added since the
+// last Reset/Emit, in first-touch object order: a delete first when a
+// staged delete survives under the extents (truncating the object before
+// the re-creating writes land), then one write per merged extent run. The
+// internal overlay is cleared; the returned slice is valid until the next
+// call on the Coalescer.
+func (c *Coalescer) Emit() []MergedOp {
+	out := c.out[:0]
+	c.buf = c.buf[:0]
+	for _, st := range c.order {
+		if st.zeroBase {
+			out = append(out, MergedOp{OID: st.oid, Delete: true})
+		}
+		exts := st.exts
+		for i := 0; i < len(exts); {
+			j := i + 1
+			total := len(exts[i].data)
+			for j < len(exts) && exts[j].off == exts[j-1].end() && total+len(exts[j].data) <= maxMergedWrite {
+				total += len(exts[j].data)
+				j++
+			}
+			data := exts[i].data
+			if j > i+1 {
+				mark := len(c.buf)
+				for k := i; k < j; k++ {
+					c.buf = append(c.buf, exts[k].data...)
+				}
+				data = c.buf[mark:len(c.buf):len(c.buf)]
+			}
+			out = append(out, MergedOp{OID: st.oid, Off: exts[i].off, Data: data})
+			i = j
+		}
+	}
+	c.out = out
+	c.clear()
+	return out
+}

@@ -1,0 +1,146 @@
+package oplog
+
+import (
+	"bytes"
+	"testing"
+
+	"rebloc/internal/wire"
+)
+
+func stagedEntry(op wire.Op) *Entry { return &Entry{Op: op, State: StateStaged} }
+
+func deleteOp(name string, seq uint64) wire.Op {
+	return wire.Op{
+		Kind:    wire.OpDelete,
+		OID:     wire.ObjectID{Pool: 1, Name: name},
+		Version: seq,
+		Seq:     seq,
+	}
+}
+
+func readOp(name string, off uint64, length uint32, seq uint64) wire.Op {
+	return wire.Op{
+		Kind:   wire.OpRead,
+		OID:    wire.ObjectID{Pool: 1, Name: name},
+		Offset: off,
+		Length: length,
+		Seq:    seq,
+	}
+}
+
+// TestCoalesceOverwritesToOneOp: N overwrites of the same block must emit
+// exactly one store write carrying the newest data.
+func TestCoalesceOverwritesToOneOp(t *testing.T) {
+	var c Coalescer
+	for i := 0; i < 16; i++ {
+		c.Add(stagedEntry(writeOp("hot", 4096, bytes.Repeat([]byte{byte(i)}, 4096), uint64(i+1))))
+	}
+	ops := c.Emit()
+	if len(ops) != 1 {
+		t.Fatalf("got %d ops, want 1: %+v", len(ops), ops)
+	}
+	m := ops[0]
+	if m.Delete || m.Off != 4096 || len(m.Data) != 4096 {
+		t.Fatalf("merged op = %+v", m)
+	}
+	if m.Data[0] != 15 {
+		t.Fatalf("newest write must win, got byte %d", m.Data[0])
+	}
+}
+
+// TestCoalesceAdjacentExtentsConcat: touching extents become one larger
+// store write covering the whole run.
+func TestCoalesceAdjacentExtentsConcat(t *testing.T) {
+	var c Coalescer
+	// Out-of-order arrival of three adjacent 4 KiB blocks.
+	for _, blk := range []uint64{2, 0, 1} {
+		c.Add(stagedEntry(writeOp("seq", blk*4096, bytes.Repeat([]byte{byte(blk)}, 4096), blk+1)))
+	}
+	ops := c.Emit()
+	if len(ops) != 1 {
+		t.Fatalf("got %d ops, want 1 concatenated write", len(ops))
+	}
+	m := ops[0]
+	if m.Off != 0 || len(m.Data) != 3*4096 {
+		t.Fatalf("merged op off=%d len=%d", m.Off, len(m.Data))
+	}
+	for blk := 0; blk < 3; blk++ {
+		if m.Data[blk*4096] != byte(blk) {
+			t.Fatalf("block %d has byte %d", blk, m.Data[blk*4096])
+		}
+	}
+}
+
+// TestCoalesceDisjointExtentsStaySplit: a gap between extents must produce
+// separate store writes (no zero-filling invented data).
+func TestCoalesceDisjointExtentsStaySplit(t *testing.T) {
+	var c Coalescer
+	c.Add(stagedEntry(writeOp("gap", 0, []byte{1, 2}, 1)))
+	c.Add(stagedEntry(writeOp("gap", 8192, []byte{3, 4}, 2)))
+	ops := c.Emit()
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops, want 2: %+v", len(ops), ops)
+	}
+	if ops[0].Off != 0 || ops[1].Off != 8192 {
+		t.Fatalf("offsets %d,%d", ops[0].Off, ops[1].Off)
+	}
+}
+
+// TestCoalesceDeleteThenWrite: delete followed by re-creating writes must
+// emit the delete first (truncate), then the surviving writes.
+func TestCoalesceDeleteThenWrite(t *testing.T) {
+	var c Coalescer
+	c.Add(stagedEntry(writeOp("obj", 0, bytes.Repeat([]byte{9}, 512), 1)))
+	c.Add(stagedEntry(deleteOp("obj", 2)))
+	c.Add(stagedEntry(writeOp("obj", 1024, bytes.Repeat([]byte{7}, 512), 3)))
+	ops := c.Emit()
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops, want delete+write: %+v", len(ops), ops)
+	}
+	if !ops[0].Delete {
+		t.Fatalf("first op must be the delete, got %+v", ops[0])
+	}
+	if ops[1].Delete || ops[1].Off != 1024 || ops[1].Data[0] != 7 {
+		t.Fatalf("second op must be the re-creating write, got %+v", ops[1])
+	}
+}
+
+// TestCoalesceDeleteNewestWins: when the delete is the newest op, only the
+// delete survives.
+func TestCoalesceDeleteNewestWins(t *testing.T) {
+	var c Coalescer
+	c.Add(stagedEntry(writeOp("obj", 0, bytes.Repeat([]byte{9}, 512), 1)))
+	c.Add(stagedEntry(deleteOp("obj", 2)))
+	ops := c.Emit()
+	if len(ops) != 1 || !ops[0].Delete {
+		t.Fatalf("got %+v, want a single delete", ops)
+	}
+}
+
+// TestCoalesceIgnoresReads: logged reads carry no data and must not leak
+// into the store submission.
+func TestCoalesceIgnoresReads(t *testing.T) {
+	var c Coalescer
+	c.Add(stagedEntry(readOp("obj", 0, 4096, 1)))
+	c.Add(stagedEntry(writeOp("obj", 0, []byte{1}, 2)))
+	c.Add(stagedEntry(readOp("obj", 0, 4096, 3)))
+	ops := c.Emit()
+	if len(ops) != 1 || ops[0].Delete {
+		t.Fatalf("got %+v, want the single write", ops)
+	}
+}
+
+// TestCoalescerReuseAcrossBatches: Emit clears the overlay, so the next
+// batch must start from scratch (the OSD reuses one Coalescer per PG).
+func TestCoalescerReuseAcrossBatches(t *testing.T) {
+	var c Coalescer
+	c.Add(stagedEntry(writeOp("a", 0, []byte{1}, 1)))
+	if got := c.Emit(); len(got) != 1 {
+		t.Fatalf("batch 1: %+v", got)
+	}
+	c.Add(stagedEntry(writeOp("b", 4096, []byte{2}, 2)))
+	ops := c.Emit()
+	if len(ops) != 1 || ops[0].OID.Name != "b" || ops[0].Off != 4096 {
+		t.Fatalf("batch 2 leaked state: %+v", ops)
+	}
+}

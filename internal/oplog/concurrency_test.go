@@ -3,6 +3,7 @@ package oplog
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -82,6 +83,111 @@ func TestConcurrentAppendAndDrain(t *testing.T) {
 	wg.Wait()
 	if drained.Load() != appended.Load() {
 		t.Fatalf("drained %d of %d appended", drained.Load(), appended.Load())
+	}
+}
+
+// TestGroupCommitConcurrentAppendDrainLookup drives one PG's log the way
+// eight client sessions plus the bottom half do: concurrent appenders
+// (forming commit groups), a drainer completing batches, and a reader
+// resolving read-your-writes — all under the race detector. Afterwards the
+// group-commit accounting must conserve appends: every append belongs to
+// exactly one group, group payload bytes equal appended bytes, and no
+// group exceeded the configured cap.
+func TestGroupCommitConcurrentAppendDrainLookup(t *testing.T) {
+	bank := nvm.NewBank(8<<20, nvm.WithCrashSim(false))
+	region, err := bank.Carve("log", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(1, region, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const groupCap = 8
+	l.SetGroupCommitMax(groupCap)
+
+	const appenders, perAppender = 8, 150
+	var appended atomic.Int64
+	stop := make(chan struct{})
+	var wg, readers sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // drainer (non-priority thread)
+		defer wg.Done()
+		for {
+			if err := l.Complete(l.TakeBatch(0)); err != nil {
+				t.Error(err)
+				return
+			}
+			select {
+			case <-stop:
+				if l.Len() == 0 {
+					return
+				}
+			default:
+			}
+		}
+	}()
+	readers.Add(1)
+	go func() { // read-your-writes path
+		defer readers.Done()
+		oid := wire.ObjectID{Pool: 1, Name: "w0"}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if data, ok, notFound := l.LookupRead(oid, 0, 8); ok && !notFound && len(data) != 8 {
+				t.Error("short read from log")
+				return
+			}
+			runtime.Gosched() // don't starve appenders on GOMAXPROCS=1
+		}
+	}()
+
+	var seq atomic.Uint64
+	var appendWG sync.WaitGroup
+	for g := 0; g < appenders; g++ {
+		appendWG.Add(1)
+		go func(g int) {
+			defer appendWG.Done()
+			name := fmt.Sprintf("w%d", g)
+			for i := 0; i < perAppender; i++ {
+				op := wire.Op{Kind: wire.OpWrite, OID: wire.ObjectID{Pool: 1, Name: name}, Seq: seq.Add(1), Data: []byte("grouped!")}
+				for {
+					if _, err := l.Append(op); err == nil {
+						break
+					} else if !errors.Is(err, ErrFull) {
+						t.Error(err)
+						return
+					}
+					// Full: the drainer will catch up.
+				}
+				appended.Add(1)
+			}
+		}(g)
+	}
+	appendWG.Wait()
+	close(stop)
+	wg.Wait()
+	readers.Wait()
+
+	if appended.Load() != appenders*perAppender {
+		t.Fatalf("appended %d of %d", appended.Load(), appenders*perAppender)
+	}
+	s := l.Stats().Snapshot()
+	if s.Appends != appended.Load() {
+		t.Fatalf("stats count %d appends, want %d", s.Appends, appended.Load())
+	}
+	if s.Groups == 0 || s.Groups > s.Appends {
+		t.Fatalf("groups = %d for %d appends", s.Groups, s.Appends)
+	}
+	if s.GroupBytes != s.AppendedBytes {
+		t.Fatalf("group bytes %d != appended bytes %d: an append escaped group accounting", s.GroupBytes, s.AppendedBytes)
+	}
+	if s.MaxGroup > groupCap {
+		t.Fatalf("max group %d exceeds cap %d", s.MaxGroup, groupCap)
 	}
 }
 

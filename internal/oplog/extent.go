@@ -1,0 +1,244 @@
+package oplog
+
+import (
+	"sync"
+
+	"rebloc/internal/wire"
+)
+
+// extent is one contiguous staged byte range of an object. The data slice
+// aliases the wire.Op payload it came from; extents never own bytes.
+type extent struct {
+	off  uint64
+	data []byte
+}
+
+func (x extent) end() uint64 { return x.off + uint64(len(x.data)) }
+
+// searchExts returns the index of the first extent ending after off (the
+// first that can overlap a range starting at off). Hand-rolled binary
+// search: the closure a sort.Search call needs would allocate on the
+// append hot path.
+func searchExts(exts []extent, off uint64) int {
+	lo, hi := 0, len(exts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if exts[mid].end() > off {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// objStage is the per-object entry of the extent index cache: the merged,
+// newest-wins view of every staged write, kept as a sorted list of
+// non-overlapping extents so reads resolve with whole-extent copies
+// instead of the old per-byte walk. The same structure doubles as the
+// bottom half's coalescing buffer (see coalesce.go).
+type objStage struct {
+	oid  wire.ObjectID
+	next *objStage // hash-collision chain (index use only)
+	refs int       // staged entries (writes/deletes) referencing the object
+
+	// deleted: the newest staged op is a delete — reads answer "not
+	// found". zeroBase: a staged delete exists below the current extents,
+	// so bytes not covered by them read as zero (the object was deleted
+	// and re-created entirely inside the log).
+	deleted  bool
+	zeroBase bool
+	exts     []extent
+}
+
+var objStagePool = sync.Pool{New: func() any { return new(objStage) }}
+
+func getObjStage(oid wire.ObjectID) *objStage {
+	st := objStagePool.Get().(*objStage)
+	st.oid = oid
+	return st
+}
+
+func putObjStage(st *objStage) {
+	for i := range st.exts {
+		st.exts[i] = extent{}
+	}
+	st.exts = st.exts[:0] // keep capacity across reuse
+	st.oid = wire.ObjectID{}
+	st.next = nil
+	st.refs = 0
+	st.deleted = false
+	st.zeroBase = false
+	objStagePool.Put(st)
+}
+
+// stageWrite splices [off, off+len(data)) into the extent list, newest
+// wins: overlapped older extents are trimmed or dropped in place.
+func (st *objStage) stageWrite(off uint64, data []byte) {
+	st.deleted = false
+	if len(data) == 0 {
+		return
+	}
+	end := off + uint64(len(data))
+	exts := st.exts
+	i := searchExts(exts, off)
+	j := i
+	var left, right extent
+	for j < len(exts) && exts[j].off < end {
+		e := exts[j]
+		if e.off < off { // only possible for exts[i]
+			left = extent{off: e.off, data: e.data[:off-e.off]}
+		}
+		if e.end() > end { // only possible for the last overlapped
+			right = extent{off: end, data: e.data[end-e.off:]}
+		}
+		j++
+	}
+	ins := 1
+	if left.data != nil {
+		ins++
+	}
+	if right.data != nil {
+		ins++
+	}
+	tail := exts[j:]
+	oldLen := len(exts)
+	need := i + ins + len(tail)
+	if need <= cap(exts) {
+		grown := exts[:oldLen]
+		if need > oldLen {
+			grown = exts[:need]
+		}
+		copy(grown[i+ins:need], tail) // memmove-safe in both directions
+		for x := need; x < oldLen; x++ {
+			grown[x] = extent{}
+		}
+		exts = grown[:need]
+	} else {
+		n := make([]extent, need, need*2)
+		copy(n, exts[:i])
+		copy(n[i+ins:], tail)
+		exts = n
+	}
+	k := i
+	if left.data != nil {
+		exts[k] = left
+		k++
+	}
+	exts[k] = extent{off: off, data: data}
+	k++
+	if right.data != nil {
+		exts[k] = right
+	}
+	st.exts = exts
+}
+
+// stageDelete records a staged delete: everything older is dead, and until
+// a newer write re-creates the object, reads answer "not found".
+func (st *objStage) stageDelete() {
+	for i := range st.exts {
+		st.exts[i] = extent{}
+	}
+	st.exts = st.exts[:0]
+	st.deleted = true
+	st.zeroBase = true
+}
+
+// compose copies the staged bytes of [lo, hi) into out (len hi-lo). It
+// reports false when the range is not fully resolvable from the log: a
+// gap exists and no staged delete guarantees the gap reads as zero. out
+// must arrive zeroed; gaps over a zeroBase are left untouched.
+func (st *objStage) compose(lo, hi uint64, out []byte) bool {
+	pos := lo
+	i := searchExts(st.exts, lo)
+	for ; i < len(st.exts) && pos < hi; i++ {
+		e := st.exts[i]
+		if e.off > pos {
+			if !st.zeroBase {
+				return false
+			}
+			pos = e.off
+			if pos >= hi {
+				break
+			}
+		}
+		b := e.end()
+		if b > hi {
+			b = hi
+		}
+		copy(out[pos-lo:b-lo], e.data[pos-e.off:b-e.off])
+		pos = b
+	}
+	if pos < hi && !st.zeroBase {
+		return false
+	}
+	return true
+}
+
+// indexFor finds the objStage for oid in the index cache, optionally
+// creating it. Caller holds l.mu.
+func (l *Log) indexFor(oid wire.ObjectID, create bool) *objStage {
+	key := oid.Hash()
+	st := l.index[key]
+	for st != nil && st.oid != oid {
+		st = st.next
+	}
+	if st == nil && create {
+		st = getObjStage(oid)
+		st.next = l.index[key]
+		l.index[key] = st
+	}
+	return st
+}
+
+// stage adds a freshly appended entry to the index cache. Caller holds
+// l.mu. Logged reads carry no data and are not indexed.
+func (l *Log) stage(e *Entry) {
+	op := &e.Op
+	if op.Kind != wire.OpWrite && op.Kind != wire.OpDelete {
+		return
+	}
+	st := l.indexFor(op.OID, true)
+	st.refs++
+	if op.Kind == wire.OpDelete {
+		st.stageDelete()
+	} else {
+		st.stageWrite(op.Offset, op.Data)
+	}
+}
+
+// unstage drops one entry's reference; the object leaves the index cache
+// when its last staged entry completes. The merged extent view cannot
+// distinguish which bytes came from which entry, so partially flushed
+// objects stay cached until every referencing entry is flushed — safe
+// (the view is still newest-wins correct) and cheap (refs is an int).
+// Caller holds l.mu.
+func (l *Log) unstage(e *Entry) {
+	op := &e.Op
+	if op.Kind != wire.OpWrite && op.Kind != wire.OpDelete {
+		return
+	}
+	key := op.OID.Hash()
+	var prev *objStage
+	st := l.index[key]
+	for st != nil && st.oid != op.OID {
+		prev, st = st, st.next
+	}
+	if st == nil {
+		return
+	}
+	st.refs--
+	if st.refs > 0 {
+		return
+	}
+	if prev == nil {
+		if st.next == nil {
+			delete(l.index, key)
+		} else {
+			l.index[key] = st.next
+		}
+	} else {
+		prev.next = st.next
+	}
+	putObjStage(st)
+}

@@ -1,0 +1,190 @@
+package oplog
+
+import (
+	"runtime"
+	"sync"
+
+	"rebloc/internal/wire"
+)
+
+// Group commit (NVLog-style): the first appender to arrive becomes the
+// group leader; appenders that arrive while it is committing enqueue a
+// waiter and block. The leader drains the pending queue in groups of at
+// most groupMax, writing every member's frame into the circular buffer
+// back to back and then persisting once — one data-range barrier (two on
+// wrap) plus one header persist, amortized over the whole group. Sequence
+// numbers are assigned by the caller before Append, so followers keep
+// their arrival order inside the group and per-object ordering holds.
+
+// groupWaiter carries one append through a group commit. Pooled; the
+// embedded WaitGroup is reused across cycles.
+type groupWaiter struct {
+	op  wire.Op
+	ent *Entry
+	err error
+	wg  sync.WaitGroup
+}
+
+var waiterPool = sync.Pool{New: func() any { return new(groupWaiter) }}
+
+// Append stages op in the log and index cache (paper W1+W2). The caller's
+// priority thread blocks only for the (possibly shared) NVM commit.
+// Returns ErrFull when the region cannot hold the entry.
+func (l *Log) Append(op wire.Op) (*Entry, error) {
+	if l.closed.Load() {
+		return nil, ErrClosed
+	}
+	l.appenders.Add(1)
+	w := waiterPool.Get().(*groupWaiter)
+	w.op = op
+	w.ent = nil
+	w.err = nil
+	w.wg.Add(1)
+
+	l.gmu.Lock()
+	l.pending = append(l.pending, w)
+	leader := !l.committing
+	if leader {
+		l.committing = true
+	}
+	l.gmu.Unlock()
+
+	if leader {
+		if l.appenders.Load() > 1 {
+			// Other appenders are in flight: yield once so they can join
+			// this group before the leader commits. This is what forms
+			// groups on a single-CPU scheduler; with real parallelism
+			// stragglers pile up while the leader persists.
+			runtime.Gosched()
+		}
+		l.commitPending()
+	}
+	w.wg.Wait()
+
+	l.appenders.Add(-1)
+	ent, err := w.ent, w.err
+	w.op = wire.Op{}
+	w.ent = nil
+	w.err = nil
+	waiterPool.Put(w)
+	return ent, err
+}
+
+// commitPending drains the pending queue as the group leader, committing
+// one group per iteration until no appender is waiting.
+func (l *Log) commitPending() {
+	for {
+		l.gmu.Lock()
+		n := len(l.pending)
+		if n == 0 {
+			l.committing = false
+			l.gmu.Unlock()
+			return
+		}
+		if n > l.groupMax {
+			n = l.groupMax
+		}
+		l.group = append(l.group[:0], l.pending[:n]...)
+		rem := copy(l.pending, l.pending[n:])
+		for i := rem; i < len(l.pending); i++ {
+			l.pending[i] = nil
+		}
+		l.pending = l.pending[:rem]
+		l.gmu.Unlock()
+		l.commitGroup(l.group)
+	}
+}
+
+// commitGroup writes and persists one group under the log lock, then
+// releases every member.
+func (l *Log) commitGroup(ws []*groupWaiter) {
+	l.mu.Lock()
+	if l.closed.Load() {
+		l.mu.Unlock()
+		for _, w := range ws {
+			w.err = ErrClosed
+			w.wg.Done()
+		}
+		return
+	}
+	capy := l.capacity()
+	start := l.head
+	frame := wire.GetFrame(l.frameHint)
+	var groupBytes uint64
+	committed := 0
+	for _, w := range ws {
+		frame.B = appendEntryFrame(frame.B[:0], &w.op)
+		if len(frame.B) > l.frameHint {
+			l.frameHint = len(frame.B)
+		}
+		need := uint64(len(frame.B))
+		// Keep one byte free so head==tail always means empty.
+		if l.used+groupBytes+need > capy-1 {
+			w.err = ErrFull
+			break
+		}
+		pos := (start + groupBytes) % capy
+		if err := l.writeCircularAt(frame.B, pos); err != nil {
+			w.err = err
+			break
+		}
+		e := entryPool.Get().(*Entry)
+		e.Op = w.op
+		e.LogPos = pos
+		e.State = StateStaged
+		w.ent = e
+		groupBytes += need
+		committed++
+	}
+	wire.PutFrame(frame)
+	// The first failure fails every later member too: succeeding them
+	// out of order would break per-object sequencing. They retry after
+	// the caller's synchronous flush.
+	if committed < len(ws) {
+		failErr := ws[committed].err
+		for i := committed; i < len(ws); i++ {
+			ws[i].err = failErr
+			if failErr == ErrFull {
+				l.stats.FullStalls.Inc()
+			}
+		}
+	}
+	if committed > 0 {
+		err := l.persistRange(start, groupBytes)
+		if err == nil {
+			l.head = (start + groupBytes) % capy
+			l.used += groupBytes
+			for i := 0; i < committed; i++ {
+				if s := ws[i].op.Seq; s > l.lastSeq {
+					l.lastSeq = s
+				}
+			}
+			err = l.persistHeader()
+		}
+		if err != nil {
+			// NVM failure: nothing advanced durably; fail the whole group.
+			for i := 0; i < committed; i++ {
+				releaseEntry(ws[i].ent)
+				ws[i].ent = nil
+				ws[i].err = err
+			}
+			committed = 0
+		}
+	}
+	for i := 0; i < committed; i++ {
+		e := ws[i].ent
+		l.entries = append(l.entries, e)
+		l.stage(e)
+	}
+	if committed > 0 {
+		l.stats.Appends.Add(int64(committed))
+		l.stats.AppendedBytes.Add(int64(groupBytes))
+		l.stats.Groups.Inc()
+		l.stats.GroupBytes.Add(int64(groupBytes))
+		l.stats.MaxGroup.SetMax(int64(committed))
+	}
+	l.mu.Unlock()
+	for _, w := range ws {
+		w.wg.Done()
+	}
+}

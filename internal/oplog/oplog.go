@@ -11,13 +11,21 @@
 // header (head, tail, seq) followed by framed entries. Replay after a
 // crash rebuilds the staged-but-unflushed suffix, which the OSD REDO-
 // applies to the store.
+//
+// Appends are group-committed (group.go): concurrent appenders coalesce
+// into one circular-buffer write and one header persist per group, and the
+// hot path reuses pooled frames, entries and waiters so steady-state
+// appends do not allocate. The index cache keeps a merged extent view per
+// object (extent.go) so reads resolve with whole-extent copies.
 package oplog
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 
 	"rebloc/internal/metrics"
 	"rebloc/internal/nvm"
@@ -37,6 +45,10 @@ const (
 	headerBytes = 64
 	entryHeader = 8 // u32 length + u32 crc
 	logMagic    = 0x0910D06
+
+	// DefaultGroupCommitMax caps how many concurrent appends commit as one
+	// group (one data persist + one header persist shared by all of them).
+	DefaultGroupCommitMax = 64
 )
 
 // EntryState tracks an entry through its life cycle.
@@ -46,13 +58,27 @@ type EntryState uint8
 const (
 	StateStaged EntryState = iota + 1
 	StateFlushing
+
+	// stateDone marks an entry inside Complete's sweep; never visible
+	// outside the lock.
+	stateDone EntryState = 0xFF
 )
 
-// Entry is one staged operation.
+// Entry is one staged operation. Entries are pooled: after Complete the
+// caller must not retain or touch batch entries.
 type Entry struct {
 	Op     wire.Op
 	LogPos uint64 // byte offset of the frame in the region
 	State  EntryState
+}
+
+var entryPool = sync.Pool{New: func() any { return new(Entry) }}
+
+func releaseEntry(e *Entry) {
+	e.Op = wire.Op{}
+	e.LogPos = 0
+	e.State = 0
+	entryPool.Put(e)
 }
 
 // Stats counts log activity.
@@ -63,6 +89,54 @@ type Stats struct {
 	ReadMisses    metrics.Counter // reads needing the backend (R2/R3)
 	Flushed       metrics.Counter // entries drained to the store
 	FullStalls    metrics.Counter // appends rejected by ErrFull
+	Groups        metrics.Counter // group commits persisted
+	GroupBytes    metrics.Counter // bytes persisted by group commits
+	MaxGroup      metrics.Gauge   // largest group ever committed
+}
+
+// StatsSnapshot is a copyable point-in-time view of Stats (the counters
+// themselves are atomics and must not be copied).
+type StatsSnapshot struct {
+	Appends       int64
+	AppendedBytes int64
+	ReadHits      int64
+	ReadMisses    int64
+	Flushed       int64
+	FullStalls    int64
+	Groups        int64
+	GroupBytes    int64
+	MaxGroup      int64
+}
+
+// Snapshot reads every counter once.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Appends:       s.Appends.Load(),
+		AppendedBytes: s.AppendedBytes.Load(),
+		ReadHits:      s.ReadHits.Load(),
+		ReadMisses:    s.ReadMisses.Load(),
+		Flushed:       s.Flushed.Load(),
+		FullStalls:    s.FullStalls.Load(),
+		Groups:        s.Groups.Load(),
+		GroupBytes:    s.GroupBytes.Load(),
+		MaxGroup:      s.MaxGroup.Load(),
+	}
+}
+
+// Add merges two snapshots (per-PG stats roll up to per-OSD totals).
+func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
+	s.Appends += o.Appends
+	s.AppendedBytes += o.AppendedBytes
+	s.ReadHits += o.ReadHits
+	s.ReadMisses += o.ReadMisses
+	s.Flushed += o.Flushed
+	s.FullStalls += o.FullStalls
+	s.Groups += o.Groups
+	s.GroupBytes += o.GroupBytes
+	if o.MaxGroup > s.MaxGroup {
+		s.MaxGroup = o.MaxGroup
+	}
+	return s
 }
 
 // Log is the operation log + index cache for one logical group (PG).
@@ -71,18 +145,46 @@ type Log struct {
 	region *nvm.Region
 
 	// mu is the paper's "logical group lock", shared between the priority
-	// thread (append, read lookup) and the non-priority thread (drain).
+	// thread (read lookup, the group leader's commit) and the non-priority
+	// thread (drain). Appenders do not take it directly; they enqueue
+	// under gmu and the group leader commits for everyone (group.go).
 	mu      sync.Mutex
 	head    uint64 // next append offset (bytes past headerBytes, modulo)
 	tail    uint64 // first live byte
 	lastSeq uint64 // highest sequence number ever appended (persisted)
 	used    uint64
-	entries []*Entry            // staged entries in log order
-	index   map[uint64][]*Entry // object key -> entries, oldest first
-	closed  bool
+	entries []*Entry             // staged entries in log order
+	index   map[uint64]*objStage // object hash -> staged-extent chain
+
+	// Group-commit state (group.go).
+	gmu        sync.Mutex
+	pending    []*groupWaiter
+	group      []*groupWaiter // leader's scratch, reused across groups
+	committing bool
+	groupMax   int
+	frameHint  int          // largest frame seen; sizes the pooled buffer
+	appenders  atomic.Int32 // appenders in flight (leader yield heuristic)
+
+	closed atomic.Bool
+
+	hdrScratch [28]byte // persistHeader encode buffer (no per-call alloc)
 
 	threshold int
 	stats     Stats
+}
+
+func newLog(pg uint32, region *nvm.Region, threshold int) *Log {
+	if threshold <= 0 {
+		threshold = 16
+	}
+	return &Log{
+		pg:        pg,
+		region:    region,
+		index:     make(map[uint64]*objStage),
+		threshold: threshold,
+		groupMax:  DefaultGroupCommitMax,
+		frameHint: 512,
+	}
 }
 
 // New initialises an empty log over region. threshold is the flush
@@ -91,15 +193,7 @@ func New(pg uint32, region *nvm.Region, threshold int) (*Log, error) {
 	if region.Size() < headerBytes+entryHeader+64 {
 		return nil, fmt.Errorf("oplog: region too small (%d bytes)", region.Size())
 	}
-	if threshold <= 0 {
-		threshold = 16
-	}
-	l := &Log{
-		pg:        pg,
-		region:    region,
-		index:     make(map[uint64][]*Entry),
-		threshold: threshold,
-	}
+	l := newLog(pg, region, threshold)
 	if err := l.persistHeader(); err != nil {
 		return nil, err
 	}
@@ -110,15 +204,7 @@ func New(pg uint32, region *nvm.Region, threshold int) (*Log, error) {
 // entries are returned in order so the OSD can REDO them into the store
 // (or re-replicate them during peering).
 func Recover(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, error) {
-	if threshold <= 0 {
-		threshold = 16
-	}
-	l := &Log{
-		pg:        pg,
-		region:    region,
-		index:     make(map[uint64][]*Entry),
-		threshold: threshold,
-	}
+	l := newLog(pg, region, threshold)
 	hdr := make([]byte, headerBytes)
 	if _, err := region.ReadAt(hdr, 0); err != nil {
 		return nil, nil, err
@@ -134,11 +220,14 @@ func Recover(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, erro
 	l.tail = d.U64()
 	l.head = d.U64()
 	l.lastSeq = d.U64()
-	cap := l.capacity()
+	capy := l.capacity()
+	if l.tail >= capy || l.head >= capy {
+		return nil, nil, fmt.Errorf("oplog: corrupt header pg %d: tail=%d head=%d cap=%d", pg, l.tail, l.head, capy)
+	}
 	if l.head >= l.tail {
 		l.used = l.head - l.tail
 	} else {
-		l.used = cap - (l.tail - l.head)
+		l.used = capy - (l.tail - l.head)
 	}
 	// Walk entries tail -> head.
 	pos := l.tail
@@ -149,8 +238,7 @@ func Recover(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, erro
 		}
 		e.State = StateStaged
 		l.entries = append(l.entries, e)
-		key := e.Op.OID.Hash()
-		l.index[key] = append(l.index[key], e)
+		l.stage(e)
 		pos = next
 	}
 	staged := make([]*Entry, len(l.entries))
@@ -161,20 +249,23 @@ func Recover(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, erro
 func (l *Log) capacity() uint64 { return uint64(l.region.Size()) - headerBytes }
 
 func (l *Log) persistHeader() error {
-	e := wire.NewEncoder(make([]byte, 0, 28))
-	e.U32(logMagic)
-	e.U64(l.tail)
-	e.U64(l.head)
-	e.U64(l.lastSeq)
-	if err := l.region.WriteAndPersist(e.Bytes(), 0); err != nil {
+	hdr := l.hdrScratch[:]
+	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], l.tail)
+	binary.LittleEndian.PutUint64(hdr[12:], l.head)
+	binary.LittleEndian.PutUint64(hdr[20:], l.lastSeq)
+	if err := l.region.WriteAndPersist(hdr, 0); err != nil {
 		return fmt.Errorf("oplog: persist header: %w", err)
 	}
 	return nil
 }
 
-// encodeOp serialises an op for the log frame.
-func encodeOp(op *wire.Op) []byte {
-	e := wire.NewEncoder(nil)
+// appendEntryFrame encodes op as a log frame ([u32 len][u32 crc][payload])
+// appended to dst, which must have len 0 (pooled frame buffer).
+func appendEntryFrame(dst []byte, op *wire.Op) []byte {
+	e := wire.NewEncoder(dst)
+	e.U32(0) // payload length, patched below
+	e.U32(0) // payload crc, patched below
 	e.U8(uint8(op.Kind))
 	e.U32(op.OID.Pool)
 	e.String32(op.OID.Name)
@@ -183,7 +274,10 @@ func encodeOp(op *wire.Op) []byte {
 	e.U64(op.Version)
 	e.U64(op.Seq)
 	e.Bytes32(op.Data)
-	return e.Bytes()
+	buf := e.Bytes()
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(buf)-entryHeader))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[entryHeader:]))
+	return buf
 }
 
 func decodeOp(buf []byte) (wire.Op, error) {
@@ -203,159 +297,127 @@ func decodeOp(buf []byte) (wire.Op, error) {
 	return op, nil
 }
 
-// writeCircular writes buf at the circular position pos.
-func (l *Log) writeCircular(buf []byte, pos uint64) error {
-	cap := l.capacity()
-	first := cap - pos
+// writeCircularAt stores buf at the circular position pos without
+// persisting; the group leader persists the whole group's range at once.
+func (l *Log) writeCircularAt(buf []byte, pos uint64) error {
+	capy := l.capacity()
+	first := capy - pos
 	if uint64(len(buf)) <= first {
-		return l.region.WriteAndPersist(buf, int64(headerBytes+pos))
-	}
-	if err := l.region.WriteAndPersist(buf[:first], int64(headerBytes+pos)); err != nil {
+		_, err := l.region.WriteAt(buf, int64(headerBytes+pos))
 		return err
 	}
-	return l.region.WriteAndPersist(buf[first:], headerBytes)
+	if _, err := l.region.WriteAt(buf[:first], int64(headerBytes+pos)); err != nil {
+		return err
+	}
+	_, err := l.region.WriteAt(buf[first:], headerBytes)
+	return err
 }
 
-// readCircular reads n bytes at circular position pos.
-func (l *Log) readCircular(n int, pos uint64) ([]byte, error) {
-	cap := l.capacity()
-	out := make([]byte, n)
-	first := cap - pos
-	if uint64(n) <= first {
-		_, err := l.region.ReadAt(out, int64(headerBytes+pos))
-		return out, err
+// persistRange persists n circular bytes starting at pos: one barrier for
+// the common case, two when the range wraps the region end.
+func (l *Log) persistRange(pos, n uint64) error {
+	capy := l.capacity()
+	first := capy - pos
+	if n <= first {
+		return l.region.Persist(int64(headerBytes+pos), int(n))
 	}
-	if _, err := l.region.ReadAt(out[:first], int64(headerBytes+pos)); err != nil {
-		return nil, err
+	if err := l.region.Persist(int64(headerBytes+pos), int(first)); err != nil {
+		return err
 	}
-	_, err := l.region.ReadAt(out[first:], headerBytes)
-	return out, err
+	return l.region.Persist(headerBytes, int(n-first))
 }
 
-// readEntryAt decodes the frame at pos, returning the entry and the next
-// frame position.
+// readCircularInto fills dst from the circular position pos.
+func (l *Log) readCircularInto(dst []byte, pos uint64) error {
+	capy := l.capacity()
+	first := capy - pos
+	if uint64(len(dst)) <= first {
+		_, err := l.region.ReadAt(dst, int64(headerBytes+pos))
+		return err
+	}
+	if _, err := l.region.ReadAt(dst[:first], int64(headerBytes+pos)); err != nil {
+		return err
+	}
+	_, err := l.region.ReadAt(dst[first:], headerBytes)
+	return err
+}
+
+// readEntryAt decodes the frame at pos, returning a pooled entry and the
+// next frame position. The payload is read zero-copy from the region when
+// contiguous; wrapped frames borrow a pooled scratch buffer.
 func (l *Log) readEntryAt(pos uint64) (*Entry, uint64, error) {
-	hdr, err := l.readCircular(entryHeader, pos)
-	if err != nil {
+	capy := l.capacity()
+	if pos >= capy {
+		return nil, 0, fmt.Errorf("frame position %d beyond capacity %d", pos, capy)
+	}
+	var hdrArr [entryHeader]byte
+	if err := l.readCircularInto(hdrArr[:], pos); err != nil {
 		return nil, 0, err
 	}
-	d := wire.NewDecoder(hdr)
-	plen := d.U32()
-	crc := d.U32()
-	if plen == 0 || uint64(plen) > l.capacity() {
+	plen := binary.LittleEndian.Uint32(hdrArr[0:])
+	crc := binary.LittleEndian.Uint32(hdrArr[4:])
+	if plen == 0 || uint64(plen)+entryHeader > capy {
 		return nil, 0, fmt.Errorf("bad frame length %d", plen)
 	}
-	payload, err := l.readCircular(int(plen), (pos+entryHeader)%l.capacity())
-	if err != nil {
-		return nil, 0, err
+	payloadPos := (pos + entryHeader) % capy
+	var payload []byte
+	var scratch *wire.Frame
+	if uint64(plen) <= capy-payloadPos {
+		var err error
+		payload, err = l.region.Slice(int64(headerBytes+payloadPos), int(plen))
+		if err != nil {
+			return nil, 0, err
+		}
+	} else {
+		scratch = wire.GetFrame(int(plen))
+		payload = scratch.B[:plen]
+		if err := l.readCircularInto(payload, payloadPos); err != nil {
+			wire.PutFrame(scratch)
+			return nil, 0, err
+		}
 	}
 	if crc32.ChecksumIEEE(payload) != crc {
+		if scratch != nil {
+			wire.PutFrame(scratch)
+		}
 		return nil, 0, errors.New("frame crc mismatch")
 	}
-	op, err := decodeOp(payload)
+	op, err := decodeOp(payload) // copies payload bytes; region view not retained
+	if scratch != nil {
+		wire.PutFrame(scratch)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
-	next := (pos + entryHeader + uint64(plen)) % l.capacity()
-	return &Entry{Op: op, LogPos: pos}, next, nil
-}
-
-// Append stages op in the log and index cache (paper W1+W2). The caller's
-// priority thread blocks only for the NVM write. Returns ErrFull when the
-// region cannot hold the entry.
-func (l *Log) Append(op wire.Op) (*Entry, error) {
-	payload := encodeOp(&op)
-	frame := make([]byte, 0, entryHeader+len(payload))
-	e := wire.NewEncoder(frame)
-	e.U32(uint32(len(payload)))
-	e.U32(crc32.ChecksumIEEE(payload))
-	buf := append(e.Bytes(), payload...)
-
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return nil, ErrClosed
-	}
-	need := uint64(len(buf))
-	if l.used+need > l.capacity()-1 { // keep one byte so head==tail means empty
-		l.stats.FullStalls.Inc()
-		return nil, ErrFull
-	}
-	pos := l.head
-	if err := l.writeCircular(buf, pos); err != nil {
-		return nil, err
-	}
-	l.head = (l.head + need) % l.capacity()
-	l.used += need
-	if err := l.persistHeader(); err != nil {
-		return nil, err
-	}
-	if op.Seq > l.lastSeq {
-		l.lastSeq = op.Seq
-	}
-	ent := &Entry{Op: op, LogPos: pos, State: StateStaged}
-	l.entries = append(l.entries, ent)
-	key := op.OID.Hash()
-	l.index[key] = append(l.index[key], ent)
-	l.stats.Appends.Inc()
-	l.stats.AppendedBytes.Add(int64(need))
-	return ent, nil
+	e := entryPool.Get().(*Entry)
+	e.Op = op
+	e.LogPos = pos
+	e.State = StateStaged
+	next := (pos + entryHeader + uint64(plen)) % capy
+	return e, next, nil
 }
 
 // LookupRead attempts to serve a read from the staged operations (paper
-// R1). It composes [off, off+length) from staged writes newest first. A
-// staged delete terminates the walk: bytes still uncovered at that point
-// are zeros when newer writes re-created the object, and the whole read
-// is "not found" when the delete is the newest relevant operation.
-// ok is false when the range cannot be resolved from the log alone — the
-// read then needs the backend store (R2/R3).
+// R1). The per-object extent view resolves [off, off+length) with whole-
+// extent copies. A staged delete answers "not found" when it is the newest
+// relevant operation; when newer writes re-created the object, bytes they
+// leave uncovered read as zero. ok is false when the range cannot be
+// resolved from the log alone — the read then needs the backend store
+// (R2/R3).
 func (l *Log) LookupRead(oid wire.ObjectID, off uint64, length uint32) (data []byte, ok, notFound bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	ents := l.index[oid.Hash()]
-	if len(ents) == 0 {
+	st := l.indexFor(oid, false)
+	if st == nil {
 		l.stats.ReadMisses.Inc()
 		return nil, false, false
 	}
-	out := make([]byte, length)
-	covered := make([]bool, length)
-	remaining := int(length)
-	sawWrite := false
-	// Newest entries win: iterate newest -> oldest, fill uncovered bytes.
-	for i := len(ents) - 1; i >= 0 && remaining > 0; i-- {
-		e := ents[i]
-		if e.Op.OID.Name != oid.Name {
-			continue
-		}
-		if e.Op.Kind == wire.OpDelete {
-			if !sawWrite {
-				// Deleted and not re-created: definitive miss.
-				l.stats.ReadHits.Inc()
-				return nil, true, true
-			}
-			// Re-created object: everything older is dead, uncovered
-			// bytes read as zero.
-			l.stats.ReadHits.Inc()
-			return out, true, false
-		}
-		if e.Op.Kind != wire.OpWrite {
-			continue
-		}
-		sawWrite = true
-		start := e.Op.Offset
-		end := start + uint64(len(e.Op.Data))
-		lo := max64(start, off)
-		hi := min64(end, off+uint64(length))
-		for p := lo; p < hi; p++ {
-			idx := p - off
-			if !covered[idx] {
-				out[idx] = e.Op.Data[p-start]
-				covered[idx] = true
-				remaining--
-			}
-		}
+	if st.deleted {
+		l.stats.ReadHits.Inc()
+		return nil, true, true
 	}
-	if remaining > 0 {
+	out := make([]byte, length)
+	if !st.compose(off, off+uint64(length), out) {
 		l.stats.ReadMisses.Inc()
 		return nil, false, false
 	}
@@ -363,17 +425,12 @@ func (l *Log) LookupRead(oid wire.ObjectID, off uint64, length uint32) (data []b
 	return out, true, false
 }
 
-// HasStaged reports whether the object has staged writes (used by the
-// read path to decide on a forced flush).
+// HasStaged reports whether the object has staged writes, in O(1) (used
+// by the read path to decide on a forced flush).
 func (l *Log) HasStaged(oid wire.ObjectID) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for _, e := range l.index[oid.Hash()] {
-		if e.Op.OID.Name == oid.Name && e.Op.Kind != wire.OpRead {
-			return true
-		}
-	}
-	return false
+	return l.indexFor(oid, false) != nil
 }
 
 // Len returns the number of staged entries.
@@ -392,6 +449,17 @@ func (l *Log) ShouldFlush() bool {
 
 // Threshold returns the flush threshold.
 func (l *Log) Threshold() int { return l.threshold }
+
+// SetGroupCommitMax caps the appends committed as one group (<=1 commits
+// every append individually).
+func (l *Log) SetGroupCommitMax(n int) {
+	if n <= 0 {
+		n = DefaultGroupCommitMax
+	}
+	l.gmu.Lock()
+	l.groupMax = n
+	l.gmu.Unlock()
+}
 
 // TakeBatch marks up to max staged entries (all if max <= 0) as flushing
 // and returns them in log order. The non-priority thread applies them to
@@ -426,51 +494,44 @@ func (l *Log) Requeue(batch []*Entry) {
 
 // Complete removes flushed entries from the log and index cache and
 // advances the tail over any completed prefix (paper: "all the related
-// data is removed both in the operation log and index cache").
+// data is removed both in the operation log and index cache"). The batch
+// entries return to the entry pool: callers must not touch them after.
 func (l *Log) Complete(batch []*Entry) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	done := make(map[*Entry]bool, len(batch))
 	for _, e := range batch {
-		done[e] = true
+		if e.State == StateStaged || e.State == StateFlushing {
+			e.State = stateDone
+		}
 	}
-	// Remove from the entry list, preserving order.
+	oldLen := len(l.entries)
 	kept := l.entries[:0]
 	for _, e := range l.entries {
-		if done[e] {
+		if e.State == stateDone {
 			l.stats.Flushed.Inc()
+			l.unstage(e)
+			releaseEntry(e)
 			continue
 		}
 		kept = append(kept, e)
 	}
-	l.entries = kept
-	// Remove from the index cache.
-	for _, e := range batch {
-		key := e.Op.OID.Hash()
-		ents := l.index[key]
-		keptEnts := ents[:0]
-		for _, x := range ents {
-			if !done[x] {
-				keptEnts = append(keptEnts, x)
-			}
-		}
-		if len(keptEnts) == 0 {
-			delete(l.index, key)
-		} else {
-			l.index[key] = keptEnts
-		}
+	// Clear the vacated slots: pooled entries must not be reachable from
+	// the retained backing array.
+	for i := len(kept); i < oldLen; i++ {
+		l.entries[:oldLen][i] = nil
 	}
+	l.entries = kept
 	// Advance the tail to the first live entry (or head when empty).
 	if len(l.entries) == 0 {
 		l.tail = l.head
 		l.used = 0
 	} else {
 		first := l.entries[0].LogPos
-		cap := l.capacity()
+		capy := l.capacity()
 		if l.head >= first {
 			l.used = l.head - first
 		} else {
-			l.used = cap - (first - l.head)
+			l.used = capy - (first - l.head)
 		}
 		l.tail = first
 	}
@@ -503,11 +564,10 @@ func (l *Log) StagedOps() []wire.Op {
 	return out
 }
 
-// Close marks the log closed; appends fail afterwards.
+// Close marks the log closed; appends fail afterwards (in-flight group
+// members fail with ErrClosed at commit time).
 func (l *Log) Close() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.closed = true
+	l.closed.Store(true)
 }
 
 // RegionSizeFor returns a comfortable region size for a threshold and
@@ -526,18 +586,4 @@ func (l *Log) Used() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.used
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -221,11 +221,14 @@ func (o *OSD) handleClientMutation(conn messenger.Conn, reqID uint64, epoch uint
 
 // appendWithFlush appends to the PG op log, flushing synchronously when
 // the NVM region is full (paper §IV-A: a full log forces a synchronous
-// flush before new operations are handled).
+// flush before new operations are handled). Every successful append marks
+// the PG dirty so its non-priority worker's next drain — threshold wake
+// or flush-interval tick — visits it without scanning the PG map.
 func (o *OSD) appendWithFlush(pgs *pgState, op wire.Op) error {
 	for {
 		_, err := pgs.log.Append(op)
 		if err == nil {
+			o.markDirty(pgs)
 			return nil
 		}
 		if !errors.Is(err, oplog.ErrFull) {

@@ -109,6 +109,9 @@ type Config struct {
 	FlushInterval time.Duration
 	// OplogRegionBytes sizes each PG's NVM op-log region.
 	OplogRegionBytes int64
+	// GroupCommitMax caps how many concurrent appends the op log commits
+	// as one group (one shared NVM persist). 0 means the oplog default.
+	GroupCommitMax int
 	// ReplBatchMax caps how many queued ops for one peer coalesce into a
 	// single ReplBatch frame. The batch engages only when more than one
 	// op is waiting (idle peers see plain Repl frames, unchanged
@@ -193,6 +196,15 @@ type pgState struct {
 	seq     uint64
 	clean   bool // false while backfilling
 	flushMu sync.Mutex
+
+	// dirty is set when the PG enters its worker's dirty queue (appends
+	// with staged entries) and cleared when the worker picks it up.
+	dirty atomic.Bool
+	// coal is the bottom half's coalescing scratch, used under flushMu.
+	coal oplog.Coalescer
+	// flushErrs counts store-submit failures for this PG (satellite:
+	// repeated per-PG failures must be visible).
+	flushErrs metrics.Counter
 }
 
 // nextSeq assigns the next per-PG sequence number.
@@ -235,6 +247,12 @@ type OSD struct {
 	pgQueues []chan *task
 	// PTC-mode non-priority queues, one per NPT worker.
 	nptQueues []chan *task
+	// Per-NPT-worker dirty-PG queues (proposed mode): appends enqueue the
+	// PG here so drains visit exactly the PGs with staged entries instead
+	// of scanning the whole PG map under pgMu.
+	dirtySets []dirtySet
+	// drainBufs is each worker's take-and-clear scratch for its dirty set.
+	drainBufs [][]*pgState
 
 	monConn messenger.Conn
 	monMu   sync.Mutex
@@ -254,6 +272,15 @@ type OSD struct {
 	// fan-out batching factor).
 	ReplBatchFrames metrics.Counter
 	ReplBatchedOps  metrics.Counter
+	// Bottom-half flush stats (proposed mode): FlushBatches counts flushPG
+	// passes that applied entries, FlushedEntries the entries they drained,
+	// FlushStoreOps the store operations submitted after coalescing
+	// (FlushedEntries/FlushStoreOps is the coalesce ratio), FlushErrors
+	// the store-submit failures across all PGs.
+	FlushBatches    metrics.Counter
+	FlushedEntries  metrics.Counter
+	FlushStoreOps   metrics.Counter
+	FlushErrors     metrics.Counter
 }
 
 // task is a unit of work handed between threads; replies travel inside
@@ -353,6 +380,8 @@ func (o *OSD) Start() error {
 	case o.cfg.Mode.usesPTC():
 		o.wakes = sched.NewWakeSet(o.cfg.NonPriority)
 		o.nptQueues = make([]chan *task, o.cfg.NonPriority)
+		o.dirtySets = make([]dirtySet, o.cfg.NonPriority)
+		o.drainBufs = make([][]*pgState, o.cfg.NonPriority)
 		for i := range o.nptQueues {
 			o.nptQueues[i] = make(chan *task, 1024)
 			worker := i
@@ -435,6 +464,7 @@ func (o *OSD) pgStateFor(pg uint32) (*pgState, error) {
 		if err != nil {
 			return nil, err
 		}
+		log.SetGroupCommitMax(o.cfg.GroupCommitMax)
 		s.log = log
 		s.seq = log.LastSeq()
 		if len(staged) > 0 {
@@ -514,6 +544,56 @@ func (o *OSD) Kill() {
 		return true
 	})
 	o.group.Stop()
+}
+
+// OplogSnapshot sums the per-PG operation-log stats into one OSD-wide
+// view (group sizes, index hit rates, full stalls).
+func (o *OSD) OplogSnapshot() oplog.StatsSnapshot {
+	var total oplog.StatsSnapshot
+	o.pgMu.Lock()
+	for _, s := range o.pgs {
+		if s.log != nil {
+			total = total.Add(s.log.Stats().Snapshot())
+		}
+	}
+	o.pgMu.Unlock()
+	return total
+}
+
+// RegisterMetrics exposes the OSD's oplog and bottom-half flush counters
+// in r under prefix (e.g. "osd0.oplog.groups"). Proposed mode only; other
+// modes register nothing.
+func (o *OSD) RegisterMetrics(r *metrics.Registry, prefix string) {
+	if !o.cfg.Mode.usesOplog() {
+		return
+	}
+	r.RegisterCounter(prefix+".flush.batches", &o.FlushBatches)
+	r.RegisterCounter(prefix+".flush.entries", &o.FlushedEntries)
+	r.RegisterCounter(prefix+".flush.store_ops", &o.FlushStoreOps)
+	r.RegisterCounter(prefix+".flush.errors", &o.FlushErrors)
+	r.RegisterCounter(prefix+".flush.forced", &o.ForcedFlush)
+	snap := func(f func(oplog.StatsSnapshot) int64) func() int64 {
+		return func() int64 { return f(o.OplogSnapshot()) }
+	}
+	r.RegisterFunc(prefix+".oplog.appends", snap(func(s oplog.StatsSnapshot) int64 { return s.Appends }))
+	r.RegisterFunc(prefix+".oplog.groups", snap(func(s oplog.StatsSnapshot) int64 { return s.Groups }))
+	r.RegisterFunc(prefix+".oplog.group_size_max", snap(func(s oplog.StatsSnapshot) int64 { return s.MaxGroup }))
+	r.RegisterFunc(prefix+".oplog.group_size_x100", snap(func(s oplog.StatsSnapshot) int64 {
+		if s.Groups == 0 {
+			return 0
+		}
+		return s.Appends * 100 / s.Groups
+	}))
+	r.RegisterFunc(prefix+".oplog.read_hits", snap(func(s oplog.StatsSnapshot) int64 { return s.ReadHits }))
+	r.RegisterFunc(prefix+".oplog.read_misses", snap(func(s oplog.StatsSnapshot) int64 { return s.ReadMisses }))
+	r.RegisterFunc(prefix+".oplog.full_stalls", snap(func(s oplog.StatsSnapshot) int64 { return s.FullStalls }))
+	r.RegisterFunc(prefix+".flush.coalesce_x100", func() int64 {
+		ops := o.FlushStoreOps.Load()
+		if ops == 0 {
+			return 0
+		}
+		return o.FlushedEntries.Load() * 100 / ops
+	})
 }
 
 // FlushAll synchronously drains every op log into the store (admin,

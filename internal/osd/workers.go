@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"rebloc/internal/metrics"
@@ -29,14 +30,37 @@ func (o *OSD) enqueuePG(pg uint32, t *task) {
 	}
 }
 
-// enqueueNPT queues a task for a non-priority worker.
+// enqueueNPT queues a task for a non-priority worker. The wake fires only
+// when the task was actually enqueued — not when the enqueue was abandoned
+// because the group is stopping.
 func (o *OSD) enqueueNPT(pg uint32, t *task) {
-	q := o.nptQueues[o.nptFor(pg)]
+	w := o.nptFor(pg)
 	select {
-	case q <- t:
+	case o.nptQueues[w] <- t:
+		o.wakes.Wake(w)
 	case <-o.group.Stopping():
 	}
-	o.wakes.Wake(o.nptFor(pg))
+}
+
+// dirtySet is one worker's queue of PGs with staged op-log entries.
+type dirtySet struct {
+	mu  sync.Mutex
+	pgs []*pgState
+}
+
+// markDirty queues pg for its worker's next drain. The atomic flag keeps
+// a PG in at most one queue slot: re-appends while queued are no-ops, and
+// the flag clears when the drain picks the PG up, so later appends requeue
+// it. Callers decide separately whether to wake the worker (threshold) or
+// leave it to the flush ticker.
+func (o *OSD) markDirty(s *pgState) {
+	if !s.dirty.CompareAndSwap(false, true) {
+		return
+	}
+	d := &o.dirtySets[o.nptFor(s.pg)]
+	d.mu.Lock()
+	d.pgs = append(d.pgs, s)
+	d.mu.Unlock()
 }
 
 // wakeNPT signals the worker owning pg's partition.
@@ -167,30 +191,43 @@ func (o *OSD) runNPTTask(t *task) {
 	}
 }
 
-// drainOwnedPGs flushes every op log owned by this worker that has staged
-// entries. Proposed mode only.
+// drainOwnedPGs flushes this worker's dirty PGs. Proposed mode only. The
+// dirty queue is populated at append time, so the drain visits exactly the
+// PGs with staged entries — no O(#PGs) scan under pgMu per wake-up.
 func (o *OSD) drainOwnedPGs(worker int) {
 	if !o.cfg.Mode.usesOplog() {
 		return
 	}
 	o.wakes.SetBusy(worker, true)
 	defer o.wakes.SetBusy(worker, false)
-	o.pgMu.Lock()
-	var owned []*pgState
-	for pg, s := range o.pgs {
-		if o.nptFor(pg) == worker && s.log != nil && s.log.Len() > 0 {
-			owned = append(owned, s)
-		}
-	}
-	o.pgMu.Unlock()
+	d := &o.dirtySets[worker]
+	d.mu.Lock()
+	owned := d.pgs
+	d.pgs = o.drainBufs[worker][:0] // swap in the spare slice
+	d.mu.Unlock()
 	for _, s := range owned {
+		// Clear before flushing: appends racing with the flush re-queue
+		// the PG rather than being lost.
+		s.dirty.Store(false)
 		tm := o.acct.Start(metrics.CatNPT)
 		err := o.flushPG(s)
 		tm.Stop()
 		if err != nil {
-			return // store failure; entries were requeued
+			// Store failure: the entries were requeued. Keep draining the
+			// other PGs — one failing PG must not starve the rest — and
+			// re-mark this one (without a wake) so the flush ticker
+			// retries instead of a hot wake loop.
+			s.flushErrs.Inc()
+			o.FlushErrors.Inc()
+			log.Printf("osd %d: pg %d flush: %v", o.cfg.ID, s.pg, err)
+			o.markDirty(s)
+			continue
 		}
 	}
+	for i := range owned {
+		owned[i] = nil
+	}
+	o.drainBufs[worker] = owned[:0]
 }
 
 // flushPG drains one PG's op log into the backend store: staged writes and
@@ -206,41 +243,56 @@ func (o *OSD) flushPG(s *pgState) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	if err := o.applyEntries(s.pg, batch); err != nil {
+	if err := o.applyEntries(s, batch); err != nil {
 		s.log.Requeue(batch)
 		return err
 	}
+	o.FlushBatches.Inc()
+	o.FlushedEntries.Add(int64(len(batch)))
 	return s.log.Complete(batch)
 }
 
-// applyEntries applies a batch of op-log entries in order.
-func (o *OSD) applyEntries(pg uint32, batch []*oplog.Entry) error {
-	txn := &store.Transaction{}
-	flushTxn := func() error {
-		if len(txn.Ops) == 0 {
+// applyEntries applies a batch of op-log entries: staged writes coalesce
+// per object (newest wins, adjacent extents merge) before submitting, so
+// N overwrites of one hot block reach the store as one write. A logged
+// read is an ordering barrier: the merged ops before it must land so the
+// read observes every write ordered ahead of it.
+func (o *OSD) applyEntries(s *pgState, batch []*oplog.Entry) error {
+	c := &s.coal
+	c.Reset()
+	submit := func() error {
+		merged := c.Emit()
+		if len(merged) == 0 {
 			return nil
+		}
+		txn := &store.Transaction{}
+		for i := range merged {
+			m := &merged[i]
+			if m.Delete {
+				txn.AddDelete(s.pg, m.OID)
+			} else {
+				txn.AddWrite(s.pg, m.OID, m.Off, m.Data)
+			}
 		}
 		if err := o.st.Submit(txn); err != nil {
 			return err
 		}
-		txn = &store.Transaction{}
+		o.FlushStoreOps.Add(int64(len(merged)))
 		return nil
 	}
 	for _, e := range batch {
 		switch e.Op.Kind {
-		case wire.OpWrite:
-			txn.AddWrite(pg, e.Op.OID, e.Op.Offset, e.Op.Data)
-		case wire.OpDelete:
-			txn.AddDelete(pg, e.Op.OID)
+		case wire.OpWrite, wire.OpDelete:
+			c.Add(e)
 		case wire.OpRead:
 			// Writes ordered before the read must land first.
-			if err := flushTxn(); err != nil {
+			if err := submit(); err != nil {
 				return err
 			}
-			key := readKey(pg, e.Op.Seq)
+			key := readKey(s.pg, e.Op.Seq)
 			if w, ok := o.readWaiters.LoadAndDelete(key); ok {
 				rt := w.(*readTask)
-				data, err := o.storeRead(pg, rt.oid, rt.off, rt.length)
+				data, err := o.storeRead(s.pg, rt.oid, rt.off, rt.length)
 				if err != nil {
 					rt.reply(storeStatus(err), nil)
 				} else {
@@ -251,23 +303,29 @@ func (o *OSD) applyEntries(pg uint32, batch []*oplog.Entry) error {
 			return fmt.Errorf("osd %d: unknown logged op kind %d", o.cfg.ID, e.Op.Kind)
 		}
 	}
-	return flushTxn()
+	return submit()
 }
 
-// applyBatchToStore REDOes recovered op-log entries (restart path); read
-// entries have no waiters anymore and are skipped.
+// applyBatchToStore REDOes recovered op-log entries (restart path),
+// coalesced the same way as a live flush; read entries have no waiters
+// anymore and are skipped by the coalescer.
 func (o *OSD) applyBatchToStore(pg uint32, batch []*oplog.Entry) error {
-	txn := &store.Transaction{}
+	var c oplog.Coalescer
 	for _, e := range batch {
-		switch e.Op.Kind {
-		case wire.OpWrite:
-			txn.AddWrite(pg, e.Op.OID, e.Op.Offset, e.Op.Data)
-		case wire.OpDelete:
-			txn.AddDelete(pg, e.Op.OID)
-		}
+		c.Add(e)
 	}
-	if len(txn.Ops) == 0 {
+	merged := c.Emit()
+	if len(merged) == 0 {
 		return nil
+	}
+	txn := &store.Transaction{}
+	for i := range merged {
+		m := &merged[i]
+		if m.Delete {
+			txn.AddDelete(pg, m.OID)
+		} else {
+			txn.AddWrite(pg, m.OID, m.Off, m.Data)
+		}
 	}
 	return o.st.Submit(txn)
 }
