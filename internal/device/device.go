@@ -21,16 +21,31 @@ var (
 	ErrClosed     = errors.New("device: closed")
 )
 
+// IOVec is one segment of a vectored write: Data lands at Off.
+type IOVec struct {
+	Off  int64
+	Data []byte
+}
+
 // Device is a fixed-size random-access block device.
 //
 // Like a real block device, concurrent I/O to non-overlapping ranges is
 // safe; issuing overlapping concurrent writes is a caller bug with
 // undefined contents (the object stores serialise per-object access).
+// The COS submit path exercises this in anger: it plans writes under its
+// partition lock but issues the data I/O outside it, relying on
+// non-overlapping concurrent WriteAt/WriteAtv being safe.
 type Device interface {
 	// ReadAt reads len(p) bytes at offset off.
 	ReadAt(p []byte, off int64) (int, error)
 	// WriteAt writes len(p) bytes at offset off.
 	WriteAt(p []byte, off int64) (int, error)
+	// WriteAtv writes every vector in one device call (one queue
+	// submission), applying vectors in slice order — overlapping vectors
+	// within a call resolve to the later one. It returns the total bytes
+	// written; an error may leave a prefix of the vectors applied, like a
+	// torn multi-sector write.
+	WriteAtv(vecs []IOVec) (int, error)
 	// Flush persists all completed writes (write-barrier semantics).
 	Flush() error
 	// Size returns the device capacity in bytes.
@@ -41,13 +56,17 @@ type Device interface {
 	Close() error
 }
 
-// Stats counts device I/O for write-amplification accounting.
+// Stats counts device I/O for write-amplification accounting. WriteOps
+// counts queue submissions: a WriteAtv call is one WriteOp regardless of
+// how many vectors it carries; VecOps/VecSegs record the batching factor.
 type Stats struct {
 	ReadOps      metrics.Counter
 	WriteOps     metrics.Counter
 	BytesRead    metrics.Counter
 	BytesWritten metrics.Counter
 	Flushes      metrics.Counter
+	VecOps       metrics.Counter // WriteAtv calls
+	VecSegs      metrics.Counter // vectors submitted across all WriteAtv calls
 }
 
 // Snapshot is a point-in-time copy of device counters.
@@ -57,6 +76,8 @@ type Snapshot struct {
 	BytesRead    int64
 	BytesWritten int64
 	Flushes      int64
+	VecOps       int64
+	VecSegs      int64
 }
 
 // Snapshot copies the counters.
@@ -67,6 +88,8 @@ func (s *Stats) Snapshot() Snapshot {
 		BytesRead:    s.BytesRead.Load(),
 		BytesWritten: s.BytesWritten.Load(),
 		Flushes:      s.Flushes.Load(),
+		VecOps:       s.VecOps.Load(),
+		VecSegs:      s.VecSegs.Load(),
 	}
 }
 
@@ -78,13 +101,15 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		BytesRead:    s.BytesRead - o.BytesRead,
 		BytesWritten: s.BytesWritten - o.BytesWritten,
 		Flushes:      s.Flushes - o.Flushes,
+		VecOps:       s.VecOps - o.VecOps,
+		VecSegs:      s.VecSegs - o.VecSegs,
 	}
 }
 
 // String renders the snapshot compactly.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("rops=%d wops=%d rbytes=%d wbytes=%d flushes=%d",
-		s.ReadOps, s.WriteOps, s.BytesRead, s.BytesWritten, s.Flushes)
+	return fmt.Sprintf("rops=%d wops=%d rbytes=%d wbytes=%d flushes=%d vecops=%d vecsegs=%d",
+		s.ReadOps, s.WriteOps, s.BytesRead, s.BytesWritten, s.Flushes, s.VecOps, s.VecSegs)
 }
 
 func checkRange(size, off int64, n int) error {

@@ -77,6 +77,33 @@ func (f *Fault) WriteAt(p []byte, off int64) (int, error) {
 	return f.inner.WriteAt(p, off)
 }
 
+// WriteAtv implements Device. Each vector consumes one armed-write credit,
+// so Arm(n) can fail a batch mid-vector: the surviving prefix reaches the
+// inner device (as one smaller vectored call) and the rest is dropped,
+// modelling a torn multi-segment submission.
+func (f *Fault) WriteAtv(vecs []IOVec) (int, error) {
+	f.writeCount.Add(int64(len(vecs)))
+	if !f.armed.Load() {
+		return f.inner.WriteAtv(vecs)
+	}
+	ok := 0
+	for range vecs {
+		if f.failAfter.Add(-1) < 0 {
+			break
+		}
+		ok++
+	}
+	if ok == len(vecs) {
+		return f.inner.WriteAtv(vecs)
+	}
+	n := 0
+	if ok > 0 {
+		n, _ = f.inner.WriteAtv(vecs[:ok])
+	}
+	err, _ := f.err.Load().(error)
+	return n, err
+}
+
 // Flush implements Device.
 func (f *Fault) Flush() error {
 	if err := f.failing(); err != nil {

@@ -48,6 +48,31 @@ func (m *Mem) WriteAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// WriteAtv implements Device: one queue submission covering all vectors,
+// applied in slice order.
+func (m *Mem) WriteAtv(vecs []IOVec) (int, error) {
+	if m.closed.Load() {
+		return 0, ErrClosed
+	}
+	total := 0
+	for _, v := range vecs {
+		if err := checkRange(int64(len(m.buf)), v.Off, len(v.Data)); err != nil {
+			m.countVec(total, len(vecs))
+			return total, err
+		}
+		total += copy(m.buf[v.Off:], v.Data)
+	}
+	m.countVec(total, len(vecs))
+	return total, nil
+}
+
+func (m *Mem) countVec(bytes, segs int) {
+	m.stats.WriteOps.Inc()
+	m.stats.VecOps.Inc()
+	m.stats.VecSegs.Add(int64(segs))
+	m.stats.BytesWritten.Add(int64(bytes))
+}
+
 // Flush implements Device. RAM is always "persistent" for simulation
 // purposes; the counter still advances so flush frequency is observable.
 func (m *Mem) Flush() error {

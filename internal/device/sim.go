@@ -119,6 +119,19 @@ func (s *Sim) WriteAt(p []byte, off int64) (int, error) {
 	return s.inner.WriteAt(p, off)
 }
 
+// WriteAtv implements Device. A vector batch is one queue submission, so
+// the per-op latency is charged once for the whole batch — mirroring NVMe,
+// where a scatter-gather command costs one round through the queue pair —
+// while the bandwidth cap still sees every byte.
+func (s *Sim) WriteAtv(vecs []IOVec) (int, error) {
+	total := 0
+	for _, v := range vecs {
+		total += len(v.Data)
+	}
+	pace(&s.writeClock, cost(s.profile.WriteLatency, s.profile.QueueDepth, total, s.profile.WriteBandwidth))
+	return s.inner.WriteAtv(vecs)
+}
+
 // Flush implements Device.
 func (s *Sim) Flush() error { return s.inner.Flush() }
 

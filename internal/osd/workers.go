@@ -205,29 +205,114 @@ func (o *OSD) drainOwnedPGs(worker int) {
 	owned := d.pgs
 	d.pgs = o.drainBufs[worker][:0] // swap in the spare slice
 	d.mu.Unlock()
-	for _, s := range owned {
-		// Clear before flushing: appends racing with the flush re-queue
-		// the PG rather than being lost.
-		s.dirty.Store(false)
-		tm := o.acct.Start(metrics.CatNPT)
-		err := o.flushPG(s)
-		tm.Stop()
-		if err != nil {
-			// Store failure: the entries were requeued. Keep draining the
-			// other PGs — one failing PG must not starve the rest — and
-			// re-mark this one (without a wake) so the flush ticker
-			// retries instead of a hot wake loop.
-			s.flushErrs.Inc()
-			o.FlushErrors.Inc()
-			log.Printf("osd %d: pg %d flush: %v", o.cfg.ID, s.pg, err)
-			o.markDirty(s)
-			continue
-		}
-	}
+	tm := o.acct.Start(metrics.CatNPT)
+	o.drainBatch(owned)
+	tm.Stop()
 	for i := range owned {
 		owned[i] = nil
 	}
 	o.drainBufs[worker] = owned[:0]
+}
+
+// drainBatch flushes one drain's worth of dirty PGs. PG batches without
+// logged reads coalesce per object and then combine into ONE store
+// transaction for the whole drain: the COS submit path fans the per-PG
+// groups out across its partitions concurrently and persists each touched
+// onode once, so the drain pays one vectored device write per partition
+// instead of one store round-trip per PG. Batches containing a logged read
+// keep the per-PG barrier path (the read must observe the writes ordered
+// before it). One failing PG must not starve the rest: on a combined
+// submit failure every participating PG's entries are requeued and the PG
+// re-marked dirty (without a wake) so the flush ticker retries.
+func (o *OSD) drainBatch(owned []*pgState) {
+	var (
+		txn      store.Transaction
+		combined []*pgState
+		batches  [][]*oplog.Entry
+		opCounts []int
+	)
+	for _, s := range owned {
+		// Clear before flushing: appends racing with the flush re-queue
+		// the PG rather than being lost.
+		s.dirty.Store(false)
+		if s.log == nil {
+			continue
+		}
+		s.flushMu.Lock()
+		batch := s.log.TakeBatch(0)
+		if len(batch) == 0 {
+			s.flushMu.Unlock()
+			continue
+		}
+		if batchHasRead(batch) {
+			err := o.applyAndComplete(s, batch)
+			s.flushMu.Unlock()
+			if err != nil {
+				o.noteFlushErr(s, err)
+			}
+			continue
+		}
+		c := &s.coal
+		c.Reset()
+		for _, e := range batch {
+			c.Add(e)
+		}
+		merged := c.Emit()
+		before := len(txn.Ops)
+		for i := range merged {
+			m := &merged[i]
+			if m.Delete {
+				txn.AddDelete(s.pg, m.OID)
+			} else {
+				txn.AddWrite(s.pg, m.OID, m.Off, m.Data)
+			}
+		}
+		// flushMu stays held until the combined submit resolves, keeping
+		// this PG's entry order intact against forced flushes.
+		combined = append(combined, s)
+		batches = append(batches, batch)
+		opCounts = append(opCounts, len(txn.Ops)-before)
+	}
+	if len(combined) == 0 {
+		return
+	}
+	err := o.st.Submit(&txn)
+	for i, s := range combined {
+		if err != nil {
+			s.log.Requeue(batches[i])
+			o.noteFlushErr(s, err)
+		} else {
+			o.FlushBatches.Inc()
+			o.FlushedEntries.Add(int64(len(batches[i])))
+			o.FlushStoreOps.Add(int64(opCounts[i]))
+			if cerr := s.log.Complete(batches[i]); cerr != nil {
+				// Entries are applied; only the log trim failed. Surface
+				// it without requeueing already-durable ops.
+				o.noteFlushErr(s, cerr)
+			}
+		}
+		s.flushMu.Unlock()
+	}
+}
+
+// noteFlushErr records a per-PG flush failure and re-marks the PG dirty
+// (without a wake) so the flush ticker retries instead of a hot wake loop.
+func (o *OSD) noteFlushErr(s *pgState, err error) {
+	s.flushErrs.Inc()
+	o.FlushErrors.Inc()
+	log.Printf("osd %d: pg %d flush: %v", o.cfg.ID, s.pg, err)
+	o.markDirty(s)
+}
+
+// batchHasRead reports whether a logged read (an ordering barrier) is in
+// the batch.
+func batchHasRead(batch []*oplog.Entry) bool {
+	for _, e := range batch {
+		if e.Op.Kind == wire.OpRead {
+			return true
+		}
+	}
+	return false
 }
 
 // flushPG drains one PG's op log into the backend store: staged writes and
@@ -243,6 +328,12 @@ func (o *OSD) flushPG(s *pgState) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	return o.applyAndComplete(s, batch)
+}
+
+// applyAndComplete applies one PG's taken batch and completes (or, on
+// failure, requeues) its entries. Caller holds s.flushMu.
+func (o *OSD) applyAndComplete(s *pgState, batch []*oplog.Entry) error {
 	if err := o.applyEntries(s, batch); err != nil {
 		s.log.Requeue(batch)
 		return err

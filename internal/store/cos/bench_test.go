@@ -1,0 +1,131 @@
+package cos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/nvm"
+	"rebloc/internal/store"
+)
+
+// benchBatch is the ops-per-transaction for the batched variants — the
+// size of one OSD drain's combined flush.
+const benchBatch = 128
+
+func benchOpts(partitions int, prealloc, mdcache bool) Options {
+	o := DefaultOptions()
+	o.Partitions = partitions
+	o.Preallocate = prealloc
+	o.PreallocBytes = 256 << 10
+	o.MaxObjectsPerPartition = 4096
+	if mdcache {
+		o.Bank = nvm.NewBank(64 << 20)
+		o.MDCache = true
+		o.MDCacheBytes = 8 << 20
+	}
+	return o
+}
+
+// runSubmitBench measures Submit throughput over benchBatch 4-KiB random
+// writes spread across 2*partitions PGs. batched=false issues one Submit
+// per op (the pre-fan-out shape); batched=true issues one Submit carrying
+// the whole batch, which is what the OSD drain now sends. ns/op and the
+// dev-writes/op metric are both per 4-KiB write, so the two variants
+// compare directly.
+func runSubmitBench(b *testing.B, partitions int, batched, prealloc, mdcache bool) {
+	dev := device.NewMem(4 << 30)
+	s, err := Open(dev, benchOpts(partitions, prealloc, mdcache))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	const objects = 32
+	data := bytes.Repeat([]byte{0x5A}, 4096)
+	// Create the working set outside the timed region.
+	for o := 0; o < objects; o++ {
+		var txn store.Transaction
+		txn.AddWrite(uint32(o%(2*partitions)), oid(fmt.Sprintf("b%d", o)), 0, data)
+		if err := s.Submit(&txn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := dev.Stats().Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			var txn store.Transaction
+			for j := 0; j < benchBatch; j++ {
+				o := (i*benchBatch + j) % objects
+				off := uint64((i*7+j)%32) * 4096
+				txn.AddWrite(uint32(o%(2*partitions)), oid(fmt.Sprintf("b%d", o)), off, data)
+			}
+			if err := s.Submit(&txn); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for j := 0; j < benchBatch; j++ {
+				o := (i*benchBatch + j) % objects
+				off := uint64((i*7+j)%32) * 4096
+				var txn store.Transaction
+				txn.AddWrite(uint32(o%(2*partitions)), oid(fmt.Sprintf("b%d", o)), off, data)
+				if err := s.Submit(&txn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	ops := int64(b.N) * benchBatch
+	writes := dev.Stats().Snapshot().Sub(start).WriteOps
+	b.ReportMetric(float64(writes)/float64(ops), "dev-writes/op")
+	// Report per 4-KiB write, not per benchmark iteration.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops), "ns/write")
+}
+
+// BenchmarkSubmit is the headline matrix: serial per-op Submit vs one
+// batched Submit per 128 ops, across partition counts.
+func BenchmarkSubmit(b *testing.B) {
+	for _, partitions := range []int{1, 2, 4, 8, 16} {
+		for _, batched := range []bool{false, true} {
+			mode := "serial"
+			if batched {
+				mode = "batched"
+			}
+			b.Run(fmt.Sprintf("%s/parts=%d", mode, partitions), func(b *testing.B) {
+				runSubmitBench(b, partitions, batched, true, false)
+			})
+		}
+	}
+}
+
+// BenchmarkSubmitPrealloc isolates the allocator: with pre-allocation off
+// every first touch of a chunk allocates and persists runs.
+func BenchmarkSubmitPrealloc(b *testing.B) {
+	for _, prealloc := range []bool{true, false} {
+		name := "on"
+		if !prealloc {
+			name = "off"
+		}
+		b.Run("prealloc="+name, func(b *testing.B) {
+			runSubmitBench(b, 8, true, prealloc, false)
+		})
+	}
+}
+
+// BenchmarkSubmitMDCache isolates onode persistence: with the NVM
+// metadata cache the batched onode write lands in NVM instead of the
+// device.
+func BenchmarkSubmitMDCache(b *testing.B) {
+	for _, mdcache := range []bool{false, true} {
+		name := "off"
+		if mdcache {
+			name = "on"
+		}
+		b.Run("mdcache="+name, func(b *testing.B) {
+			runSubmitBench(b, 8, true, true, mdcache)
+		})
+	}
+}

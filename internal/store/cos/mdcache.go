@@ -3,6 +3,7 @@ package cos
 import (
 	"fmt"
 
+	"rebloc/internal/device"
 	"rebloc/internal/nvm"
 )
 
@@ -26,6 +27,7 @@ type mdcache struct {
 // deviceWriter is the slice of device.Device the cache needs.
 type deviceWriter interface {
 	WriteAt(p []byte, off int64) (int, error)
+	WriteAtv(vecs []device.IOVec) (int, error)
 }
 
 const (
@@ -142,12 +144,27 @@ func (c *mdcache) drop(slot uint32) {
 	c.free = append(c.free, idx)
 }
 
-// writeBackAll flushes every valid entry to the device and invalidates it.
-func (c *mdcache) writeBackAll(p *partition) error {
+// writeBackAll flushes every valid entry to the device as one vectored
+// write — a flush of N cached onodes is one queue submission, not N
+// 512-B writes — then invalidates the entries.
+func (c *mdcache) writeBackAll() error {
+	if len(c.bySlot) == 0 {
+		return nil
+	}
+	vecs := make([]device.IOVec, 0, len(c.bySlot))
+	idxs := make([]int, 0, len(c.bySlot))
 	for slot, idx := range c.bySlot {
-		if err := c.writeBackEntry(idx, slot); err != nil {
+		img := make([]byte, OnodeBytes)
+		if _, err := c.region.ReadAt(img, c.entryOff(idx)+mdEntryHeader); err != nil {
 			return err
 		}
+		vecs = append(vecs, device.IOVec{Off: int64(c.onodeBase + uint64(slot)*OnodeBytes), Data: img})
+		idxs = append(idxs, idx)
+	}
+	if _, err := c.dev.WriteAtv(vecs); err != nil {
+		return fmt.Errorf("cos: metadata write-back: %w", err)
+	}
+	for _, idx := range idxs {
 		var hdr [mdEntryHeader]byte
 		if _, err := c.region.WriteAt(hdr[:], c.entryOff(idx)); err != nil {
 			return err
@@ -158,7 +175,6 @@ func (c *mdcache) writeBackAll(p *partition) error {
 		c.free = append(c.free, idx)
 	}
 	c.bySlot = make(map[uint32]int, c.capacity)
-	_ = p
 	return nil
 }
 

@@ -10,6 +10,7 @@ package cos
 
 import (
 	"fmt"
+	"sort"
 
 	"rebloc/internal/wire"
 )
@@ -56,11 +57,12 @@ type onode struct {
 	prealloc    bool
 	preBase     uint64 // device offset
 	preLen      uint64 // bytes
-	runs        []run  // non-preallocated allocation runs
+	runs        []run  // non-preallocated allocation runs, sorted by logChunk
 	spillDevOff uint64 // device block holding the run list when spilled
 	spillLen    uint32
 
-	dirty bool // metadata differs from the device image
+	dirty    bool // metadata differs from the device image
+	inflight bool // a batch's data I/O targets this object outside p.mu
 }
 
 // encode serialises the onode into a 512-byte slot image.
@@ -145,11 +147,22 @@ func decodeOnode(buf []byte, slot uint32) (*onode, bool, error) {
 				length:   d.U32(),
 			})
 		}
+		sortRuns(on.runs)
 	}
 	if err := d.Err(); err != nil {
 		return nil, false, fmt.Errorf("cos: decode onode slot %d: %w", slot, err)
 	}
 	return on, true, nil
+}
+
+// sortRuns restores the logChunk order findRun's binary search needs.
+// Freshly written images are already sorted; images from before the runs
+// were kept ordered may not be.
+func sortRuns(runs []run) {
+	if sort.SliceIsSorted(runs, func(i, j int) bool { return runs[i].logChunk < runs[j].logChunk }) {
+		return
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].logChunk < runs[j].logChunk })
 }
 
 // encodeRuns serialises a spilled run list for a spill block.
@@ -178,5 +191,6 @@ func decodeRuns(buf []byte) ([]run, error) {
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("cos: decode spill runs: %w", err)
 	}
+	sortRuns(runs)
 	return runs, nil
 }

@@ -3,6 +3,7 @@ package cos
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"rebloc/internal/alloc"
@@ -39,6 +40,7 @@ type partition struct {
 	dataEnd   uint64
 
 	mu        sync.Mutex
+	cond      *sync.Cond // signalled when a batch's in-flight claims clear
 	tree      *rtree.Tree[*onode]
 	slotOf    map[uint64]uint32 // key -> slot (for slot reuse checks)
 	freeSlots []uint32
@@ -49,6 +51,12 @@ type partition struct {
 	reclaimQ  []*onode
 	allocSeq  uint64 // rolling cursor in the alloc-record ring
 	dirty     bool   // misc/alloc snapshots out of date
+
+	// segScratch backs resolveInto during write planning. It is only ever
+	// used while holding p.mu and never escapes the planning phase (the
+	// vectors handed to the device are built before the lock drops), so
+	// one per-partition buffer serves every batch.
+	segScratch []segment
 }
 
 // layout computes the partition's area offsets.
@@ -244,6 +252,10 @@ func (p *partition) create(key uint64, pg uint32, oid wire.ObjectID) (*onode, er
 		}
 		if p.cfg.PreallocZeroFill {
 			if err := p.zeroRange(base, preLen); err != nil {
+				// Roll the whole create back: without this the onode slot
+				// and the pre-allocated blocks leaked on every failed create.
+				p.blocks.Free(base, preLen)
+				p.freeSlots = append(p.freeSlots, slot)
 				return nil, err
 			}
 		}
@@ -280,22 +292,22 @@ type segment struct {
 	hole   bool // unallocated: reads as zeros
 }
 
-// resolve maps [off, off+length) to device segments. Caller holds p.mu.
-func (p *partition) resolve(on *onode, off, length uint64) []segment {
-	var segs []segment
+// resolveInto maps [off, off+length) to device segments, appending to dst
+// (pass a scratch slice to avoid per-call allocation). Caller holds p.mu.
+func (p *partition) resolveInto(dst []segment, on *onode, off, length uint64) []segment {
 	if on.prealloc {
 		if off >= on.preLen {
-			return []segment{{length: length, hole: true}}
+			return append(dst, segment{length: length, hole: true})
 		}
 		n := length
 		if off+n > on.preLen {
 			n = on.preLen - off
 		}
-		segs = append(segs, segment{devOff: on.preBase + off, length: n})
+		dst = append(dst, segment{devOff: on.preBase + off, length: n})
 		if n < length {
-			segs = append(segs, segment{length: length - n, hole: true})
+			dst = append(dst, segment{length: length - n, hole: true})
 		}
-		return segs
+		return dst
 	}
 	for length > 0 {
 		chunk := uint32(off / allocChunkBytes)
@@ -305,23 +317,34 @@ func (p *partition) resolve(on *onode, off, length uint64) []segment {
 			n = allocChunkBytes - inChunk
 		}
 		if r := findRun(on.runs, chunk); r != nil {
-			segs = append(segs, segment{devOff: r.devOff + inChunk, length: n})
+			dst = append(dst, segment{devOff: r.devOff + inChunk, length: n})
 		} else {
-			segs = append(segs, segment{length: n, hole: true})
+			dst = append(dst, segment{length: n, hole: true})
 		}
 		off += n
 		length -= n
 	}
-	return segs
+	return dst
 }
 
+// findRun locates the run backing chunk. on.runs is kept sorted by
+// logChunk (insertRun, decode paths), so this is a binary search instead
+// of the old linear scan — fragmented objects pay O(log n) per lookup.
 func findRun(runs []run, chunk uint32) *run {
-	for i := range runs {
-		if runs[i].logChunk == chunk {
-			return &runs[i]
-		}
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].logChunk >= chunk })
+	if i < len(runs) && runs[i].logChunk == chunk {
+		return &runs[i]
 	}
 	return nil
+}
+
+// insertRun adds r keeping on.runs sorted by logChunk.
+func insertRun(runs []run, r run) []run {
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].logChunk > r.logChunk })
+	runs = append(runs, run{})
+	copy(runs[i+1:], runs[i:])
+	runs[i] = r
+	return runs
 }
 
 // ensureAllocated makes sure every chunk covering [off, off+length) has
@@ -361,7 +384,7 @@ func (p *partition) ensureAllocated(on *onode, off, length uint64) (bool, error)
 					return changed, err
 				}
 			}
-			on.runs = append(on.runs, run{logChunk: chunk, devOff: devOff, length: allocChunkBytes})
+			on.runs = insertRun(on.runs, run{logChunk: chunk, devOff: devOff, length: allocChunkBytes})
 			changed = true
 		}
 		cur = chunkStart + allocChunkBytes
@@ -431,39 +454,198 @@ func (p *partition) appendAllocRecord() error {
 	return nil
 }
 
-// write applies one object write in place. Caller holds p.mu.
-func (p *partition) write(key uint64, pg uint32, oid wire.ObjectID, off uint64, data []byte) error {
-	on, err := p.lookup(key, oid.Name)
-	if errors.Is(err, store.ErrNotFound) {
-		on, err = p.create(key, pg, oid)
-	}
-	if err != nil {
-		return err
-	}
-	allocChanged, err := p.ensureAllocated(on, off, uint64(len(data)))
-	if err != nil {
-		return err
-	}
-	// In-place data write.
-	pos := uint64(0)
-	for _, seg := range p.resolve(on, off, uint64(len(data))) {
-		if seg.hole {
-			return fmt.Errorf("cos: internal: hole after allocation for %q", oid.Name)
+// applyBatch applies one partition's slice of a transaction in order.
+// Consecutive writes batch through applyWrites — one lock acquisition for
+// planning, one vectored device call, one onode persist per touched
+// object; other op kinds apply in place and act as ordering barriers.
+func (p *partition) applyBatch(ops []store.TxnOp) error {
+	for i := 0; i < len(ops); {
+		if ops[i].Kind != store.TxnWrite {
+			if err := p.applyOp(&ops[i]); err != nil {
+				return err
+			}
+			i++
+			continue
 		}
-		if _, err := p.dev.WriteAt(data[pos:pos+seg.length], int64(seg.devOff)); err != nil {
-			return fmt.Errorf("cos: data write: %w", err)
+		j := i + 1
+		for j < len(ops) && ops[j].Kind == store.TxnWrite {
+			j++
 		}
-		pos += seg.length
+		if err := p.applyWrites(ops[i:j]); err != nil {
+			return err
+		}
+		i = j
 	}
-	if end := off + uint64(len(data)); end > on.size {
-		on.size = end
+	return nil
+}
+
+// applyOp applies one non-write op under the partition lock.
+func (p *partition) applyOp(op *store.TxnOp) error {
+	switch op.Kind {
+	case store.TxnDelete:
+		key := uint64(store.MakeKey(op.PG, op.OID))
+		p.mu.Lock()
+		err := p.markDeleted(key, op.OID.Name)
+		if len(p.reclaimQ) >= 128 { // delayed deallocation backlog bound
+			if rerr := p.reclaim(); err == nil {
+				err = rerr
+			}
+		}
+		p.mu.Unlock()
+		return err
+	case store.TxnSetAttr:
+		p.mu.Lock()
+		p.attrs[attrMapKey(store.MakeKey(op.PG, op.OID), op.Key)] = op.Data
+		p.dirty = true
+		p.mu.Unlock()
+		return nil
+	case store.TxnPutKV:
+		p.mu.Lock()
+		p.kvs[op.Key] = op.Data
+		p.dirty = true
+		p.mu.Unlock()
+		return nil
+	case store.TxnDelKV:
+		p.mu.Lock()
+		delete(p.kvs, op.Key)
+		p.dirty = true
+		p.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("cos: unknown txn op %d", op.Kind)
 	}
-	on.version++
-	on.dirty = true
-	if err := p.persistOnode(on); err != nil {
+}
+
+// writePlan records one planned write's metadata effects, applied after
+// the data I/O lands.
+type writePlan struct {
+	on     *onode
+	end    uint64 // off + len, for the size update
+	allocd bool   // allocation map changed (no-prealloc path)
+}
+
+// waitIdle blocks until no object named by ops has data I/O in flight from
+// another batch. Claims are then taken all-or-nothing while p.mu stays
+// held, so two batches can never hold claims while waiting on each other.
+// Caller holds p.mu.
+func (p *partition) waitIdle(ops []store.TxnOp) {
+	for {
+		busy := false
+		for i := range ops {
+			key := uint64(store.MakeKey(ops[i].PG, ops[i].OID))
+			if on, ok := p.tree.Get(key); ok && on.inflight {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		p.cond.Wait()
+	}
+}
+
+// applyWrites applies a run of consecutive writes as one batch:
+//
+//  1. Under p.mu: lookup/create, allocate, and resolve every op into
+//     device extents; claim each touched onode against concurrent batches.
+//  2. Outside the lock: issue all the data as a single vectored device
+//     write. The planned extents cannot move (updates are in place, there
+//     is no cleaning, and reclaim skips claimed onodes), and the claims
+//     keep other batches off the same objects, so the concurrent I/O is
+//     non-overlapping per the Device contract.
+//  3. Under p.mu again: update size/version and persist each touched
+//     onode once — an object written N times in the batch pays one 512-B
+//     metadata persist, not N.
+//
+// On a device error the metadata update is skipped entirely: the batch's
+// objects keep their pre-batch size/version/persisted image, so a torn
+// vectored write looks like a crash mid-write and recovery sees a
+// consistent store (the op log above replays the lost ops).
+func (p *partition) applyWrites(ops []store.TxnOp) error {
+	p.mu.Lock()
+	p.waitIdle(ops)
+	plans := make([]writePlan, 0, len(ops))
+	vecs := make([]device.IOVec, 0, len(ops))
+	var claimed []*onode
+	segs := p.segScratch[:0]
+	fail := func(err error) error {
+		for _, on := range claimed {
+			on.inflight = false
+		}
+		p.segScratch = segs[:0]
+		p.cond.Broadcast()
+		p.mu.Unlock()
 		return err
 	}
-	if allocChanged {
+	for i := range ops {
+		op := &ops[i]
+		key := uint64(store.MakeKey(op.PG, op.OID))
+		on, err := p.lookup(key, op.OID.Name)
+		if errors.Is(err, store.ErrNotFound) {
+			on, err = p.create(key, op.PG, op.OID)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		allocd, err := p.ensureAllocated(on, op.Off, uint64(len(op.Data)))
+		if err != nil {
+			return fail(err)
+		}
+		segStart := len(segs)
+		segs = p.resolveInto(segs, on, op.Off, uint64(len(op.Data)))
+		pos := uint64(0)
+		for _, seg := range segs[segStart:] {
+			if seg.hole {
+				return fail(fmt.Errorf("cos: internal: hole after allocation for %q", op.OID.Name))
+			}
+			vecs = append(vecs, device.IOVec{Off: int64(seg.devOff), Data: op.Data[pos : pos+seg.length]})
+			pos += seg.length
+		}
+		if !on.inflight {
+			on.inflight = true
+			claimed = append(claimed, on)
+		}
+		plans = append(plans, writePlan{on: on, end: op.Off + uint64(len(op.Data)), allocd: allocd})
+	}
+	p.segScratch = segs[:0]
+	p.mu.Unlock()
+
+	// Data I/O outside the lock: one device call for the whole batch.
+	var werr error
+	if len(vecs) > 0 {
+		_, werr = p.dev.WriteAtv(vecs)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, on := range claimed {
+		on.inflight = false
+	}
+	p.cond.Broadcast()
+	if werr != nil {
+		return fmt.Errorf("cos: data write: %w", werr)
+	}
+	allocRecs := 0
+	for i := range plans {
+		pl := &plans[i]
+		if pl.end > pl.on.size {
+			pl.on.size = pl.end
+		}
+		pl.on.version++
+		pl.on.dirty = true
+		if pl.allocd {
+			allocRecs++
+		}
+	}
+	// Batched onode persistence: claimed holds each touched onode exactly
+	// once, whatever the op count.
+	for _, on := range claimed {
+		if err := p.persistOnode(on); err != nil {
+			return err
+		}
+	}
+	for ; allocRecs > 0; allocRecs-- {
 		if err := p.appendAllocRecord(); err != nil {
 			return err
 		}
@@ -479,7 +661,9 @@ func (p *partition) read(key uint64, name string, off uint64, length uint32) ([]
 		p.mu.Unlock()
 		return nil, err
 	}
-	segs := p.resolve(on, off, uint64(length))
+	// Local segment slice: it outlives the lock (the data reads below run
+	// unlocked), so the shared planning scratch cannot back it.
+	segs := p.resolveInto(make([]segment, 0, 4), on, off, uint64(length))
 	p.mu.Unlock()
 
 	out := make([]byte, length)
@@ -511,32 +695,49 @@ func (p *partition) markDeleted(key uint64, name string) error {
 	return p.persistOnode(on)
 }
 
-// reclaim frees the blocks of deleted objects. Caller holds p.mu.
+// reclaim frees the blocks of deleted objects. Caller holds p.mu. Onodes
+// with a batch's data I/O still in flight are skipped and retried on the
+// next reclaim: freeing their extents now could hand the blocks to a new
+// allocation while that I/O is still outside the lock.
 func (p *partition) reclaim() error {
-	for _, on := range p.reclaimQ {
-		if on.prealloc && on.preLen > 0 {
-			p.blocks.Free(on.preBase, on.preLen)
+	keep := p.reclaimQ[:0]
+	for idx, on := range p.reclaimQ {
+		if on.inflight {
+			keep = append(keep, on)
+			continue
 		}
-		for _, r := range on.runs {
-			p.blocks.Free(r.devOff, uint64(r.length))
+		if err := p.reclaimOne(on); err != nil {
+			p.reclaimQ = append(keep, p.reclaimQ[idx:]...)
+			return err
 		}
-		if on.spillDevOff != 0 {
-			p.blocks.Free(on.spillDevOff, roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes)))
-		}
-		key := uint64(on.pgKey(wire.ObjectID{Pool: on.pool, Name: on.name}))
-		p.tree.Delete(key)
-		delete(p.slotOf, key)
-		// Clear the device slot and cache entry.
-		zeros := make([]byte, OnodeBytes)
-		if _, err := p.dev.WriteAt(zeros, int64(p.onodeBase+uint64(on.slot)*OnodeBytes)); err != nil {
-			return fmt.Errorf("cos: clear onode slot: %w", err)
-		}
-		if p.md != nil {
-			p.md.drop(on.slot)
-		}
-		p.freeSlots = append(p.freeSlots, on.slot)
 	}
-	p.reclaimQ = p.reclaimQ[:0]
+	p.reclaimQ = keep
+	return nil
+}
+
+// reclaimOne frees one deleted onode's blocks and slot. Caller holds p.mu.
+func (p *partition) reclaimOne(on *onode) error {
+	if on.prealloc && on.preLen > 0 {
+		p.blocks.Free(on.preBase, on.preLen)
+	}
+	for _, r := range on.runs {
+		p.blocks.Free(r.devOff, uint64(r.length))
+	}
+	if on.spillDevOff != 0 {
+		p.blocks.Free(on.spillDevOff, roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes)))
+	}
+	key := uint64(on.pgKey(wire.ObjectID{Pool: on.pool, Name: on.name}))
+	p.tree.Delete(key)
+	delete(p.slotOf, key)
+	// Clear the device slot and cache entry.
+	zeros := make([]byte, OnodeBytes)
+	if _, err := p.dev.WriteAt(zeros, int64(p.onodeBase+uint64(on.slot)*OnodeBytes)); err != nil {
+		return fmt.Errorf("cos: clear onode slot: %w", err)
+	}
+	if p.md != nil {
+		p.md.drop(on.slot)
+	}
+	p.freeSlots = append(p.freeSlots, on.slot)
 	return nil
 }
 
@@ -549,22 +750,38 @@ func (p *partition) flush() error {
 		return err
 	}
 	if p.md != nil {
-		if err := p.md.writeBackAll(p); err != nil {
+		if err := p.md.writeBackAll(); err != nil {
 			return err
 		}
 	} else {
-		var err error
+		// All dirty onode images go out as one vectored device call
+		// instead of one 512-B write per object.
+		var derr error
+		var vecs []device.IOVec
+		var flushed []*onode
 		p.tree.Ascend(func(_ uint64, on *onode) bool {
-			if on.dirty {
-				if e := p.persistOnode(on); e != nil {
-					err = e
-					return false
-				}
+			if !on.dirty {
+				return true
 			}
+			img, err := on.encode()
+			if err != nil {
+				derr = err
+				return false
+			}
+			vecs = append(vecs, device.IOVec{Off: int64(p.onodeBase + uint64(on.slot)*OnodeBytes), Data: img})
+			flushed = append(flushed, on)
 			return true
 		})
-		if err != nil {
-			return err
+		if derr != nil {
+			return derr
+		}
+		if len(vecs) > 0 {
+			if _, err := p.dev.WriteAtv(vecs); err != nil {
+				return fmt.Errorf("cos: onode flush: %w", err)
+			}
+			for _, on := range flushed {
+				on.dirty = false
+			}
 		}
 	}
 	if err := p.saveMisc(); err != nil {

@@ -1,0 +1,310 @@
+package cos
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/store"
+)
+
+// TestSubmitFanoutAcrossPartitions drives one transaction across every
+// partition (writes, attrs and KV ops mixed) and checks the per-object
+// results — the fan-out path must behave exactly like the serial one.
+func TestSubmitFanoutAcrossPartitions(t *testing.T) {
+	dev := device.NewMem(512 << 20)
+	opts := smallOpts()
+	opts.Partitions = 4
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+
+	var txn store.Transaction
+	for pg := uint32(0); pg < 8; pg++ { // 8 PGs over 4 partitions
+		name := fmt.Sprintf("fan%d", pg)
+		txn.AddWrite(pg, oid(name), 0, bytes.Repeat([]byte{byte(pg + 1)}, 4096))
+		txn.AddWrite(pg, oid(name), 4096, bytes.Repeat([]byte{byte(pg + 1)}, 4096))
+		txn.AddSetAttr(pg, oid(name), "tag", []byte{byte(pg)})
+	}
+	txn.AddPutKV("fan/kv", []byte("v"))
+	if err := s.Submit(&txn); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for pg := uint32(0); pg < 8; pg++ {
+		name := fmt.Sprintf("fan%d", pg)
+		got, err := s.Read(pg, oid(name), 0, 8192)
+		if err != nil {
+			t.Fatalf("Read pg %d: %v", pg, err)
+		}
+		for _, b := range got {
+			if b != byte(pg+1) {
+				t.Fatalf("pg %d content corrupted", pg)
+			}
+		}
+		info, err := s.Stat(pg, oid(name))
+		if err != nil || info.Size != 8192 {
+			t.Fatalf("pg %d stat: %+v %v", pg, info, err)
+		}
+		attr, err := s.GetAttr(pg, oid(name), "tag")
+		if err != nil || !bytes.Equal(attr, []byte{byte(pg)}) {
+			t.Fatalf("pg %d attr: %v %v", pg, attr, err)
+		}
+	}
+	if v, err := s.GetKV("fan/kv"); err != nil || string(v) != "v" {
+		t.Fatalf("kv: %q %v", v, err)
+	}
+}
+
+// TestBatchedSubmitFewerDeviceWrites checks the two batching wins: the
+// data lands as one vectored submission per partition, and an object
+// touched N times in one transaction persists its onode once.
+func TestBatchedSubmitFewerDeviceWrites(t *testing.T) {
+	const nOps = 16
+	dev := device.NewMem(512 << 20)
+	opts := smallOpts()
+	opts.Partitions = 1
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+	writeObj(t, s, 0, "hot", 0, make([]byte, 4096)) // create outside the measured window
+
+	before := dev.Stats().Snapshot()
+	var txn store.Transaction
+	for i := 0; i < nOps; i++ {
+		txn.AddWrite(0, oid("hot"), uint64(i%4)*4096, bytes.Repeat([]byte{byte(i + 1)}, 4096))
+	}
+	if err := s.Submit(&txn); err != nil {
+		t.Fatal(err)
+	}
+	batched := dev.Stats().Snapshot().Sub(before)
+
+	// One vectored data submission carrying all nOps segments, one onode
+	// persist: 2 write ops, not 2*nOps.
+	if batched.VecOps != 1 || batched.VecSegs != nOps {
+		t.Fatalf("batched txn must be one vectored submission: %+v", batched)
+	}
+	if batched.WriteOps > 2 {
+		t.Fatalf("batched WriteOps = %d, want <= 2 (data batch + one onode)", batched.WriteOps)
+	}
+
+	before = dev.Stats().Snapshot()
+	for i := 0; i < nOps; i++ {
+		writeObj(t, s, 0, "hot", uint64(i%4)*4096, bytes.Repeat([]byte{byte(i + 1)}, 4096))
+	}
+	serial := dev.Stats().Snapshot().Sub(before)
+	if serial.WriteOps < 2*nOps {
+		t.Fatalf("serial WriteOps = %d, want >= %d", serial.WriteOps, 2*nOps)
+	}
+}
+
+// TestConcurrentSubmitReadFlush races batched submits, reads and flushes
+// across every partition under -race. Each goroutine owns its objects, so
+// after a synchronous Submit its reads must observe exactly the bytes it
+// wrote; content is compared by checksum at the end too.
+func TestConcurrentSubmitReadFlush(t *testing.T) {
+	const (
+		writers = 4
+		rounds  = 40
+		objects = 6
+	)
+	dev := device.NewMem(1 << 30)
+	opts := smallOpts()
+	opts.Partitions = 4
+	s := openTestStore(t, dev, opts)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	want := make([]map[string][32]byte, writers) // writer -> object name -> checksum
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		want[w] = make(map[string][32]byte)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var txn store.Transaction
+				touched := make(map[string][]byte)
+				for o := 0; o < objects; o++ {
+					pg := uint32((w*objects + o) % 8) // spread over all partitions
+					name := fmt.Sprintf("w%d.o%d", w, o)
+					data := bytes.Repeat([]byte{byte(w*50 + r + 1)}, 4096)
+					txn.AddWrite(pg, oid(name), uint64(r%8)*4096, data)
+					touched[name] = data
+				}
+				if err := s.Submit(&txn); err != nil {
+					errs[w] = err
+					return
+				}
+				// Read-after-write on one of this writer's objects.
+				o := r % objects
+				pg := uint32((w*objects + o) % 8)
+				name := fmt.Sprintf("w%d.o%d", w, o)
+				got, err := s.Read(pg, oid(name), uint64(r%8)*4096, 4096)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(got, touched[name]) {
+					errs[w] = fmt.Errorf("writer %d round %d: read-after-write mismatch", w, r)
+					return
+				}
+			}
+			// Final content checksums for the cross-check below.
+			for o := 0; o < objects; o++ {
+				pg := uint32((w*objects + o) % 8)
+				name := fmt.Sprintf("w%d.o%d", w, o)
+				full, err := s.Read(pg, oid(name), 0, 8*4096)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				want[w][name] = sha256.Sum256(full)
+			}
+		}(w)
+	}
+	flushStop := make(chan struct{})
+	var flushWG sync.WaitGroup
+	flushWG.Add(1)
+	go func() {
+		defer flushWG.Done()
+		for {
+			select {
+			case <-flushStop:
+				return
+			default:
+				if err := s.Flush(); err != nil {
+					t.Errorf("Flush: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(flushStop)
+	flushWG.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	// Quiesced re-read must reproduce every writer's final checksums.
+	for w := 0; w < writers; w++ {
+		for o := 0; o < objects; o++ {
+			pg := uint32((w*objects + o) % 8)
+			name := fmt.Sprintf("w%d.o%d", w, o)
+			full, err := s.Read(pg, oid(name), 0, 8*4096)
+			if err != nil {
+				t.Fatalf("final read %s: %v", name, err)
+			}
+			if sha256.Sum256(full) != want[w][name] {
+				t.Fatalf("object %s changed after quiesce", name)
+			}
+		}
+	}
+}
+
+// TestTornVectoredBatchRecovery fails a vectored data write mid-batch and
+// checks the crash contract: metadata keeps its pre-batch image (a torn
+// batch looks like a crash mid-write), every block is either old or new
+// content at vector granularity, and the reopened store works.
+func TestTornVectoredBatchRecovery(t *testing.T) {
+	errBoom := errors.New("torn write")
+	mem := device.NewMem(256 << 20)
+	f := device.NewFault(mem)
+	opts := smallOpts()
+	opts.Partitions = 2
+	s := openTestStore(t, f, opts)
+
+	old := bytes.Repeat([]byte{0xAA}, 4096)
+	writeObj(t, s, 0, "torn", 0, old)
+	writeObj(t, s, 0, "torn", 4096, old)
+	preInfo, err := s.Stat(0, oid("torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One single-partition batch of 4 vectors; the third write credit is
+	// consumed mid-batch, so vectors 0-1 land and 2-3 are dropped.
+	f.Arm(3, errBoom)
+	var txn store.Transaction
+	for i := 0; i < 4; i++ {
+		txn.AddWrite(0, oid("torn"), uint64(i)*4096, bytes.Repeat([]byte{0xBB}, 4096))
+	}
+	if err := s.Submit(&txn); !errors.Is(err, errBoom) {
+		t.Fatalf("Submit err = %v, want the injected device error", err)
+	}
+	f.Disarm()
+
+	// Metadata must be untouched: same size, same version.
+	info, err := s.Stat(0, oid("torn"))
+	if err != nil || info.Size != preInfo.Size || info.Version != preInfo.Version {
+		t.Fatalf("torn batch leaked into metadata: %+v vs %+v (%v)", info, preInfo, err)
+	}
+
+	// Crash now (no Close, like the NVM crash test) and reopen on the raw
+	// backing device.
+	s2 := openTestStore(t, mem, opts)
+	defer s2.Close()
+	info, err = s2.Stat(0, oid("torn"))
+	if err != nil || info.Size != preInfo.Size || info.Version != preInfo.Version {
+		t.Fatalf("recovered metadata wrong: %+v vs %+v (%v)", info, preInfo, err)
+	}
+	for blk := uint64(0); blk < 8; blk++ {
+		got, err := s2.Read(0, oid("torn"), blk*4096, 4096)
+		if err != nil {
+			t.Fatalf("read block %d: %v", blk, err)
+		}
+		first := got[0]
+		if first != 0xAA && first != 0xBB && first != 0 {
+			t.Fatalf("block %d holds foreign data %#x", blk, first)
+		}
+		for _, b := range got {
+			if b != first {
+				t.Fatalf("block %d torn inside a vector", blk)
+			}
+		}
+	}
+	// The store must stay fully writable after the torn batch.
+	fresh := bytes.Repeat([]byte{0xCC}, 4096)
+	writeObj(t, s2, 0, "torn", 0, fresh)
+	got, err := s2.Read(0, oid("torn"), 0, 4096)
+	if err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("store broken after torn batch: %v", err)
+	}
+}
+
+// TestCreateFailureReturnsSlot exercises the create() error path: a failed
+// pre-allocation zeroing must hand the onode slot (and blocks) back, or
+// repeated failures exhaust the partition.
+func TestCreateFailureReturnsSlot(t *testing.T) {
+	errBoom := errors.New("zero fail")
+	mem := device.NewMem(256 << 20)
+	f := device.NewFault(mem)
+	opts := smallOpts()
+	opts.Partitions = 1
+	opts.MaxObjectsPerPartition = 8
+	s := openTestStore(t, f, opts)
+	defer s.Close()
+
+	// More failed creates than the partition has onode slots.
+	for i := 0; i < 16; i++ {
+		f.Arm(1, errBoom)
+		var txn store.Transaction
+		txn.AddWrite(0, oid("doomed"), 0, []byte("x"))
+		if err := s.Submit(&txn); !errors.Is(err, errBoom) {
+			t.Fatalf("attempt %d: err = %v, want injected failure", i, err)
+		}
+		f.Disarm()
+	}
+	// Every slot must still be available.
+	for i := 0; i < 8; i++ {
+		writeObj(t, s, 0, fmt.Sprintf("live%d", i), 0, []byte("ok"))
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := s.Stat(0, oid(fmt.Sprintf("live%d", i))); err != nil {
+			t.Fatalf("object live%d: %v", i, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cos
 
 import (
 	"fmt"
+	"strconv"
 
 	"rebloc/internal/store"
 	"rebloc/internal/wire"
@@ -19,7 +20,7 @@ import (
 
 // versionedName builds the postfixed object id.
 func versionedName(name string, version uint64) string {
-	return fmt.Sprintf("%s@%d", name, version)
+	return name + "@" + strconv.FormatUint(version, 10)
 }
 
 // Snapshot captures the object's current state under its current version

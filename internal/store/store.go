@@ -97,7 +97,17 @@ type ObjectInfo struct {
 
 // ObjectStore is the backend store contract.
 type ObjectStore interface {
-	// Submit applies a transaction durably.
+	// Submit applies a transaction durably. Ops naming one object apply
+	// in slice order, and a batched transaction is the fast path: an
+	// implementation may apply ops bound for different internal shards
+	// concurrently (COS fans a transaction out across its partitions),
+	// may issue a batch's data as one vectored device write, and may
+	// persist an object's metadata once per transaction rather than once
+	// per op — so callers should coalesce related ops into one Submit
+	// instead of looping. Cross-object ordering within a transaction is
+	// not guaranteed; on error the transaction may be partially applied,
+	// with any partially written object keeping its pre-transaction
+	// metadata (size/version), like a crash mid-write.
 	Submit(txn *Transaction) error
 	// Read returns length bytes of the object at off. Reads past the
 	// current object size are zero-filled up to the object's allocated
