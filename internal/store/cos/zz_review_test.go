@@ -1,0 +1,45 @@
+package cos
+
+import (
+	"bytes"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/store"
+)
+
+func TestReviewDeleteRecreateReclaim(t *testing.T) {
+	dev := device.NewMem(512 << 20)
+	s := openTestStore(t, dev, smallOpts())
+	defer s.Close()
+
+	data := bytes.Repeat([]byte{0xAA}, 4096)
+	var t1 store.Transaction
+	t1.AddWrite(0, oid("x"), 0, data)
+	if err := s.Submit(&t1); err != nil {
+		t.Fatal(err)
+	}
+	var t2 store.Transaction
+	t2.AddDelete(0, oid("x"))
+	if err := s.Submit(&t2); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate before reclaim runs.
+	data2 := bytes.Repeat([]byte{0xBB}, 4096)
+	var t3 store.Transaction
+	t3.AddWrite(0, oid("x"), 0, data2)
+	if err := s.Submit(&t3); err != nil {
+		t.Fatal(err)
+	}
+	// Flush triggers reclaim of the old deleted onode.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(0, oid("x"), 0, 4096)
+	if err != nil {
+		t.Fatalf("recreated object lost after reclaim: %v", err)
+	}
+	if !bytes.Equal(got, data2) {
+		t.Fatalf("recreated object content wrong")
+	}
+}
