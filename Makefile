@@ -8,10 +8,19 @@ GO ?= go
 
 RACE_PKGS = ./internal/messenger/... ./internal/oplog/... ./internal/osd/... ./internal/sched/... ./internal/store/... ./internal/device/...
 
-.PHONY: check vet test race bench-msgr bench-oplog bench-cos
+.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos
 
 check: vet race
 	$(GO) test ./...
+
+# Seeded cluster fault-injection matrix (internal/chaos): every scenario
+# spins up an in-proc cluster, drives a recorded workload through a fault
+# schedule (crashes, torn device writes, dropped/duplicated frames, NVM
+# corruption) and checks block-level history invariants. Failures print a
+# deterministically reproducing seed:
+#   go test ./internal/chaos -run 'TestScenarios/<name>' -chaos.seed=<seed>
+chaos:
+	$(GO) test -race -count=1 -timeout 600s ./internal/chaos
 
 vet:
 	$(GO) vet ./...

@@ -25,14 +25,15 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// setup parses flags and returns a started monitor (testable half of run).
+func setup(args []string) (*monitor.Monitor, error) {
 	fs := flag.NewFlagSet("rebloc-mon", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:6789", "listen address")
 	pgs := fs.Uint("pgs", 64, "placement-group count (power of two)")
 	replicas := fs.Int("replicas", 2, "replication factor")
 	hbTimeout := fs.Duration("heartbeat-timeout", 1500*time.Millisecond, "mark an OSD down after this silence")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 
 	mon, err := monitor.New(monitor.Config{
@@ -43,13 +44,20 @@ func run(args []string) error {
 		HeartbeatTimeout: *hbTimeout,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := mon.Start(); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("rebloc-mon listening on %s (pgs=%d replicas=%d)\n", mon.Addr(), *pgs, *replicas)
+	return mon, nil
+}
 
+func run(args []string) error {
+	mon, err := setup(args)
+	if err != nil {
+		return err
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig

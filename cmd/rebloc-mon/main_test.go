@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"rebloc/internal/crush"
+	"rebloc/internal/messenger"
+	"rebloc/internal/wire"
+)
+
+func TestSetupBadFlag(t *testing.T) {
+	if _, err := setup([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}
+
+func TestSetupBadListenAddr(t *testing.T) {
+	if _, err := setup([]string{"-listen", "256.256.256.256:0"}); err == nil {
+		t.Fatal("unbindable listen address must error")
+	}
+}
+
+// TestSetupServesMaps boots a monitor on an ephemeral port and fetches
+// the initial cluster map over TCP, the same first step every daemon and
+// client performs.
+func TestSetupServesMaps(t *testing.T) {
+	mon, err := setup([]string{"-listen", "127.0.0.1:0", "-pgs", "16", "-replicas", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	conn, err := messenger.TCP{}.Dial(mon.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.GetMap{ReqID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, ok := m.(*wire.MonMap)
+	if !ok {
+		t.Fatalf("reply = %T, want *wire.MonMap", m)
+	}
+	cm, err := crush.Decode(mm.MapBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.PGCount != 16 || cm.Replicas != 2 {
+		t.Fatalf("map = pgs %d replicas %d, want 16/2", cm.PGCount, cm.Replicas)
+	}
+}

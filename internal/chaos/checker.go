@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"time"
+
+	"rebloc/internal/client"
+	"rebloc/internal/store"
+)
+
+// check runs after heal() against a quiet, fully-up cluster: every ACKed
+// write must be readable (durable across whatever the schedule did),
+// content must be untorn, and the replicas of every block must have
+// converged byte-for-byte at a version no older than the last ACK.
+func (h *Harness) check() {
+	h.mu.Lock()
+	aborted := len(h.errs) > 0
+	h.mu.Unlock()
+	if aborted {
+		return // heal already failed; reads against a sick cluster just pile on noise
+	}
+	cl, err := client.New(h.cluster.Transport(), h.cluster.MonAddr(), client.Options{
+		// The cluster is healed; generous retries ride out any last
+		// backfill rejections (StatusAgain), but errors here are findings.
+		RequestTimeout: 2 * time.Second,
+		MaxRetries:     400,
+		RetryBackoff:   10 * time.Millisecond,
+	})
+	if err != nil {
+		h.fail("checker: client: %v", err)
+		return
+	}
+	defer cl.Close()
+
+	scratch := make([]byte, h.opts.BlockBytes)
+	for obj := range h.hist.blocks {
+		oid := objectID(obj)
+		for blk := range h.hist.blocks[obj] {
+			hist := &h.hist.blocks[obj][blk]
+			off := uint64(blk) * uint64(h.opts.BlockBytes)
+			data, err := cl.Read(oid, off, h.opts.BlockBytes)
+			switch {
+			case errors.Is(err, client.ErrNotFound):
+				if hist.maxAcked > 0 {
+					h.fail("check obj %d blk %d: object lost (seq %d was ACKed)", obj, blk, hist.maxAcked)
+				}
+				continue
+			case err != nil:
+				h.fail("check obj %d blk %d: read on healed cluster: %v", obj, blk, err)
+				continue
+			}
+			seq, ok := parseBlock(data, scratch, h.Seed, uint32(obj), uint32(blk))
+			if !ok {
+				h.fail("check obj %d blk %d: torn/corrupt content survived recovery (leading seq %d)", obj, blk, seq)
+				continue
+			}
+			if seq < hist.maxAcked {
+				h.fail("check obj %d blk %d: ACKed write lost: final seq %d < acked %d", obj, blk, seq, hist.maxAcked)
+			}
+			if seq > hist.maxIssued {
+				h.fail("check obj %d blk %d: phantom seq %d (issued up to %d)", obj, blk, seq, hist.maxIssued)
+			}
+		}
+	}
+	h.checkConvergence()
+}
+
+// checkConvergence bypasses the client and reads every block directly
+// from each acting replica's object store: after heal + flush the copies
+// must be byte-identical and at least as new as the last ACK. Backfills
+// may still be settling when this starts, so each object gets retried
+// until a shared deadline.
+func (h *Harness) checkConvergence() {
+	m := h.cluster.Map()
+	deadline := time.Now().Add(20 * time.Second)
+	scratch := make([]byte, h.opts.BlockBytes)
+
+	for obj := range h.hist.blocks {
+		oid := objectID(obj)
+		pg := m.PGOf(oid)
+		acting, err := m.MapPG(pg)
+		if err != nil {
+			h.fail("converge obj %d: map pg %d: %v", obj, pg, err)
+			continue
+		}
+	blocks:
+		for blk := range h.hist.blocks[obj] {
+			hist := &h.hist.blocks[obj][blk]
+			off := uint64(blk) * uint64(h.opts.BlockBytes)
+			for {
+				problem := h.replicasAgree(pg, acting, obj, blk, off, hist, scratch)
+				if problem == "" {
+					continue blocks
+				}
+				if time.Now().After(deadline) {
+					h.fail("converge obj %d blk %d: %s", obj, blk, problem)
+					continue blocks
+				}
+				// Give the backfill another beat, flush, and retry.
+				time.Sleep(50 * time.Millisecond)
+				_ = h.cluster.FlushAll()
+			}
+		}
+	}
+}
+
+// replicasAgree reads one block from every acting OSD's store and returns
+// "" when the copies match and are new enough, else a description of the
+// disagreement (retryable by the caller until its deadline).
+func (h *Harness) replicasAgree(pg uint32, acting []uint32, obj, blk int, off uint64, hist *blockHist, scratch []byte) string {
+	oid := objectID(obj)
+	var ref []byte
+	for _, id := range acting {
+		o := h.cluster.OSD(int(id))
+		if o == nil {
+			return "acting OSD down after heal"
+		}
+		data, err := o.Store().Read(pg, oid, off, h.opts.BlockBytes)
+		if errors.Is(err, store.ErrNotFound) {
+			if hist.maxAcked > 0 {
+				return "replica missing the object"
+			}
+			data = make([]byte, h.opts.BlockBytes) // never written: zeros
+		} else if err != nil {
+			return "replica store read: " + err.Error()
+		}
+		seq, ok := parseBlock(data, scratch, h.Seed, uint32(obj), uint32(blk))
+		if !ok {
+			return "replica holds torn/corrupt content"
+		}
+		if seq < hist.maxAcked {
+			return "replica behind the last ACK"
+		}
+		if ref == nil {
+			ref = append([]byte(nil), data...)
+			continue
+		}
+		if !bytes.Equal(ref, data) {
+			return "replicas diverge"
+		}
+	}
+	return ""
+}

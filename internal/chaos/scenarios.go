@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"errors"
+	"time"
+
+	"rebloc/internal/messenger"
+)
+
+// errInjected is the error armed device faults surface; REDO replay after
+// restart must make the torn submit whole again.
+var errInjected = errors.New("chaos: injected device error")
+
+// Scenarios is the smoke matrix `make chaos` runs: every entry is one
+// seeded fault schedule over the common workload, each aimed at a
+// distinct recovery path. Event marks are fractions of the workload's
+// total operation count.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			// OSD 1 loses power twice mid-drain: staged oplog entries must
+			// replay from the durable NVM image (REDO), and the Freeze path
+			// must keep the killed daemon's in-flight drain from completing
+			// entries the crash already disowned.
+			Name:        "crash-during-drain",
+			DefaultSeed: 101,
+			Schedule: func(h *Harness) []Event {
+				return []Event{
+					{At: 0.30, Name: "kill osd1 (power loss)", Do: func(h *Harness) { h.Kill(1, true) }},
+					{At: 0.50, Name: "restart osd1", Do: func(h *Harness) { h.Restart(1) }},
+					{At: 0.70, Name: "kill osd1 again (power loss)", Do: func(h *Harness) { h.Kill(1, true) }},
+					{At: 0.85, Name: "restart osd1", Do: func(h *Harness) { h.Restart(1) }},
+				}
+			},
+		},
+		{
+			// OSD 1's device starts failing writes a few writes into the
+			// faulted window, so a vectored COS submit tears mid-vector.
+			// The torn suffix must never become visible: the oplog keeps
+			// the entries staged until the store submit succeeds.
+			Name:        "torn-vectored-write",
+			DefaultSeed: 202,
+			Schedule: func(h *Harness) []Event {
+				return []Event{
+					{At: 0.25, Name: "arm device 1 (tear after 5 writes)", Do: func(h *Harness) {
+						h.ArmDevice(1, 5, errInjected)
+					}},
+					{At: 0.60, Name: "disarm device 1", Do: func(h *Harness) { h.DisarmDevice(1) }},
+					// Restart strictly after disarm: boot-time REDO replays
+					// the staged tail through the (now healthy) device.
+					{At: 0.75, Name: "kill osd1 (power loss)", Do: func(h *Harness) { h.Kill(1, true) }},
+					{At: 0.85, Name: "restart osd1", Do: func(h *Harness) { h.Restart(1) }},
+				}
+			},
+		},
+		{
+			// OSD 2's connections are repeatedly severed (replication acks
+			// and client traffic die mid-flight), then the daemon is killed
+			// and restarted so the map moves and a real backfill runs.
+			Name:        "replica-sever-backfill",
+			DefaultSeed: 303,
+			Schedule: func(h *Harness) []Event {
+				sever := func(h *Harness) { h.Sever(2) }
+				return []Event{
+					{At: 0.20, Name: "sever osd2", Do: sever},
+					{At: 0.35, Name: "sever osd2", Do: sever},
+					{At: 0.50, Name: "sever osd2", Do: sever},
+					{At: 0.70, Name: "kill osd2 (power loss)", Do: func(h *Harness) { h.Kill(2, true) }},
+					{At: 0.85, Name: "restart osd2 (backfill)", Do: func(h *Harness) { h.Restart(2) }},
+				}
+			},
+		},
+		{
+			// Power loss plus rotted NVM: one oplog region's header and two
+			// more regions' bodies are scribbled while the daemon is down.
+			// Salvage recovery must truncate/reformat instead of refusing to
+			// boot, and the boot-time backfill must resync the lost suffix
+			// from the surviving replica.
+			Name:        "nvm-corruption",
+			DefaultSeed: 404,
+			Schedule: func(h *Harness) []Event {
+				return []Event{
+					{At: 0.40, Name: "kill osd1 + corrupt oplog NVM", Do: func(h *Harness) {
+						h.Kill(1, true)
+						h.CorruptOplogs(1, 3)
+					}},
+					{At: 0.55, Name: "restart osd1 (salvage)", Do: func(h *Harness) { h.Restart(1) }},
+				}
+			},
+		},
+		{
+			// At-least-once delivery: 30% of frames are delivered twice for
+			// most of the run (duplicate ReplAcks, duplicate replicated
+			// mutations), with a crash-restart in the middle. R=3 so every
+			// write fans out to two peers.
+			Name:        "duplicated-frames",
+			DefaultSeed: 505,
+			Opts:        Options{Replicas: 3},
+			Schedule: func(h *Harness) []Event {
+				return []Event{
+					{At: 0.10, Name: "arm dup 30%", Do: func(h *Harness) {
+						h.SetFaults(&messenger.Faults{DupProb: 0.3})
+					}},
+					{At: 0.45, Name: "kill osd2 (power loss)", Do: func(h *Harness) { h.Kill(2, true) }},
+					{At: 0.60, Name: "restart osd2", Do: func(h *Harness) { h.Restart(2) }},
+					{At: 0.80, Name: "disarm faults", Do: func(h *Harness) { h.SetFaults(nil) }},
+				}
+			},
+		},
+		{
+			// Rolling restarts across a 4-OSD cluster, power loss on the odd
+			// ones: peering, REDO and backfill under continuous load, every
+			// daemon taking a turn.
+			Name:        "restart-storm",
+			DefaultSeed: 606,
+			Opts:        Options{OSDs: 4, OpsPerWriter: 100},
+			Schedule: func(h *Harness) []Event {
+				var evs []Event
+				marks := []float64{0.15, 0.35, 0.55, 0.75}
+				for i := 0; i < 4; i++ {
+					i := i
+					evs = append(evs,
+						Event{At: marks[i], Name: "kill", Do: func(h *Harness) { h.Kill(i, i%2 == 1) }},
+						Event{At: marks[i] + 0.10, Name: "restart", Do: func(h *Harness) { h.Restart(i) }},
+					)
+				}
+				return evs
+			},
+		},
+		{
+			// Lossy, laggy network: 5% of frames dropped, 10% delayed up to
+			// 5ms, for most of the run. Client and replication retries must
+			// mask all of it; no crash involved.
+			Name:        "drop-delay-frames",
+			DefaultSeed: 707,
+			Schedule: func(h *Harness) []Event {
+				return []Event{
+					{At: 0.10, Name: "arm drop 5% + delay 10%", Do: func(h *Harness) {
+						h.SetFaults(&messenger.Faults{
+							DropProb:  0.05,
+							DelayProb: 0.10,
+							DelayMax:  5 * time.Millisecond,
+						})
+					}},
+					{At: 0.70, Name: "disarm faults", Do: func(h *Harness) { h.SetFaults(nil) }},
+				}
+			},
+		},
+	}
+}

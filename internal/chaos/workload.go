@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rebloc/internal/client"
+	"rebloc/internal/wire"
+)
+
+// Every block is filled with copies of a 64-byte self-describing stamp:
+//
+//	[ 0: 4) magic 0xC4A05EED
+//	[ 4: 8) object index
+//	[ 8:12) block index
+//	[12:16) write sequence (per-block, 1-based)
+//	[16:24) run seed
+//	[24:64) xorshift filler from mix(seed, obj, blk, seq)
+//
+// Repeating the stamp across the whole block means any torn mix of two
+// block versions fails a single bytes.Equal against the regenerated
+// expected image — the checker needs no per-fragment bookkeeping.
+const (
+	stampMagic = 0xC4A05EED
+	stampBytes = 64
+)
+
+// mix folds the run seed and block coordinates into one xorshift state.
+func mix(seed int64, obj, blk, seq uint32) uint64 {
+	x := uint64(seed) ^ uint64(obj)<<40 ^ uint64(blk)<<20 ^ uint64(seq)
+	x = x*0x9E3779B97F4A7C15 + 1
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return x
+}
+
+// blockPayload fills dst (a full block) with the stamp for write seq.
+func blockPayload(dst []byte, seed int64, obj, blk, seq uint32) {
+	var stamp [stampBytes]byte
+	binary.LittleEndian.PutUint32(stamp[0:], stampMagic)
+	binary.LittleEndian.PutUint32(stamp[4:], obj)
+	binary.LittleEndian.PutUint32(stamp[8:], blk)
+	binary.LittleEndian.PutUint32(stamp[12:], seq)
+	binary.LittleEndian.PutUint64(stamp[16:], uint64(seed))
+	x := mix(seed, obj, blk, seq)
+	for i := 24; i < stampBytes; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		stamp[i] = byte(x)
+	}
+	for off := 0; off < len(dst); off += stampBytes {
+		copy(dst[off:], stamp[:])
+	}
+}
+
+// parseBlock validates buf against the stamp scheme. An all-zero buffer
+// is version 0 (never written / thin-provisioned read). Otherwise the
+// sequence is read from the leading stamp and the whole buffer must
+// byte-equal the regenerated image for that sequence — anything else
+// (torn write, foreign block, bit rot) returns ok=false. scratch must be
+// len(buf) and is clobbered.
+func parseBlock(buf, scratch []byte, seed int64, obj, blk uint32) (seq uint32, ok bool) {
+	zero := true
+	for _, b := range buf {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return 0, true
+	}
+	if len(buf) < stampBytes || binary.LittleEndian.Uint32(buf[0:]) != stampMagic {
+		return 0, false
+	}
+	seq = binary.LittleEndian.Uint32(buf[12:])
+	blockPayload(scratch, seed, obj, blk, seq)
+	return seq, bytes.Equal(buf, scratch)
+}
+
+// history records, per block, the highest sequence issued and the highest
+// acknowledged. Each block has exactly one writer goroutine, and the
+// checker reads only after all writers joined, so no locking is needed.
+type history struct {
+	blocks [][]blockHist // [obj][blk]
+}
+
+type blockHist struct {
+	maxIssued uint32 // highest sequence a Write was attempted for
+	maxAcked  uint32 // highest sequence the cluster acknowledged
+}
+
+func newHistory(objects, blocksPer int) *history {
+	h := &history{blocks: make([][]blockHist, objects)}
+	for i := range h.blocks {
+		h.blocks[i] = make([]blockHist, blocksPer)
+	}
+	return h
+}
+
+func objectID(obj int) wire.ObjectID {
+	return wire.ObjectID{Pool: 1, Name: fmt.Sprintf("chaos.%d", obj)}
+}
+
+// writer runs one workload goroutine over its owned blocks. Ownership is
+// striped: block (obj, blk) belongs to writer (obj*BlocksPerObject+blk) %
+// Writers, so per-block histories are single-writer by construction.
+func (h *Harness) writer(w int) {
+	cl, err := client.New(h.cluster.Transport(), h.cluster.MonAddr(), client.Options{
+		// Tight per-attempt bound: an op against a just-killed OSD must
+		// fail fast (ErrTimeout is terminal per op) so workload progress
+		// — which drives the event schedule — never stalls.
+		RequestTimeout: 500 * time.Millisecond,
+		MaxRetries:     25,
+		RetryBackoff:   5 * time.Millisecond,
+	})
+	if err != nil {
+		h.fail("writer %d: client: %v", w, err)
+		// Burn this writer's ops so progress still reaches 100%.
+		h.issued.Add(int64(h.opts.OpsPerWriter))
+		return
+	}
+	defer cl.Close()
+
+	type owned struct{ obj, blk uint32 }
+	var mine []owned
+	for obj := 0; obj < h.opts.Objects; obj++ {
+		for blk := 0; blk < h.opts.BlocksPerObject; blk++ {
+			if (obj*h.opts.BlocksPerObject+blk)%h.opts.Writers == w {
+				mine = append(mine, owned{uint32(obj), uint32(blk)})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(int64(mix(h.Seed, uint32(w), 0xB10C, 0))))
+	buf := make([]byte, h.opts.BlockBytes)
+	scratch := make([]byte, h.opts.BlockBytes)
+
+	for op := 0; op < h.opts.OpsPerWriter; op++ {
+		if len(mine) == 0 {
+			h.issued.Add(1)
+			continue
+		}
+		pick := mine[rng.Intn(len(mine))]
+		hist := &h.hist.blocks[pick.obj][pick.blk]
+		oid := objectID(int(pick.obj))
+		off := uint64(pick.blk) * uint64(h.opts.BlockBytes)
+
+		if h.opts.ReadEvery > 0 && op%h.opts.ReadEvery == h.opts.ReadEvery-1 {
+			// Read-your-writes probe. ackedAtIssue is this goroutine's own
+			// floor: it acked seq N itself, so any fresh read must see ≥ N.
+			ackedAtIssue := hist.maxAcked
+			data, err := cl.Read(oid, off, h.opts.BlockBytes)
+			h.issued.Add(1)
+			switch {
+			case errors.Is(err, client.ErrNotFound):
+				if ackedAtIssue > 0 {
+					h.fail("read obj %d blk %d: not found after seq %d was ACKed",
+						pick.obj, pick.blk, ackedAtIssue)
+				}
+			case err != nil:
+				// Timeout / retries exhausted mid-fault: indeterminate, not
+				// a violation.
+				h.readErrs.Add(1)
+			default:
+				seq, ok := parseBlock(data, scratch, h.Seed, pick.obj, pick.blk)
+				if !ok {
+					h.fail("read obj %d blk %d: torn/corrupt content (leading seq %d)",
+						pick.obj, pick.blk, seq)
+				} else if seq < ackedAtIssue {
+					h.fail("read obj %d blk %d: read-your-writes violated: saw seq %d, had ACKed %d",
+						pick.obj, pick.blk, seq, ackedAtIssue)
+				} else if seq > hist.maxIssued {
+					h.fail("read obj %d blk %d: phantom seq %d, never issued past %d",
+						pick.obj, pick.blk, seq, hist.maxIssued)
+				}
+			}
+			continue
+		}
+
+		seq := hist.maxIssued + 1
+		hist.maxIssued = seq
+		blockPayload(buf, h.Seed, pick.obj, pick.blk, seq)
+		_, err = cl.Write(oid, off, buf)
+		h.issued.Add(1)
+		if err == nil {
+			hist.maxAcked = seq
+		} else {
+			// Unacked ≠ lost: the write may still have landed (e.g. the ACK
+			// frame was dropped). The checker accepts any seq ≥ maxAcked.
+			h.writeErrs.Add(1)
+		}
+	}
+}

@@ -120,7 +120,10 @@ type osdConn struct {
 
 	mu      sync.Mutex
 	waiting map[uint64]chan *wire.Reply
-	dead    bool
+	// dead is atomic: recvLoop sets it under oc.mu while connTo checks it
+	// under c.connMu — two different locks, so the flag itself must not
+	// need either.
+	dead atomic.Bool
 }
 
 func (oc *osdConn) registerWait(id uint64) chan *wire.Reply {
@@ -141,7 +144,7 @@ func (oc *osdConn) cancelWait(id uint64) {
 func (c *Client) connTo(id uint32) (*osdConn, error) {
 	c.connMu.Lock()
 	defer c.connMu.Unlock()
-	if oc, ok := c.conns[id]; ok && !oc.dead {
+	if oc, ok := c.conns[id]; ok && !oc.dead.Load() {
 		return oc, nil
 	}
 	m := c.Map()
@@ -165,8 +168,8 @@ func (c *Client) recvLoop(id uint32, oc *osdConn) {
 	for {
 		m, err := oc.conn.Recv()
 		if err != nil {
+			oc.dead.Store(true)
 			oc.mu.Lock()
-			oc.dead = true
 			for reqID, ch := range oc.waiting {
 				ch <- &wire.Reply{ReqID: reqID, Status: wire.StatusAgain}
 				delete(oc.waiting, reqID)

@@ -76,6 +76,14 @@ type Options struct {
 	COSSet bool
 	// HeartbeatTimeout tunes monitor failure detection (tests shrink it).
 	HeartbeatTimeout time.Duration
+	// WrapTransport, when non-nil, wraps the cluster transport before any
+	// node uses it (fault injection: every listener, dial and conn in the
+	// cluster then flows through the wrapper).
+	WrapTransport func(messenger.Transport) messenger.Transport
+	// WrapDevice, when non-nil, wraps OSD i's device before the OSD opens
+	// its store (fault injection: torn writes, I/O errors). It composes
+	// outside DeviceProfile pacing.
+	WrapDevice func(i int, d device.Device) device.Device
 }
 
 func (o *Options) fill() {
@@ -127,6 +135,9 @@ func New(opts Options) (*Cluster, error) {
 		in.Stats = c.msgr
 		c.tr = in
 	}
+	if opts.WrapTransport != nil {
+		c.tr = opts.WrapTransport(c.tr)
+	}
 	c.reg = metrics.NewRegistry()
 	c.msgr.Register(c.reg, "msgr")
 
@@ -173,6 +184,9 @@ func (c *Cluster) startOSD(id uint32, addr string, dev device.Device, bank *nvm.
 		dev = mem
 		if c.opts.DeviceProfile != nil {
 			dev = device.NewSim(mem, *c.opts.DeviceProfile)
+		}
+		if c.opts.WrapDevice != nil {
+			dev = c.opts.WrapDevice(int(id), dev)
 		}
 		c.devices = append(c.devices, dev)
 	}
@@ -246,6 +260,22 @@ func (c *Cluster) Client() (*client.Client, error) {
 
 // Monitor exposes the monitor.
 func (c *Cluster) Monitor() *monitor.Monitor { return c.mon }
+
+// Transport exposes the cluster transport (the wrapped one when
+// WrapTransport is set), so harnesses can open their own clients with
+// non-default options against it.
+func (c *Cluster) Transport() messenger.Transport { return c.tr }
+
+// MonAddr returns the monitor's listen address.
+func (c *Cluster) MonAddr() string { return c.mon.Addr() }
+
+// OSDAddr returns daemon i's current listen address ("" after a kill).
+func (c *Cluster) OSDAddr(i int) string {
+	if c.osds[i] == nil {
+		return ""
+	}
+	return c.osds[i].Addr()
+}
 
 // OSD returns daemon i (nil after a kill).
 func (c *Cluster) OSD(i int) *osd.OSD { return c.osds[i] }

@@ -1,0 +1,213 @@
+package messenger
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rebloc/internal/wire"
+)
+
+// Faults describes a fault-injection policy for a Faulty transport. All
+// faults are applied on the RECEIVE side of a connection, which keeps the
+// per-connection stream order intact: a delayed message delays everything
+// behind it (head-of-line, like a slow link), a dropped message simply
+// never arrives, and a duplicated message is redelivered back to back —
+// at-least-once delivery, the failure mode acknowledgement protocols must
+// survive.
+type Faults struct {
+	// Seed derives every connection's private RNG; the same seed and the
+	// same connection-creation order replay the same fault sequence.
+	Seed int64
+
+	// DropProb is the per-message probability the receiver never sees it.
+	DropProb float64
+	// DupProb is the per-message probability it is delivered twice.
+	DupProb float64
+	// DelayProb is the per-message probability of an in-stream delay of
+	// up to DelayMax before delivery.
+	DelayProb float64
+	DelayMax  time.Duration
+
+	// Exclude lists address substrings whose connections are never
+	// faulted (e.g. the monitor address: dropping boot replies wedges
+	// daemons in ways no recovery protocol is expected to handle).
+	Exclude []string
+}
+
+func (f *Faults) excluded(label string) bool {
+	for _, e := range f.Exclude {
+		if e != "" && strings.Contains(label, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Faulty wraps a Transport with seed-driven fault injection. With no
+// policy armed (SetFaults(nil), the initial state) every connection is a
+// transparent passthrough; arming a policy affects existing connections
+// too. Sever force-closes the connections of one address, modelling a
+// peer dropping off the network.
+type Faulty struct {
+	inner Transport
+
+	policy  atomic.Pointer[Faults]
+	connSeq atomic.Int64
+
+	mu    sync.Mutex
+	conns map[*faultConn]struct{}
+}
+
+// NewFaulty wraps inner; no faults are armed yet.
+func NewFaulty(inner Transport) *Faulty {
+	return &Faulty{inner: inner, conns: make(map[*faultConn]struct{})}
+}
+
+// SetFaults arms (or, with nil, disarms) the fault policy. Safe to call
+// while traffic is flowing; connections pick the new policy up on their
+// next receive.
+func (t *Faulty) SetFaults(f *Faults) { t.policy.Store(f) }
+
+// Sever closes every connection labelled with addr — conns dialled to it
+// and conns accepted by its listener — so both directions of the peer's
+// traffic break at once. New dials are not blocked; a reconnecting
+// daemon gets a fresh, working connection.
+func (t *Faulty) Sever(addr string) int {
+	t.mu.Lock()
+	var victims []*faultConn
+	for c := range t.conns {
+		if c.label == addr {
+			victims = append(victims, c)
+		}
+	}
+	t.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	return len(victims)
+}
+
+// Listen implements Transport.
+func (t *Faulty) Listen(addr string) (Listener, error) {
+	ln, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultListener{t: t, ln: ln}, nil
+}
+
+// Dial implements Transport.
+func (t *Faulty) Dial(addr string) (Conn, error) {
+	conn, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.wrap(conn, addr), nil
+}
+
+func (t *Faulty) wrap(conn Conn, label string) *faultConn {
+	fc := &faultConn{t: t, inner: conn, label: label}
+	// Per-conn RNG: splitmix the shared seed with the conn's creation
+	// index so each conn sees an independent, reproducible stream. The
+	// policy's seed is folded in at use time (policies can change).
+	fc.seq = t.connSeq.Add(1)
+	t.mu.Lock()
+	t.conns[fc] = struct{}{}
+	t.mu.Unlock()
+	return fc
+}
+
+func (t *Faulty) forget(fc *faultConn) {
+	t.mu.Lock()
+	delete(t.conns, fc)
+	t.mu.Unlock()
+}
+
+type faultListener struct {
+	t  *Faulty
+	ln Listener
+}
+
+func (l *faultListener) Accept() (Conn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.t.wrap(conn, l.ln.Addr()), nil
+}
+
+func (l *faultListener) Close() error { return l.ln.Close() }
+func (l *faultListener) Addr() string { return l.ln.Addr() }
+
+// faultConn applies the armed policy to its receive stream.
+type faultConn struct {
+	t     *Faulty
+	inner Conn
+	label string
+	seq   int64
+
+	// Recv-side state; Recv is single-goroutine by the Conn contract, so
+	// none of this needs a lock.
+	rng     *rand.Rand
+	rngSeed int64
+	pending wire.Message // duplicate waiting for redelivery
+}
+
+func (c *faultConn) Send(m wire.Message) error { return c.inner.Send(m) }
+
+func (c *faultConn) Recv() (wire.Message, error) {
+	for {
+		if c.pending != nil {
+			m := c.pending
+			c.pending = nil
+			return m, nil
+		}
+		m, err := c.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		f := c.t.policy.Load()
+		if f == nil || f.excluded(c.label) {
+			return m, nil
+		}
+		rng := c.rngFor(f.Seed)
+		if f.DelayProb > 0 && rng.Float64() < f.DelayProb && f.DelayMax > 0 {
+			time.Sleep(time.Duration(rng.Int63n(int64(f.DelayMax))))
+		}
+		if f.DropProb > 0 && rng.Float64() < f.DropProb {
+			continue // the receiver never sees this message
+		}
+		if f.DupProb > 0 && rng.Float64() < f.DupProb {
+			c.pending = m // redelivered by the next Recv, back to back
+		}
+		return m, nil
+	}
+}
+
+// rngFor returns the conn's RNG for the given policy seed, rebuilding it
+// when a new policy (different seed) is armed mid-stream.
+func (c *faultConn) rngFor(seed int64) *rand.Rand {
+	if c.rng == nil || c.rngSeed != seed {
+		// splitmix64 over (seed, conn seq): independent per-conn streams
+		// that reproduce from the policy seed and conn-creation order.
+		x := uint64(seed) + uint64(c.seq)*0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		c.rng = rand.New(rand.NewSource(int64(x)))
+		c.rngSeed = seed
+	}
+	return c.rng
+}
+
+func (c *faultConn) Close() error {
+	c.t.forget(c)
+	return c.inner.Close()
+}
+
+func (c *faultConn) RemoteAddr() string { return c.inner.RemoteAddr() }

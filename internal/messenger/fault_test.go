@@ -1,0 +1,184 @@
+package messenger
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rebloc/internal/wire"
+)
+
+// faultPair builds a connected wrapped pair over the in-proc transport:
+// srv is the accepted (server) side, cli the dialled side.
+func faultPair(t *testing.T, ft *Faulty) (srv, cli Conn) {
+	t.Helper()
+	ln, err := ft.Listen("peer.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	cli, err = ft.Dial("peer.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { srv.Close(); cli.Close() })
+	return srv, cli
+}
+
+func TestFaultyPassthroughWhenDisarmed(t *testing.T) {
+	ft := NewFaulty(NewInProc())
+	srv, cli := faultPair(t, ft)
+	for i := uint64(1); i <= 10; i++ {
+		if err := cli.Send(&wire.Ping{OSDID: 7, Epoch: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 10; i++ {
+		m, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := m.(*wire.Ping)
+		if !ok || p.Epoch != uint32(i) {
+			t.Fatalf("message %d: got %#v", i, m)
+		}
+	}
+}
+
+func TestFaultyDuplicatesBackToBack(t *testing.T) {
+	ft := NewFaulty(NewInProc())
+	ft.SetFaults(&Faults{Seed: 1, DupProb: 1.0})
+	srv, cli := faultPair(t, ft)
+	if err := cli.Send(&wire.Ping{OSDID: 1, Epoch: 42}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := m.(*wire.Ping)
+		if !ok || p.Epoch != 42 {
+			t.Fatalf("delivery %d: got %#v", i, m)
+		}
+	}
+}
+
+func TestFaultyDropLosesMessages(t *testing.T) {
+	ft := NewFaulty(NewInProc())
+	ft.SetFaults(&Faults{Seed: 2, DropProb: 1.0})
+	srv, cli := faultPair(t, ft)
+	if err := cli.Send(&wire.Ping{OSDID: 1, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// With DropProb 1 every message vanishes: Recv must still be blocked
+	// (not returning the dropped frame) when the conn closes under it.
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("dropped frame delivered (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	srv.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Recv returned a message after close")
+	}
+}
+
+func TestFaultyExcludeProtectsAddr(t *testing.T) {
+	ft := NewFaulty(NewInProc())
+	ft.SetFaults(&Faults{Seed: 3, DropProb: 1.0, Exclude: []string{"peer.0"}})
+	srv, cli := faultPair(t, ft)
+	if err := cli.Send(&wire.Ping{OSDID: 1, Epoch: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := m.(*wire.Ping); !ok || p.Epoch != 9 {
+		t.Fatalf("excluded conn still faulted: %#v", m)
+	}
+}
+
+func TestFaultySameSeedSameOutcome(t *testing.T) {
+	run := func(seed int64) []uint32 {
+		ft := NewFaulty(NewInProc())
+		ft.SetFaults(&Faults{Seed: seed, DropProb: 0.5})
+		srv, cli := faultPair(t, ft)
+		defer srv.Close()
+		for i := uint32(1); i <= 64; i++ {
+			if err := cli.Send(&wire.Ping{OSDID: 1, Epoch: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Sentinel on a second, unfaulted policy change is racy; instead
+		// close the sender and drain until error.
+		cli.Close()
+		var got []uint32
+		for {
+			m, err := srv.Recv()
+			if err != nil {
+				return got
+			}
+			if p, ok := m.(*wire.Ping); ok {
+				got = append(got, p.Epoch)
+			}
+		}
+	}
+	a := run(1234)
+	b := run(1234)
+	c := run(99)
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("drop 0.5 delivered %d/64 — faults not applied", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d deliveries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	_ = c // different seed may or may not differ; only determinism is asserted
+}
+
+func TestFaultySeverClosesBothSides(t *testing.T) {
+	ft := NewFaulty(NewInProc())
+	srv, cli := faultPair(t, ft)
+	// Both the accepted conn (label = listener addr) and the dialled conn
+	// (label = dial target) carry "peer.0".
+	if n := ft.Sever("peer.0"); n != 2 {
+		t.Fatalf("severed %d conns, want 2", n)
+	}
+	if _, err := srv.Recv(); err == nil {
+		t.Fatal("server side survived sever")
+	}
+	if err := cli.Send(&wire.Ping{}); err == nil {
+		// In-proc sends into a closed pair may surface the error on the
+		// next call; allow one grace send then require failure.
+		if err := cli.Send(&wire.Ping{}); err == nil {
+			t.Fatal("client side survived sever")
+		}
+	}
+	if !errors.Is(ErrClosed, ErrClosed) {
+		t.Fatal("sanity")
+	}
+}

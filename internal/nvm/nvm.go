@@ -184,6 +184,30 @@ func (r *Region) WriteAndPersist(p []byte, off int64) error {
 	return r.Persist(off, len(p))
 }
 
+// Corrupt overwrites [off, off+n) with pseudorandom bytes derived from
+// seed, in BOTH the volatile and durable views — modelling media that
+// rotted (or a firmware bug that scribbled) rather than an unpersisted
+// write lost to a crash. Fault-injection only: recovery code must
+// tolerate what this produces, never produce it.
+func (r *Region) Corrupt(off int64, n int, seed int64) error {
+	if err := r.check(off, n); err != nil {
+		return err
+	}
+	// xorshift64*: deterministic garbage, no math/rand dependency here.
+	x := uint64(seed)*2685821657736338717 + 1
+	buf := r.bank.volatile[r.base+off : r.base+off+int64(n)]
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = byte(x)
+	}
+	if r.bank.durable != nil {
+		copy(r.bank.durable[r.base+off:r.base+off+int64(n)], buf)
+	}
+	return nil
+}
+
 // Slice returns a read-only view of [off, off+n) in the volatile image,
 // valid until the next write to the range. Zero-copy read path for the
 // operation log.

@@ -166,6 +166,7 @@ type Log struct {
 	appenders  atomic.Int32 // appenders in flight (leader yield heuristic)
 
 	closed atomic.Bool
+	frozen bool // under mu: crash-style stop, NVM image is read-only
 
 	hdrScratch [28]byte // persistHeader encode buffer (no per-call alloc)
 
@@ -202,27 +203,55 @@ func New(pg uint32, region *nvm.Region, threshold int) (*Log, error) {
 
 // Recover rebuilds a log from a region that survived a crash. The staged
 // entries are returned in order so the OSD can REDO them into the store
-// (or re-replicate them during peering).
+// (or re-replicate them during peering). Any corruption in the persisted
+// image is a hard error; use RecoverSalvage when the daemon must come
+// back up regardless (backfill restores what the local log lost).
 func Recover(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, error) {
+	l, staged, _, err := recover_(pg, region, threshold, false)
+	return l, staged, err
+}
+
+// RecoverSalvage rebuilds a log like Recover but never fails on a corrupt
+// image: a corrupt header reinitialises the log empty, and a corrupt
+// entry truncates the log at the last cleanly-replayed entry (classic
+// torn-log replay — everything past the first bad frame is discarded,
+// because frame boundaries cannot be trusted after it). The returned flag
+// reports whether anything was discarded, so the caller can resync the
+// lost suffix from the surviving replicas.
+func RecoverSalvage(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, bool, error) {
+	return recover_(pg, region, threshold, true)
+}
+
+func recover_(pg uint32, region *nvm.Region, threshold int, salvage bool) (*Log, []*Entry, bool, error) {
 	l := newLog(pg, region, threshold)
 	hdr := make([]byte, headerBytes)
 	if _, err := region.ReadAt(hdr, 0); err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	d := wire.NewDecoder(hdr[:28])
 	if d.U32() != logMagic {
 		// Fresh region: initialise empty.
 		if err := l.persistHeader(); err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
-		return l, nil, nil
+		return l, nil, false, nil
 	}
 	l.tail = d.U64()
 	l.head = d.U64()
 	l.lastSeq = d.U64()
 	capy := l.capacity()
 	if l.tail >= capy || l.head >= capy {
-		return nil, nil, fmt.Errorf("oplog: corrupt header pg %d: tail=%d head=%d cap=%d", pg, l.tail, l.head, capy)
+		if !salvage {
+			return nil, nil, false, fmt.Errorf("oplog: corrupt header pg %d: tail=%d head=%d cap=%d", pg, l.tail, l.head, capy)
+		}
+		// Header itself is garbage: nothing in the body can be located.
+		// Reformat empty; the sequence counter is also lost, which is safe
+		// only because a salvaging OSD resyncs the PG before serving it.
+		l.tail, l.head, l.lastSeq, l.used = 0, 0, 0, 0
+		if err := l.persistHeader(); err != nil {
+			return nil, nil, false, err
+		}
+		return l, nil, true, nil
 	}
 	if l.head >= l.tail {
 		l.used = l.head - l.tail
@@ -234,7 +263,22 @@ func Recover(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, erro
 	for pos != l.head {
 		e, next, err := l.readEntryAt(pos)
 		if err != nil {
-			return nil, nil, fmt.Errorf("oplog: replay pg %d at %d: %w", pg, pos, err)
+			if !salvage {
+				return nil, nil, false, fmt.Errorf("oplog: replay pg %d at %d: %w", pg, pos, err)
+			}
+			// Truncate at the first bad frame and persist the shorter log.
+			l.head = pos
+			if l.head >= l.tail {
+				l.used = l.head - l.tail
+			} else {
+				l.used = capy - (l.tail - l.head)
+			}
+			if perr := l.persistHeader(); perr != nil {
+				return nil, nil, false, perr
+			}
+			staged := make([]*Entry, len(l.entries))
+			copy(staged, l.entries)
+			return l, staged, true, nil
 		}
 		e.State = StateStaged
 		l.entries = append(l.entries, e)
@@ -243,7 +287,7 @@ func Recover(pg uint32, region *nvm.Region, threshold int) (*Log, []*Entry, erro
 	}
 	staged := make([]*Entry, len(l.entries))
 	copy(staged, l.entries)
-	return l, staged, nil
+	return l, staged, false, nil
 }
 
 func (l *Log) capacity() uint64 { return uint64(l.region.Size()) - headerBytes }
@@ -467,6 +511,9 @@ func (l *Log) SetGroupCommitMax(n int) {
 func (l *Log) TakeBatch(max int) []*Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.frozen {
+		return nil
+	}
 	var out []*Entry
 	for _, e := range l.entries {
 		if e.State != StateStaged {
@@ -485,6 +532,9 @@ func (l *Log) TakeBatch(max int) []*Entry {
 func (l *Log) Requeue(batch []*Entry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.frozen {
+		return
+	}
 	for _, e := range batch {
 		if e.State == StateFlushing {
 			e.State = StateStaged
@@ -499,6 +549,12 @@ func (l *Log) Requeue(batch []*Entry) {
 func (l *Log) Complete(batch []*Entry) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.frozen {
+		// A crash-style stop froze the log between TakeBatch and here: the
+		// NVM image must stay exactly as the "crash" left it, so the batch
+		// is neither removed nor released — recovery replays it.
+		return ErrClosed
+	}
 	for _, e := range batch {
 		if e.State == StateStaged || e.State == StateFlushing {
 			e.State = stateDone
@@ -568,6 +624,19 @@ func (l *Log) StagedOps() []wire.Op {
 // members fail with ErrClosed at commit time).
 func (l *Log) Close() {
 	l.closed.Store(true)
+}
+
+// Freeze closes the log crash-style: appends fail, and the persisted NVM
+// image becomes read-only — TakeBatch hands out nothing, Requeue is a
+// no-op, and a Complete racing the stop returns ErrClosed without
+// advancing the persisted tail or releasing entries. An in-flight drain
+// can therefore never "double-complete" a batch the restarted OSD's REDO
+// replay is about to take ownership of.
+func (l *Log) Freeze() {
+	l.closed.Store(true)
+	l.mu.Lock()
+	l.frozen = true
+	l.mu.Unlock()
 }
 
 // RegionSizeFor returns a comfortable region size for a threshold and

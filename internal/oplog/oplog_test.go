@@ -471,3 +471,51 @@ func BenchmarkAppend4K(b *testing.B) {
 		}
 	}
 }
+
+// TestFreezeRejectsInFlightComplete pins the crash-style stop contract: a
+// drain that took a batch before the log froze must not complete it. The
+// persisted NVM image stays exactly as the "crash" left it, and recovery
+// replays every entry — otherwise a stop racing the bottom half could
+// advance the persisted tail under the restarted OSD's REDO replay.
+func TestFreezeRejectsInFlightComplete(t *testing.T) {
+	l, _, region := newTestLog(t, 1<<20, 16)
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(writeOp("o", uint64(i)*4096, []byte("data"), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := l.TakeBatch(4)
+	if len(batch) != 4 {
+		t.Fatalf("TakeBatch = %d entries, want 4", len(batch))
+	}
+
+	l.Freeze() // crash-style stop lands between TakeBatch and Complete
+
+	if err := l.Complete(batch); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Complete after Freeze = %v, want ErrClosed", err)
+	}
+	if got := l.TakeBatch(0); got != nil {
+		t.Fatalf("TakeBatch after Freeze returned %d entries, want none", len(got))
+	}
+	l.Requeue(batch) // must be a no-op on a frozen log
+	if _, err := l.Append(writeOp("o", 0, []byte("late"), 99)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Freeze = %v, want ErrClosed", err)
+	}
+
+	// REDO owns the full entry set: nothing was removed or reordered.
+	l2, staged, err := Recover(1, region, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged) != 6 {
+		t.Fatalf("recovered %d staged entries, want 6", len(staged))
+	}
+	for i, e := range staged {
+		if e.Op.Seq != uint64(i+1) {
+			t.Fatalf("staged[%d].Seq = %d, want %d", i, e.Op.Seq, i+1)
+		}
+	}
+	if l2.LastSeq() != 6 {
+		t.Fatalf("recovered LastSeq = %d, want 6", l2.LastSeq())
+	}
+}

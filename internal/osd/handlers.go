@@ -97,7 +97,7 @@ func (o *OSD) dispatch(conn messenger.Conn, m wire.Message) {
 			o.handleRepl(conn, &msg.Items[i])
 		}
 	case *wire.ReplAck:
-		o.pending.complete(msg.ReqID, msg.Status)
+		o.pending.complete(msg.ReqID, msg.From, msg.Status)
 	case *wire.Flush:
 		status := wire.StatusOK
 		if err := o.FlushAll(); err != nil {
@@ -197,7 +197,15 @@ func (o *OSD) handleClientMutation(conn messenger.Conn, reqID uint64, epoch uint
 			reply(wire.StatusIOError)
 			return
 		}
-		id := o.pending.register(len(secondaries), reply)
+		// A failed fan-out leaves this primary ahead of a replica with no
+		// guarantee the client retries: queue the object for repair so
+		// the replicas reconverge even if this was its last write.
+		id := o.pending.register(len(secondaries), func(status wire.Status) {
+			if status != wire.StatusOK {
+				o.noteRepair(pg, op.OID)
+			}
+			reply(status)
+		})
 		o.replicate(id, pg, m.Epoch, secondaries, op)
 		if pgs.log.ShouldFlush() {
 			o.wakeNPT(pg)
@@ -325,12 +333,12 @@ func (o *OSD) handleRepl(conn messenger.Conn, msg *wire.Repl) {
 	o.ReplOps.Inc()
 	pgs, err := o.pgStateFor(msg.PG)
 	if err != nil {
-		_ = conn.Send(&wire.ReplAck{ReqID: msg.ReqID, PG: msg.PG, Seq: msg.Op.Seq, Status: wire.StatusIOError})
+		_ = conn.Send(&wire.ReplAck{ReqID: msg.ReqID, PG: msg.PG, Seq: msg.Op.Seq, From: o.cfg.ID, Status: wire.StatusIOError})
 		return
 	}
 	pgs.bumpSeq(msg.Op.Seq)
 	ack := func(status wire.Status) {
-		_ = conn.Send(&wire.ReplAck{ReqID: msg.ReqID, PG: msg.PG, Seq: msg.Op.Seq, Status: status})
+		_ = conn.Send(&wire.ReplAck{ReqID: msg.ReqID, PG: msg.PG, Seq: msg.Op.Seq, From: o.cfg.ID, Status: status})
 	}
 	pgs.mu.Lock()
 	clean := pgs.clean

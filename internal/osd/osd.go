@@ -192,10 +192,20 @@ type pgState struct {
 	pg  uint32
 	log *oplog.Log // nil unless ModeProposed
 
-	mu      sync.Mutex
-	seq     uint64
-	clean   bool // false while backfilling
-	flushMu sync.Mutex
+	mu    sync.Mutex
+	seq   uint64
+	clean bool // false while backfilling
+	// backfilling guards against concurrent syncPG goroutines for the
+	// same PG when map changes arrive faster than a sync completes.
+	backfilling bool
+	// servedEpoch is the map epoch of the latest interval this OSD
+	// served the PG clean. It ranks authority when no clean backfill
+	// source is reachable: acknowledgements require every acting member
+	// to apply, so the member of the most recent fully-clean interval
+	// holds every acknowledged write. Deliberately volatile — a crashed
+	// daemon restarts at 0 and must defer to live peers.
+	servedEpoch uint32
+	flushMu     sync.Mutex
 
 	// dirty is set when the PG enters its worker's dirty queue (appends
 	// with staged entries) and cleared when the worker picks it up.
@@ -242,6 +252,9 @@ type OSD struct {
 	peers    sync.Map // osd id -> *peer
 	pending  *pendingSet
 	accepted messenger.ConnSet
+	// aux tracks dialled side connections (backfill pulls) whose recv
+	// would otherwise block a stop forever when the peer never answers.
+	aux messenger.ConnSet
 
 	// Original-mode PG work queues, one per PG worker.
 	pgQueues []chan *task
@@ -262,11 +275,23 @@ type OSD struct {
 
 	readWaiters sync.Map // readKey -> *readTask (proposed mode R2/R3)
 
+	// repairs tracks objects whose replication fan-out failed on some
+	// secondary; the repair loop re-pushes their current content until a
+	// full round of acknowledgements succeeds (see repair.go).
+	repairMu sync.Mutex
+	repairs  map[store.Key]*repairItem
+
 	// Stats visible to the harness.
 	ClientOps   metrics.Counter
 	ReplOps     metrics.Counter
 	ForcedFlush metrics.Counter
 	Backfills   metrics.Counter
+	// OplogSalvages counts PG logs whose NVM image was corrupt at recovery
+	// and came back truncated or empty (backfill restores the lost suffix).
+	OplogSalvages metrics.Counter
+	// RepairPushes counts full-object re-replications triggered by failed
+	// replication fan-outs (see repair.go).
+	RepairPushes metrics.Counter
 	// ReplBatchFrames counts ReplBatch frames shipped to peers;
 	// ReplBatchedOps counts the ops they carried (ops/frame is the
 	// fan-out batching factor).
@@ -277,10 +302,10 @@ type OSD struct {
 	// FlushStoreOps the store operations submitted after coalescing
 	// (FlushedEntries/FlushStoreOps is the coalesce ratio), FlushErrors
 	// the store-submit failures across all PGs.
-	FlushBatches    metrics.Counter
-	FlushedEntries  metrics.Counter
-	FlushStoreOps   metrics.Counter
-	FlushErrors     metrics.Counter
+	FlushBatches   metrics.Counter
+	FlushedEntries metrics.Counter
+	FlushStoreOps  metrics.Counter
+	FlushErrors    metrics.Counter
 }
 
 // task is a unit of work handed between threads; replies travel inside
@@ -302,6 +327,7 @@ func New(cfg Config) (*OSD, error) {
 		group:   sched.NewGroup(),
 		pgs:     make(map[uint32]*pgState),
 		pending: newPendingSet(),
+		repairs: make(map[store.Key]*repairItem),
 	}
 
 	var err error
@@ -400,6 +426,7 @@ func (o *OSD) Start() error {
 
 	o.group.Go(func(stop <-chan struct{}) { o.acceptLoop(stop) })
 	o.group.Go(func(stop <-chan struct{}) { o.pendingSweepLoop(stop) })
+	o.group.Go(func(stop <-chan struct{}) { o.repairLoop(stop) })
 
 	if o.cfg.MonAddr != "" {
 		if err := o.bootWithMonitor(); err != nil {
@@ -460,9 +487,16 @@ func (o *OSD) pgStateFor(pg uint32) (*pgState, error) {
 				return nil, fmt.Errorf("osd %d: carve oplog pg %d: %w", o.cfg.ID, pg, err)
 			}
 		}
-		log, staged, err := oplog.Recover(pg, region, o.cfg.FlushThreshold)
+		// Salvage semantics: a daemon must come back up even when the NVM
+		// image is torn or corrupted — the log truncates at the first bad
+		// frame (or reformats on a bad header) and the boot-time backfill
+		// resyncs whatever the local log lost from the surviving replicas.
+		log, staged, salvaged, err := oplog.RecoverSalvage(pg, region, o.cfg.FlushThreshold)
 		if err != nil {
 			return nil, err
+		}
+		if salvaged {
+			o.OplogSalvages.Inc()
 		}
 		log.SetGroupCommitMax(o.cfg.GroupCommitMax)
 		s.log = log
@@ -509,6 +543,7 @@ func (o *OSD) Close() error {
 		o.ln.Close()
 	}
 	o.accepted.CloseAll()
+	o.aux.CloseAll()
 	o.monMu.Lock()
 	if o.monConn != nil {
 		o.monConn.Close()
@@ -530,10 +565,23 @@ func (o *OSD) Kill() {
 	if o.closed.Swap(true) {
 		return
 	}
+	// Freeze every PG log FIRST: from this instant the persisted NVM image
+	// is what the "crash" left behind. A drain still in flight may finish
+	// its store submit, but its Complete is rejected — it can no longer
+	// advance the persisted tail under the feet of the restarted OSD's
+	// REDO replay (which owns those same entries once recovery starts).
+	o.pgMu.Lock()
+	for _, s := range o.pgs {
+		if s.log != nil {
+			s.log.Freeze()
+		}
+	}
+	o.pgMu.Unlock()
 	if o.ln != nil {
 		o.ln.Close()
 	}
 	o.accepted.CloseAll()
+	o.aux.CloseAll()
 	o.monMu.Lock()
 	if o.monConn != nil {
 		o.monConn.Close()

@@ -81,16 +81,16 @@ func TestPendingSetLifecycle(t *testing.T) {
 	var got wire.Status
 	fired := 0
 	id := p.register(2, func(s wire.Status) { got = s; fired++ })
-	p.complete(id, wire.StatusOK)
+	p.complete(id, 1, wire.StatusOK)
 	if fired != 0 {
 		t.Fatal("fired early")
 	}
-	p.complete(id, wire.StatusOK)
+	p.complete(id, 2, wire.StatusOK)
 	if fired != 1 || got != wire.StatusOK {
 		t.Fatalf("fired=%d got=%s", fired, got)
 	}
 	// Duplicate completion is ignored.
-	p.complete(id, wire.StatusIOError)
+	p.complete(id, 3, wire.StatusIOError)
 	if fired != 1 {
 		t.Fatal("duplicate completion fired")
 	}
@@ -100,9 +100,9 @@ func TestPendingSetFirstErrorWins(t *testing.T) {
 	p := newPendingSet()
 	var got wire.Status
 	id := p.register(3, func(s wire.Status) { got = s })
-	p.complete(id, wire.StatusOK)
-	p.complete(id, wire.StatusIOError)
-	p.complete(id, wire.StatusOK)
+	p.complete(id, 1, wire.StatusOK)
+	p.complete(id, 2, wire.StatusIOError)
+	p.complete(id, 3, wire.StatusOK)
 	if got != wire.StatusIOError {
 		t.Fatalf("got %s, want IOError", got)
 	}

@@ -43,27 +43,41 @@ func (o *OSD) onMapChange(old, cur *crush.Map) {
 				wasMember = contains(oldActing, o.cfg.ID)
 			}
 		}
-		if wasMember {
+		pgs, err := o.pgStateFor(pg)
+		if err != nil {
 			continue
 		}
-		// Find a surviving source: any other member of the acting set. A
-		// booting OSD (old == nil) also syncs — its store may be stale
-		// relative to writes that happened while it was down.
-		var source uint32
-		found := false
-		for _, id := range acting {
-			if id != o.cfg.ID {
-				source = id
-				found = true
-				break
+		if wasMember {
+			// Still serving: record the authority rank. Only a CLEAN
+			// member may claim the interval — an interval with any
+			// unclean member cannot acknowledge writes (replicas reject
+			// ops while unclean), so a clean member of epoch E holds
+			// every write acknowledged at or before E.
+			pgs.mu.Lock()
+			if pgs.clean {
+				pgs.servedEpoch = cur.Epoch
 			}
+			pgs.mu.Unlock()
+			continue
 		}
-		if !found {
-			continue // single-replica PG: nothing to pull
+		if len(acting) < 2 {
+			continue // single-replica PG: no peer to pull from, ever
 		}
+		// A booting OSD (old == nil) also syncs — its store may be stale
+		// relative to writes that happened while it was down. The PG must
+		// reject traffic BEFORE this function returns: syncPG runs async,
+		// and a client op sneaking in between the map install and the
+		// goroutine's first step would read stale data.
+		pgs.mu.Lock()
+		if pgs.backfilling {
+			pgs.mu.Unlock()
+			continue // a sync is already running; it re-reads the map itself
+		}
+		pgs.backfilling = true
+		pgs.clean = false
+		pgs.mu.Unlock()
 		pgCopy := pg
-		src := source
-		o.group.Go(func(stop <-chan struct{}) { o.backfillPG(pgCopy, src, stop) })
+		o.group.Go(func(stop <-chan struct{}) { o.syncPG(pgCopy, pgs, stop) })
 	}
 }
 
@@ -76,74 +90,172 @@ func contains(ids []uint32, id uint32) bool {
 	return false
 }
 
-// backfillPG pulls a PG's state from a surviving member: first the staged
-// op-log suffix, then every object (paper steps ⑥-⑦). The PG rejects
-// writes (StatusAgain) until the sync completes.
-func (o *OSD) backfillPG(pg uint32, source uint32, stop <-chan struct{}) {
-	pgs, err := o.pgStateFor(pg)
-	if err != nil {
-		return
-	}
-	pgs.mu.Lock()
-	pgs.clean = false
-	pgs.mu.Unlock()
+// syncPG drives a PG's backfill to completion: each round it re-resolves
+// the acting set from the current map and probes every peer, pulling from
+// the first CLEAN one — a source dying mid-pull just moves the sync to
+// the next survivor. The PG is marked clean ONLY once a round succeeds. A
+// failed round must never re-open the PG: serving after a half-sync is
+// exactly the stale-read window the chaos harness exists to catch. The
+// caller has already set clean=false+backfilling.
+func (o *OSD) syncPG(pg uint32, pgs *pgState, stop <-chan struct{}) {
+	o.Backfills.Inc()
 	defer func() {
 		pgs.mu.Lock()
-		pgs.clean = true
+		pgs.backfilling = false
 		pgs.mu.Unlock()
 	}()
-	o.Backfills.Inc()
-
-	var conn messenger.Conn
-	// The source may still be renewing its own map; retry briefly.
-	for attempt := 0; attempt < 20; attempt++ {
-		pr, err := o.peerFor(source)
-		if err == nil {
-			conn = pr.conn
-			break
+	for {
+		m := o.Map()
+		acting, err := m.MapPG(pg)
+		if err == nil && !contains(acting, o.cfg.ID) {
+			// No longer responsible; stay unclean — a map change that puts
+			// this OSD back in spawns a fresh sync.
+			return
+		}
+		if err == nil && o.syncRound(pg, pgs, m, acting, stop) {
+			pgs.mu.Lock()
+			pgs.clean = true
+			pgs.servedEpoch = m.Epoch
+			pgs.mu.Unlock()
+			return
 		}
 		select {
 		case <-stop:
 			return
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(100 * time.Millisecond):
 		}
 	}
-	if conn == nil {
-		return
+}
+
+// syncRound makes one pass over the acting peers and reports whether the
+// PG is now in sync. It pulls from the first peer that reports itself
+// clean. When EVERY peer is reachable but unclean — mutual backfill, e.g.
+// two members reassigned to each other in the same map change — the round
+// falls back to authority ranking: the member of the most recent fully-
+// clean interval (highest servedEpoch, ties to the lowest OSD id) already
+// holds every acknowledged write and promotes its own copy without
+// pulling; the others defer until it serves. Copying from an unclean
+// source is never safe: its store is a half-synced snapshot, and
+// overwriting a fresh replica with it is how acknowledged data dies.
+func (o *OSD) syncRound(pg uint32, pgs *pgState, m *crush.Map, acting []uint32, stop <-chan struct{}) bool {
+	allProbed := true
+	peers := 0
+	bestEpoch := uint32(0)
+	bestID := ^uint32(0) // ranking peer; always set when allProbed holds
+	for _, id := range acting {
+		if id == o.cfg.ID {
+			continue
+		}
+		peers++
+		res := o.backfillAttempt(pg, pgs, m, id, stop)
+		if res.synced {
+			return true
+		}
+		if !res.probed {
+			allProbed = false
+			continue
+		}
+		if res.clean {
+			// A clean source exists but the pull failed (conn dropped,
+			// store error): retry the round rather than self-promote.
+			allProbed = false
+			continue
+		}
+		if res.epoch > bestEpoch || (res.epoch == bestEpoch && id < bestID) {
+			bestEpoch, bestID = res.epoch, id
+		}
+	}
+	if peers == 0 || !allProbed {
+		return false
+	}
+	pgs.mu.Lock()
+	myEpoch := pgs.servedEpoch
+	pgs.mu.Unlock()
+	if myEpoch > bestEpoch || (myEpoch == bestEpoch && o.cfg.ID < bestID) {
+		// Every peer is unclean and ranks below this OSD: promote the
+		// local copy. Peers observe the same ranking through their own
+		// probes and wait for this OSD to come clean, then pull from it.
+		return true
+	}
+	return false
+}
+
+// probeResult is one backfillAttempt outcome.
+type probeResult struct {
+	synced bool   // full pull completed; the PG is in sync
+	probed bool   // the peer answered the authority probe
+	clean  bool   // the peer reported itself clean
+	epoch  uint32 // the peer's servedEpoch
+}
+
+// backfillAttempt probes source and, if it is clean, runs one pass of the
+// pull protocol (paper steps ⑥-⑦).
+//
+// A clean survivor is authoritative for EVERYTHING — including discarding
+// this node's unacknowledged tail. Divergence discipline: first flush the
+// local staged suffix (client/replica traffic is rejected while unclean,
+// so the log stays empty afterwards), then overwrite every object the
+// source ships and prune the ones it doesn't have. A local write the
+// source never saw was by construction never acknowledged (replication
+// acks gate the client ACK), so dropping it is legal — and keeping it
+// would leave the replicas permanently divergent.
+func (o *OSD) backfillAttempt(pg uint32, pgs *pgState, m *crush.Map, source uint32, stop <-chan struct{}) (res probeResult) {
+	if o.cfg.Mode.usesOplog() && pgs.log != nil {
+		if err := o.flushPG(pgs); err != nil {
+			return res
+		}
 	}
 
 	// Dedicated connection for the pull protocol: request/reply in
 	// lockstep (the peer conn's recv loop would swallow replies).
-	m := o.Map()
 	info, ok := m.OSDs[source]
 	if !ok {
-		return
+		return res
 	}
 	pull, err := o.cfg.Transport.Dial(info.Addr)
 	if err != nil {
-		return
+		return res
 	}
-	defer pull.Close()
+	// Track the pull conn for teardown: its lockstep Recv below can block
+	// forever when the source dies (or the network eats the reply), and a
+	// stop has no other handle to unblock this goroutine.
+	if !o.aux.Add(pull) {
+		pull.Close()
+		return res
+	}
+	defer func() {
+		o.aux.Remove(pull)
+		pull.Close()
+	}()
 
-	// ⑥a: recover the op-log suffix from the survivor.
-	if err := pull.Send(&wire.OplogPull{ReqID: 1, PG: pg}); err != nil {
-		return
+	// ⑥a: probe the source's authority and recover its op-log suffix.
+	rid := uint64(1)
+	if err := pull.Send(&wire.OplogPull{ReqID: rid, PG: pg}); err != nil {
+		return res
 	}
-	msg, err := pull.Recv()
+	msg, err := recvPullReply(pull, rid)
 	if err != nil {
-		return
+		return res
 	}
-	if chunk, ok := msg.(*wire.OplogChunk); ok && chunk.Status == wire.StatusOK {
-		for _, op := range chunk.Ops {
-			if o.cfg.Mode.usesOplog() && pgs.log != nil {
-				if err := o.appendWithFlush(pgs, op); err != nil {
-					return
-				}
-			} else if err := o.applyDirect(pg, op); err != nil {
-				return
+	chunk0, ok := msg.(*wire.OplogChunk)
+	if !ok || chunk0.Status != wire.StatusOK {
+		return res
+	}
+	res.probed = true
+	res.clean = chunk0.Clean
+	res.epoch = chunk0.Epoch
+	if !chunk0.Clean {
+		return res // never copy from a half-synced source
+	}
+	for _, op := range chunk0.Ops {
+		if o.cfg.Mode.usesOplog() && pgs.log != nil {
+			if err := o.appendWithFlush(pgs, op); err != nil {
+				return res
 			}
-			pgs.bumpSeq(op.Seq)
+		} else if err := o.applyDirect(pg, op); err != nil {
+			return res
 		}
+		pgs.bumpSeq(op.Seq)
 	}
 
 	// ⑦: full-object backfill.
@@ -152,31 +264,27 @@ func (o *OSD) backfillPG(pg uint32, source uint32, stop <-chan struct{}) {
 	for {
 		select {
 		case <-stop:
-			return
+			return res
 		default:
 		}
-		if err := pull.Send(&wire.BackfillPull{ReqID: 2, PG: pg, Cursor: cursor, Max: 32}); err != nil {
-			return
+		rid++
+		if err := pull.Send(&wire.BackfillPull{ReqID: rid, PG: pg, Cursor: cursor, Max: 32}); err != nil {
+			return res
 		}
-		msg, err := pull.Recv()
+		msg, err := recvPullReply(pull, rid)
 		if err != nil {
-			return
+			return res
 		}
 		chunk, ok := msg.(*wire.BackfillChunk)
 		if !ok || chunk.Status != wire.StatusOK {
-			return
+			return res
 		}
 		for _, obj := range chunk.Objects {
-			// The survivor is authoritative for everything acknowledged
-			// while this node was away (writes to this PG are rejected
-			// during the sync, so overwriting unconditionally is safe;
-			// object versions are store-local counters and cannot order
-			// replicas against each other).
 			seen[store.MakeKey(pg, obj.OID)] = true
 			txn := &store.Transaction{}
 			txn.AddWrite(pg, obj.OID, 0, obj.Data)
 			if err := o.st.Submit(txn); err != nil {
-				return
+				return res
 			}
 		}
 		if chunk.Done {
@@ -185,6 +293,31 @@ func (o *OSD) backfillPG(pg uint32, source uint32, stop <-chan struct{}) {
 		cursor = chunk.NextCursor
 	}
 	o.pruneStaleObjects(pg, seen)
+	res.synced = true
+	return res
+}
+
+// recvPullReply reads pull replies until one matches id. At-least-once
+// delivery (a faulty or reconnecting network) can replay an earlier
+// reply; consuming it as the answer to the CURRENT request would shift
+// the lockstep protocol off by one for the rest of the pull.
+func recvPullReply(pull messenger.Conn, id uint64) (wire.Message, error) {
+	for {
+		msg, err := pull.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case *wire.OplogChunk:
+			if m.ReqID == id {
+				return msg, nil
+			}
+		case *wire.BackfillChunk:
+			if m.ReqID == id {
+				return msg, nil
+			}
+		}
+	}
 }
 
 // pruneStaleObjects removes local objects the backfill source no longer
@@ -226,12 +359,20 @@ func (o *OSD) applyDirect(pg uint32, op wire.Op) error {
 	return o.st.Submit(txn)
 }
 
-// serveOplogPull ships the staged op-log suffix for a PG.
+// serveOplogPull ships the staged op-log suffix for a PG, stamped with
+// this OSD's authority (clean flag + served epoch) so the puller can tell
+// a live survivor from another half-synced peer.
 func (o *OSD) serveOplogPull(conn messenger.Conn, msg *wire.OplogPull) {
 	chunk := &wire.OplogChunk{ReqID: msg.ReqID, PG: msg.PG, Status: wire.StatusOK}
 	o.pgMu.Lock()
 	s, ok := o.pgs[msg.PG]
 	o.pgMu.Unlock()
+	if ok {
+		s.mu.Lock()
+		chunk.Clean = s.clean
+		chunk.Epoch = s.servedEpoch
+		s.mu.Unlock()
+	}
 	if ok && s.log != nil {
 		for _, op := range s.log.StagedOps() {
 			if op.Seq > msg.FromSeq && op.Kind != wire.OpRead {
@@ -249,6 +390,19 @@ func (o *OSD) serveBackfillPull(conn messenger.Conn, msg *wire.BackfillPull) {
 	o.pgMu.Lock()
 	s, ok := o.pgs[msg.PG]
 	o.pgMu.Unlock()
+	if ok {
+		// Defense against a probe/pull race: the puller checked Clean on
+		// the oplog probe, but a map change could dirty this PG between
+		// the two steps. Half-synced data must never ship.
+		s.mu.Lock()
+		clean := s.clean
+		s.mu.Unlock()
+		if !clean {
+			reply.Status = wire.StatusAgain
+			_ = conn.Send(reply)
+			return
+		}
+	}
 	if ok && s.log != nil {
 		if err := o.flushPG(s); err != nil {
 			reply.Status = wire.StatusIOError

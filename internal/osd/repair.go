@@ -1,0 +1,147 @@
+package osd
+
+import (
+	"errors"
+	"time"
+
+	"rebloc/internal/store"
+	"rebloc/internal/wire"
+)
+
+// Re-replication repair: when a mutation's replication fan-out fails on
+// some secondary (peer down, connection severed, replica mid-backfill
+// answering Again), the primary has already applied the op locally but at
+// least one replica missed it. The client sees an error and may never
+// retry, which would leave the replicas byte-divergent forever — no map
+// change, no backfill, nothing to reconcile them. Instead the primary
+// remembers the damaged object and a background loop re-pushes its
+// CURRENT content (a fresh full-object write with a fresh sequence
+// number) to every secondary until one round is acknowledged by all of
+// them. Pushing current state rather than replaying the failed op makes
+// the repair idempotent and immune to reordering against newer writes:
+// the push travels the ordinary replication path, so it serialises with
+// concurrent client ops on the per-peer send queue.
+
+// repairItem is one object awaiting re-replication.
+type repairItem struct {
+	pg       uint32
+	oid      wire.ObjectID
+	inflight bool // a push is pending; don't enqueue another
+}
+
+// noteRepair records that oid's replication fan-out failed and the
+// replicas may have diverged.
+func (o *OSD) noteRepair(pg uint32, oid wire.ObjectID) {
+	k := store.MakeKey(pg, oid)
+	o.repairMu.Lock()
+	if _, ok := o.repairs[k]; !ok {
+		o.repairs[k] = &repairItem{pg: pg, oid: oid}
+	}
+	o.repairMu.Unlock()
+}
+
+// repairLoop periodically re-pushes damaged objects.
+func (o *OSD) repairLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			o.runRepairs()
+		}
+	}
+}
+
+// runRepairs attempts one push for every damaged object that doesn't
+// already have one in flight.
+func (o *OSD) runRepairs() {
+	m := o.Map()
+	if m == nil {
+		return
+	}
+	o.repairMu.Lock()
+	var due []*repairItem
+	keys := make(map[*repairItem]store.Key, len(o.repairs))
+	for k, it := range o.repairs {
+		if !it.inflight {
+			due = append(due, it)
+			keys[it] = k
+		}
+	}
+	o.repairMu.Unlock()
+
+	for _, it := range due {
+		k := keys[it]
+		acting, err := m.MapPG(it.pg)
+		if err != nil {
+			continue // degraded; retry when the map heals
+		}
+		if acting[0] != o.cfg.ID {
+			// Not the primary anymore. Membership only changes with the
+			// up-set, so the new primary's backfill (or its own repair
+			// queue) owns the object now.
+			o.repairMu.Lock()
+			delete(o.repairs, k)
+			o.repairMu.Unlock()
+			continue
+		}
+		pgs, err := o.pgStateFor(it.pg)
+		if err != nil {
+			continue
+		}
+		pgs.mu.Lock()
+		clean := pgs.clean
+		pgs.mu.Unlock()
+		if !clean {
+			continue // our copy isn't authoritative yet
+		}
+		op, ok := o.repairOp(it.pg, it.oid, pgs)
+		if !ok {
+			continue
+		}
+		it.inflight = true
+		o.RepairPushes.Inc()
+		item := it
+		key := k
+		id := o.pending.register(len(acting)-1, func(status wire.Status) {
+			o.repairMu.Lock()
+			item.inflight = false
+			if status == wire.StatusOK {
+				delete(o.repairs, key)
+			}
+			o.repairMu.Unlock()
+		})
+		o.replicate(id, it.pg, m.Epoch, acting[1:], op)
+	}
+}
+
+// repairOp builds the push op carrying the object's current state: a
+// full-object write, or a delete when the object no longer exists.
+func (o *OSD) repairOp(pg uint32, oid wire.ObjectID, pgs *pgState) (wire.Op, bool) {
+	if o.cfg.Mode.usesOplog() && pgs.log != nil {
+		// The store must reflect the staged tail before we read it back.
+		if err := o.flushPG(pgs); err != nil {
+			return wire.Op{}, false
+		}
+	}
+	op := wire.Op{OID: oid}
+	info, err := o.st.Stat(pg, oid)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		op.Kind = wire.OpDelete
+	case err != nil:
+		return wire.Op{}, false
+	default:
+		data, err := o.st.Read(pg, oid, 0, uint32(info.Size))
+		if err != nil {
+			return wire.Op{}, false
+		}
+		op.Kind = wire.OpWrite
+		op.Data = data
+	}
+	op.Seq = pgs.nextSeq()
+	op.Version = op.Seq
+	return op, true
+}

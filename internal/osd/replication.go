@@ -17,6 +17,7 @@ type pendingOp struct {
 	status    atomic.Uint32 // first non-OK status wins
 	done      func(wire.Status)
 	created   time.Time
+	seen      []uint32 // OSDs already counted (under pendingSet.mu)
 }
 
 // pendingSet indexes in-flight operations by their replication tag.
@@ -46,13 +47,25 @@ func (p *pendingSet) register(n int, done func(wire.Status)) uint64 {
 	return id
 }
 
-// complete delivers one completion.
-func (p *pendingSet) complete(id uint64, status wire.Status) {
+// complete delivers one completion attributed to OSD from. Each OSD
+// counts at most once per pending op: with at-least-once delivery a
+// network can replay a ReplAck frame, and counting the duplicate would
+// acknowledge the client with one replica's durability still outstanding.
+func (p *pendingSet) complete(id uint64, from uint32, status wire.Status) {
 	p.mu.Lock()
 	op := p.m[id]
+	if op != nil {
+		for _, s := range op.seen {
+			if s == from {
+				p.mu.Unlock()
+				return // duplicate ack from the same OSD
+			}
+		}
+		op.seen = append(op.seen, from)
+	}
 	p.mu.Unlock()
 	if op == nil {
-		return // duplicate or timed out
+		return // late ack after completion or timeout
 	}
 	if status != wire.StatusOK {
 		op.status.CompareAndSwap(uint32(wire.StatusOK), uint32(status))
@@ -197,7 +210,7 @@ func (o *OSD) peerRecvLoop(pr *peer, stop <-chan struct{}) {
 			return
 		}
 		if ack, ok := m.(*wire.ReplAck); ok {
-			o.pending.complete(ack.ReqID, ack.Status)
+			o.pending.complete(ack.ReqID, ack.From, ack.Status)
 		}
 		select {
 		case <-stop:
@@ -227,7 +240,7 @@ func (o *OSD) peerSendLoop(pr *peer, stop <-chan struct{}) {
 			for {
 				select {
 				case it := <-pr.q:
-					o.pending.complete(it.pendingID, wire.StatusAgain)
+					o.pending.complete(it.pendingID, pr.id, wire.StatusAgain)
 				default:
 					return
 				}
@@ -256,7 +269,7 @@ func (o *OSD) peerSendLoop(pr *peer, stop <-chan struct{}) {
 		if err != nil {
 			o.dropPeer(pr)
 			for i := range batch {
-				o.pending.complete(batch[i].ReqID, wire.StatusAgain)
+				o.pending.complete(batch[i].ReqID, pr.id, wire.StatusAgain)
 			}
 		}
 	}
@@ -270,15 +283,15 @@ func (o *OSD) replicate(pendingID uint64, pg, epoch uint32, secondaries []uint32
 	for _, id := range secondaries {
 		pr, err := o.peerFor(id)
 		if err != nil {
-			o.pending.complete(pendingID, wire.StatusAgain)
+			o.pending.complete(pendingID, id, wire.StatusAgain)
 			continue
 		}
 		select {
 		case pr.q <- replItem{pendingID: pendingID, pg: pg, epoch: epoch, op: op}:
 		case <-pr.down:
-			o.pending.complete(pendingID, wire.StatusAgain)
+			o.pending.complete(pendingID, id, wire.StatusAgain)
 		case <-o.group.Stopping():
-			o.pending.complete(pendingID, wire.StatusAgain)
+			o.pending.complete(pendingID, id, wire.StatusAgain)
 		}
 	}
 }

@@ -1,0 +1,173 @@
+package osd
+
+import (
+	"testing"
+	"time"
+
+	"rebloc/internal/crush"
+	"rebloc/internal/messenger"
+	"rebloc/internal/wire"
+)
+
+// collectStatus returns a done callback recording the completion status
+// on a channel (buffered: done must never block the delivering goroutine).
+func collectStatus() (func(wire.Status), chan wire.Status) {
+	ch := make(chan wire.Status, 1)
+	return func(s wire.Status) { ch <- s }, ch
+}
+
+func TestPendingCompletesAfterAllAcks(t *testing.T) {
+	p := newPendingSet()
+	done, ch := collectStatus()
+	id := p.register(2, done)
+	p.complete(id, 1, wire.StatusOK)
+	select {
+	case <-ch:
+		t.Fatal("completed with one of two acks outstanding")
+	default:
+	}
+	p.complete(id, 2, wire.StatusOK)
+	if s := <-ch; s != wire.StatusOK {
+		t.Fatalf("status = %v, want OK", s)
+	}
+	if p.size() != 0 {
+		t.Fatalf("pending set not drained: %d", p.size())
+	}
+}
+
+// TestPendingDuplicateAckNotCounted pins the at-least-once defense: a
+// replayed ReplAck frame from the same OSD must not stand in for the
+// missing replica's durability.
+func TestPendingDuplicateAckNotCounted(t *testing.T) {
+	p := newPendingSet()
+	done, ch := collectStatus()
+	id := p.register(2, done)
+	p.complete(id, 1, wire.StatusOK)
+	p.complete(id, 1, wire.StatusOK) // duplicate frame
+	select {
+	case <-ch:
+		t.Fatal("duplicate ack from one OSD completed a two-replica op")
+	default:
+	}
+	p.complete(id, 2, wire.StatusOK)
+	if s := <-ch; s != wire.StatusOK {
+		t.Fatalf("status = %v, want OK", s)
+	}
+}
+
+// TestPendingFirstErrorWins: one replica failing poisons the op even if
+// the other acked OK.
+func TestPendingFirstErrorWins(t *testing.T) {
+	p := newPendingSet()
+	done, ch := collectStatus()
+	id := p.register(2, done)
+	p.complete(id, 1, wire.StatusAgain)
+	p.complete(id, 2, wire.StatusOK)
+	if s := <-ch; s != wire.StatusAgain {
+		t.Fatalf("status = %v, want Again", s)
+	}
+}
+
+// TestPendingAckAfterSweepIgnored: the sweep fails a stalled op; a late
+// ack must neither double-complete nor panic.
+func TestPendingAckAfterSweepIgnored(t *testing.T) {
+	p := newPendingSet()
+	done, ch := collectStatus()
+	id := p.register(2, done)
+	// Backdate the op so the sweep sees it as stalled.
+	p.mu.Lock()
+	p.m[id].created = time.Now().Add(-time.Hour)
+	p.mu.Unlock()
+	if n := p.sweep(2 * time.Second); n != 1 {
+		t.Fatalf("sweep failed %d ops, want 1", n)
+	}
+	if s := <-ch; s != wire.StatusAgain {
+		t.Fatalf("swept status = %v, want Again", s)
+	}
+	p.complete(id, 1, wire.StatusOK) // the replica's ack arrives late
+	p.complete(id, 2, wire.StatusOK)
+	select {
+	case s := <-ch:
+		t.Fatalf("late acks re-completed the op with %v", s)
+	default:
+	}
+}
+
+// TestPendingZeroSecondaries: a single-replica PG completes immediately.
+func TestPendingZeroSecondaries(t *testing.T) {
+	p := newPendingSet()
+	done, ch := collectStatus()
+	p.register(0, done)
+	if s := <-ch; s != wire.StatusOK {
+		t.Fatalf("status = %v, want OK", s)
+	}
+}
+
+// replicateAndWait fans op out to the given secondaries and returns the
+// completion status, failing the test on a stall.
+func replicateAndWait(t *testing.T, o *OSD, secondaries []uint32) wire.Status {
+	t.Helper()
+	done, ch := collectStatus()
+	id := o.pending.register(len(secondaries), done)
+	op := wire.Op{Kind: wire.OpWrite, OID: wire.ObjectID{Pool: 1, Name: "x"}, Data: []byte("d")}
+	o.replicate(id, 0, o.Map().Epoch, secondaries, op)
+	select {
+	case s := <-ch:
+		return s
+	case <-time.After(2 * time.Second):
+		t.Fatal("replication fan-out did not complete")
+		return 0
+	}
+}
+
+// TestReplicateToDeadPeerFailsFast: a fan-out to a peer the map lists as
+// down completes with Again instead of stranding the client until the
+// sweep.
+func TestReplicateToDeadPeerFailsFast(t *testing.T) {
+	tr := messenger.NewInProc()
+	o := standaloneOSD(t, tr, "osd.repl.a")
+	m := crush.NewMap(16, 1)
+	m.Epoch = 2
+	m.OSDs[0] = crush.OSDInfo{ID: 0, Addr: "osd.repl.a", Up: true, Weight: 1}
+	m.OSDs[9] = crush.OSDInfo{ID: 9, Addr: "osd.repl.dead", Up: false, Weight: 1}
+	o.SetMap(m)
+
+	if s := replicateAndWait(t, o, []uint32{9}); s != wire.StatusAgain {
+		t.Fatalf("status = %v, want Again", s)
+	}
+}
+
+// TestReplicateToUnknownPeerFailsFast: an OSD id absent from the map.
+func TestReplicateToUnknownPeerFailsFast(t *testing.T) {
+	tr := messenger.NewInProc()
+	o := standaloneOSD(t, tr, "osd.repl.b")
+
+	if s := replicateAndWait(t, o, []uint32{42}); s != wire.StatusAgain {
+		t.Fatalf("status = %v, want Again", s)
+	}
+}
+
+// TestReplicateSendFailureCompletesAgain: the peer is up in the map and
+// accepts the dial, but its endpoint vanishes before the frame ships —
+// the queued op must complete with Again once the send loop hits the
+// broken conn, not hang.
+func TestReplicateSendFailureCompletesAgain(t *testing.T) {
+	tr := messenger.NewInProc()
+	o := standaloneOSD(t, tr, "osd.repl.c")
+
+	// A bare listener poses as peer 9: accept nothing, then vanish.
+	ln, err := tr.Listen("osd.repl.ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := crush.NewMap(16, 1)
+	m.Epoch = 2
+	m.OSDs[0] = crush.OSDInfo{ID: 0, Addr: "osd.repl.c", Up: true, Weight: 1}
+	m.OSDs[9] = crush.OSDInfo{ID: 9, Addr: "osd.repl.ghost", Up: true, Weight: 1}
+	o.SetMap(m)
+	ln.Close() // the dial may still succeed; the send or recv then fails
+
+	if s := replicateAndWait(t, o, []uint32{9}); s != wire.StatusAgain {
+		t.Fatalf("status = %v, want Again", s)
+	}
+}

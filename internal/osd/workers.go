@@ -98,7 +98,7 @@ func (o *OSD) runPGTask(t *task) {
 			log.Printf("osd %d: pg %d submit: %v", o.cfg.ID, t.pg, err)
 			status = wire.StatusIOError
 		}
-		o.pending.complete(id, status)
+		o.pending.complete(id, o.cfg.ID, status)
 
 	case *readTask:
 		tm := o.acct.Start(metrics.CatTP)
@@ -173,7 +173,7 @@ func (o *OSD) runNPTTask(t *task) {
 		if err := o.st.Submit(txn); err != nil {
 			status = wire.StatusIOError
 		}
-		o.pending.complete(msg.pendingID, status)
+		o.pending.complete(msg.pendingID, o.cfg.ID, status)
 	case *readTask:
 		data, err := o.storeRead(t.pg, msg.oid, msg.off, msg.length)
 		if err != nil {

@@ -57,9 +57,10 @@ func UnpinSelf() {
 
 // Group manages a set of worker goroutines with the stop/done pattern.
 type Group struct {
-	stop chan struct{}
-	wg   sync.WaitGroup
-	once sync.Once
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	stopped bool
 }
 
 // NewGroup returns an empty group.
@@ -68,17 +69,32 @@ func NewGroup() *Group {
 }
 
 // Go starts fn as a worker; fn must return promptly once stop is closed.
-func (g *Group) Go(fn func(stop <-chan struct{})) {
+// After Stop, fn is not started and Go reports false: a late accept or a
+// map change racing a shutdown must not add workers the Stop already in
+// progress will never wait for.
+func (g *Group) Go(fn func(stop <-chan struct{})) bool {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return false
+	}
 	g.wg.Add(1)
+	g.mu.Unlock()
 	go func() {
 		defer g.wg.Done()
 		fn(g.stop)
 	}()
+	return true
 }
 
 // Stop signals all workers and waits for them to exit.
 func (g *Group) Stop() {
-	g.once.Do(func() { close(g.stop) })
+	g.mu.Lock()
+	if !g.stopped {
+		g.stopped = true
+		close(g.stop)
+	}
+	g.mu.Unlock()
 	g.wg.Wait()
 }
 

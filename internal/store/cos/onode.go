@@ -63,6 +63,7 @@ type onode struct {
 
 	dirty    bool // metadata differs from the device image
 	inflight bool // a batch's data I/O targets this object outside p.mu
+	readers  int  // unlocked data reads targeting this object
 }
 
 // encode serialises the onode into a 512-byte slot image.

@@ -202,11 +202,15 @@ func (p *partition) recover() error {
 			}
 		}
 		key := p.keyOf(on)
+		if on.deleted {
+			// Keep it out of the index: a recreated object may own this
+			// key (map iteration order must not decide which record
+			// wins). The blocks stay reserved until reclaim frees them.
+			p.reclaimQ = append(p.reclaimQ, on)
+			continue
+		}
 		p.tree.Set(key, on)
 		p.slotOf[key] = on.slot
-		if on.deleted {
-			p.reclaimQ = append(p.reclaimQ, on)
-		}
 	}
 	return p.loadMisc()
 }
@@ -525,15 +529,15 @@ type writePlan struct {
 }
 
 // waitIdle blocks until no object named by ops has data I/O in flight from
-// another batch. Claims are then taken all-or-nothing while p.mu stays
-// held, so two batches can never hold claims while waiting on each other.
-// Caller holds p.mu.
+// another batch or an unlocked read. Claims are then taken all-or-nothing
+// while p.mu stays held, so two batches can never hold claims while
+// waiting on each other. Caller holds p.mu.
 func (p *partition) waitIdle(ops []store.TxnOp) {
 	for {
 		busy := false
 		for i := range ops {
 			key := uint64(store.MakeKey(ops[i].PG, ops[i].OID))
-			if on, ok := p.tree.Get(key); ok && on.inflight {
+			if on, ok := p.tree.Get(key); ok && (on.inflight || on.readers > 0) {
 				busy = true
 				break
 			}
@@ -653,7 +657,11 @@ func (p *partition) applyWrites(ops []store.TxnOp) error {
 	return nil
 }
 
-// read returns length bytes at off; holes read as zeros.
+// read returns length bytes at off; holes read as zeros. The device reads
+// run outside p.mu, so the object is claimed against writers first: a
+// batch's vectored write to the same extents is also unlocked, and the
+// Device contract only admits concurrent NON-overlapping I/O. Readers
+// don't exclude each other — waitIdle makes writers wait out the readers.
 func (p *partition) read(key uint64, name string, off uint64, length uint32) ([]byte, error) {
 	p.mu.Lock()
 	on, err := p.lookup(key, name)
@@ -661,6 +669,14 @@ func (p *partition) read(key uint64, name string, off uint64, length uint32) ([]
 		p.mu.Unlock()
 		return nil, err
 	}
+	for on.inflight {
+		p.cond.Wait()
+	}
+	if on.deleted { // deleted (and possibly reclaimed) while we waited
+		p.mu.Unlock()
+		return nil, store.ErrNotFound
+	}
+	on.readers++
 	// Local segment slice: it outlives the lock (the data reads below run
 	// unlocked), so the shared planning scratch cannot back it.
 	segs := p.resolveInto(make([]segment, 0, 4), on, off, uint64(length))
@@ -668,13 +684,23 @@ func (p *partition) read(key uint64, name string, off uint64, length uint32) ([]
 
 	out := make([]byte, length)
 	pos := uint64(0)
+	var rerr error
 	for _, seg := range segs {
 		if !seg.hole {
 			if _, err := p.dev.ReadAt(out[pos:pos+seg.length], int64(seg.devOff)); err != nil {
-				return nil, fmt.Errorf("cos: data read: %w", err)
+				rerr = fmt.Errorf("cos: data read: %w", err)
+				break
 			}
 		}
 		pos += seg.length
+	}
+
+	p.mu.Lock()
+	on.readers--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if rerr != nil {
+		return nil, rerr
 	}
 	return out, nil
 }
@@ -702,7 +728,7 @@ func (p *partition) markDeleted(key uint64, name string) error {
 func (p *partition) reclaim() error {
 	keep := p.reclaimQ[:0]
 	for idx, on := range p.reclaimQ {
-		if on.inflight {
+		if on.inflight || on.readers > 0 {
 			keep = append(keep, on)
 			continue
 		}
@@ -727,8 +753,15 @@ func (p *partition) reclaimOne(on *onode) error {
 		p.blocks.Free(on.spillDevOff, roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes)))
 	}
 	key := uint64(on.pgKey(wire.ObjectID{Pool: on.pool, Name: on.name}))
-	p.tree.Delete(key)
-	delete(p.slotOf, key)
+	// The key may have been reused: delete-then-recreate installs a fresh
+	// onode under the same key before the delayed reclaim runs. Only drop
+	// the index entries that still point at the onode being reclaimed.
+	if cur, ok := p.tree.Get(key); ok && cur == on {
+		p.tree.Delete(key)
+	}
+	if slot, ok := p.slotOf[key]; ok && slot == on.slot {
+		delete(p.slotOf, key)
+	}
 	// Clear the device slot and cache entry.
 	zeros := make([]byte, OnodeBytes)
 	if _, err := p.dev.WriteAt(zeros, int64(p.onodeBase+uint64(on.slot)*OnodeBytes)); err != nil {

@@ -395,11 +395,14 @@ func (m *ReplBatch) Decode(d *Decoder) {
 	}
 }
 
-// ReplAck acknowledges a replicated mutation.
+// ReplAck acknowledges a replicated mutation. From names the acking OSD
+// so the primary can count each secondary at most once even if the
+// network duplicates or replays the ack frame.
 type ReplAck struct {
 	ReqID  uint64
 	PG     uint32
 	Seq    uint64
+	From   uint32
 	Status Status
 }
 
@@ -411,6 +414,7 @@ func (m *ReplAck) Encode(e *Encoder) {
 	e.U64(m.ReqID)
 	e.U32(m.PG)
 	e.U64(m.Seq)
+	e.U32(m.From)
 	e.U8(uint8(m.Status))
 }
 
@@ -419,6 +423,7 @@ func (m *ReplAck) Decode(d *Decoder) {
 	m.ReqID = d.U64()
 	m.PG = d.U32()
 	m.Seq = d.U64()
+	m.From = d.U32()
 	m.Status = Status(d.U8())
 }
 
@@ -560,12 +565,21 @@ func (m *OplogPull) Decode(d *Decoder) {
 	m.FromSeq = d.U64()
 }
 
-// OplogChunk returns operation-log entries for a PG.
+// OplogChunk returns operation-log entries for a PG. It doubles as the
+// authority probe of the recovery protocol: Clean and Epoch describe the
+// source's standing for this PG, and a puller must not copy data from a
+// source that reports itself unclean.
 type OplogChunk struct {
 	ReqID  uint64
 	PG     uint32
 	Status Status
-	Ops    []Op
+	// Clean reports whether the source currently serves this PG (it is
+	// not itself mid-backfill).
+	Clean bool
+	// Epoch is the map epoch of the latest interval the source served
+	// this PG clean — its authority rank when no clean source exists.
+	Epoch uint32
+	Ops   []Op
 }
 
 // Type implements Message.
@@ -576,6 +590,8 @@ func (m *OplogChunk) Encode(e *Encoder) {
 	e.U64(m.ReqID)
 	e.U32(m.PG)
 	e.U8(uint8(m.Status))
+	e.Bool(m.Clean)
+	e.U32(m.Epoch)
 	e.U32(uint32(len(m.Ops)))
 	for i := range m.Ops {
 		m.Ops[i].encode(e)
@@ -587,6 +603,8 @@ func (m *OplogChunk) Decode(d *Decoder) {
 	m.ReqID = d.U64()
 	m.PG = d.U32()
 	m.Status = Status(d.U8())
+	m.Clean = d.Bool()
+	m.Epoch = d.U32()
 	n := int(d.U32())
 	if n == 0 {
 		return
