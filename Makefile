@@ -8,7 +8,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/messenger/... ./internal/oplog/... ./internal/osd/... ./internal/sched/... ./internal/store/... ./internal/device/...
 
-.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos
+.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos bench-scale bench-scale-smoke
 
 check: vet race
 	$(GO) test ./...
@@ -47,6 +47,21 @@ bench-msgr:
 # and the coalescing bottom half (expect storeops/entry << 1).
 bench-oplog:
 	$(GO) test -bench 'OplogAppend|OplogLookup|FlushCoalesced' -benchmem -benchtime 1s -run XXX ./internal/oplog/
+
+# Per-core scaling sweep (paper Figure 11's core claim): GOMAXPROCS
+# 1->N over 4 KiB random-write and 70/30 mixed benches, with the top-half
+# shard count tracking the core count. Results belong in EXPERIMENTS.md.
+# Add PPROF=dir to also capture cpu/mutex/block profiles, e.g.
+#   make bench-scale PPROF=/tmp/prof && go tool pprof /tmp/prof/mutex.pprof
+PPROF ?=
+bench-scale:
+	$(GO) run ./cmd/rebloc-bench -scale 2 $(if $(PPROF),-bench.pprof $(PPROF)) scale
+
+# CI smoke: the same sweep capped at 2 cores with reduced iterations, so
+# the sharded path is built and exercised on every PR without the cost of
+# the full sweep.
+bench-scale-smoke:
+	$(GO) run ./cmd/rebloc-bench -scale 0.2 -cores 2 -osds 2 -image-mb 32 scale
 
 # COS submit-path microbenchmarks: serial per-op Submit vs one batched
 # Submit per 128 ops across 1..16 partitions, plus prealloc and NVM

@@ -3,16 +3,24 @@
 //
 // Usage:
 //
-//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|all
+//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|scale|all
 //
 // Flags scale the experiments; see -h. Paper-vs-measured notes live in
 // EXPERIMENTS.md.
+//
+// Profiling: -bench.pprof DIR writes cpu.pprof, mutex.pprof and
+// block.pprof for the selected experiment into DIR, so shard contention
+// is diagnosable (`go tool pprof mutex.pprof`). Mutex events are sampled
+// 1-in-5 and block events at 10µs granularity while the flag is set.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"rebloc/internal/bench"
 	"rebloc/internal/figures"
@@ -37,6 +45,8 @@ func run(args []string) error {
 	fs.IntVar(&p.Jobs, "jobs", 8, "fio jobs (one image+connection each)")
 	fs.IntVar(&p.QueueDepth, "qd", 8, "outstanding ops per job")
 	fs.BoolVar(&p.UseTCP, "tcp", false, "use loopback TCP instead of the in-process transport")
+	fs.IntVar(&p.MaxCores, "cores", 0, "cap the per-core scaling sweeps (0 = host CPUs)")
+	profDir := fs.String("bench.pprof", "", "write cpu/mutex/block profiles for the run into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,14 +70,24 @@ func run(args []string) error {
 		{"fig10", func() error { return figures.Fig10(os.Stdout, p) }},
 		{"fig11", func() error { return figures.Fig11(os.Stdout, p) }},
 		{"fig12", func() error { return figures.Fig12(os.Stdout, p) }},
+		{"scale", func() error { return figures.ScaleSweep(os.Stdout, p) }},
 		{"ablation-transport", func() error { return figures.AblationTransport(os.Stdout, p) }},
 		{"ablation-replication", func() error { return figures.AblationReplication(os.Stdout, p) }},
 		{"ablation-npt", func() error { return figures.AblationNonPriorityThreads(os.Stdout, p) }},
 	}
 
+	stopProfiles, err := startProfiles(*profDir)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+
 	want := fs.Arg(0)
 	if want == "all" {
 		for _, e := range experiments {
+			if e.name == "scale" {
+				continue // the sweep re-runs clusters per core count; run it explicitly
+			}
 			if err := e.run(); err != nil {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}
@@ -81,4 +101,45 @@ func run(args []string) error {
 		}
 	}
 	return fmt.Errorf("unknown experiment %q", want)
+}
+
+// startProfiles arms CPU, mutex and block profiling when dir is set. The
+// returned stop function finishes the CPU profile and writes the mutex
+// and block profiles; it is safe to call when profiling is off.
+func startProfiles(dir string) (stop func(), err error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpuF, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	runtime.SetMutexProfileFraction(5)
+	runtime.SetBlockProfileRate(10_000) // one sample per 10µs blocked
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, err
+	}
+	writeProfile := func(name, file string) {
+		f, err := os.Create(filepath.Join(dir, file))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rebloc-bench: profile:", err)
+			return
+		}
+		defer f.Close()
+		if p := pprof.Lookup(name); p != nil {
+			_ = p.WriteTo(f, 0)
+		}
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		writeProfile("mutex", "mutex.pprof")
+		writeProfile("block", "block.pprof")
+		runtime.SetMutexProfileFraction(0)
+		runtime.SetBlockProfileRate(0)
+	}, nil
 }

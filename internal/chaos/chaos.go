@@ -158,10 +158,15 @@ func Run(t *testing.T, sc Scenario, seed int64) {
 	t.Logf("chaos: scenario %s seed=%d", sc.Name, seed)
 
 	cluster, err := core.New(core.Options{
-		OSDs:             opts.OSDs,
-		Mode:             osd.ModeProposed,
-		Replicas:         opts.Replicas,
-		PGs:              opts.PGs,
+		OSDs:     opts.OSDs,
+		Mode:     osd.ModeProposed,
+		Replicas: opts.Replicas,
+		PGs:      opts.PGs,
+		// Always run the sharded top half multi-shard, even on small CI
+		// hosts where the per-core default would collapse to one shard:
+		// faults must hit cross-shard routing, per-shard group commit and
+		// the lock-free dirty queue, not a degenerate single-queue layout.
+		Shards: 4,
 		DeviceBytes:      256 << 20,
 		NVMBytes:         64 << 20,
 		NVMCrashSim:      true,

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"flag"
+	"runtime"
 	"testing"
 )
 
@@ -16,6 +17,13 @@ func TestScenarios(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos scenarios are not -short tests")
 	}
+	// The matrix must run with real parallelism: shard loops, bottom-half
+	// workers and fault injectors on distinct cores is the interleaving
+	// production sees. Pin to NumCPU explicitly so a GOMAXPROCS=1
+	// environment (or a caller that lowered it) doesn't quietly serialize
+	// the whole suite.
+	prev := runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
 	for _, sc := range Scenarios() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {

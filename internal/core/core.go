@@ -65,6 +65,9 @@ type Options struct {
 	NonPriority    int
 	FlushThreshold int
 	FlushInterval  time.Duration
+	// Shards is the proposed-mode top-half shard count per OSD (zero =
+	// GOMAXPROCS).
+	Shards int
 	// GroupCommitMax caps the oplog group-commit batch per PG (zero =
 	// oplog default).
 	GroupCommitMax int
@@ -210,6 +213,7 @@ func (c *Cluster) startOSD(id uint32, addr string, dev device.Device, bank *nvm.
 		FlushThreshold: c.opts.FlushThreshold,
 		FlushInterval:  c.opts.FlushInterval,
 		GroupCommitMax: c.opts.GroupCommitMax,
+		Shards:         c.opts.Shards,
 		Account:        acct,
 		COS:            c.opts.COS,
 		COSSet:         c.opts.COSSet,

@@ -45,6 +45,11 @@ type Params struct {
 	QueueDepth int
 	// UseTCP switches from the in-process transport to loopback TCP.
 	UseTCP bool
+	// MaxCores caps the per-core scaling sweeps (ScaleSweep, Fig11);
+	// zero means the host's CPU count. Values above the host's CPU count
+	// are honored (GOMAXPROCS may oversubscribe) so the sweep shape can
+	// be exercised anywhere, but speedups then reflect time-slicing.
+	MaxCores int
 }
 
 func (p *Params) fill() {

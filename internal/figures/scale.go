@@ -1,0 +1,86 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/osd"
+)
+
+// ScaleSweep measures per-core scalability of the proposed OSD: the
+// GOMAXPROCS sweep behind `make bench-scale`. Each point re-runs the
+// 4 KiB random-write and mixed 70/30 read-write benches with GOMAXPROCS,
+// the top-half shard count and the non-priority worker count all set to
+// n, growing the offered load with n the way the paper's Figure 11
+// grows client connections with partitions.
+//
+// The sweep demonstrates what the sharded top half buys: with PG
+// ownership pinned to shards, the commit path takes no cross-shard
+// mutex, so adding cores adds independent run-to-completion pipelines.
+// Near-linear scaling needs real cores — on a host with fewer physical
+// CPUs than the point count the extra shards time-slice and the curve
+// flattens (the table reports the host's CPU count for honesty).
+func ScaleSweep(w io.Writer, p Params) error {
+	p.fill()
+	maxCores := p.MaxCores
+	if maxCores <= 0 {
+		maxCores = runtime.NumCPU()
+	}
+	points := []int{1, 2, 4, 8}
+	for len(points) > 1 && points[len(points)-1] > maxCores {
+		points = points[:len(points)-1]
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	fmt.Fprintf(w, "Per-core scaling — sharded top half, %d-core host (GOMAXPROCS sweep to %d)\n",
+		runtime.NumCPU(), points[len(points)-1])
+	fmt.Fprintln(w, "(4KiB randwrite and 70/30 mixed; speedup is vs the 1-core row)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "cores\tjobs\trandwr KIOPS\tspeedup\tmixed KIOPS\tspeedup\tcpu")
+
+	var baseWr, baseMix float64
+	for _, n := range points {
+		runtime.GOMAXPROCS(n)
+		u, err := setup(osd.ModeProposed, p, func(o *coreOptions) {
+			o.Shards = n
+			o.NonPriority = n
+		})
+		if err != nil {
+			return err
+		}
+		jobs := 2 * n
+		wrOpts := bench.FioOptions{
+			Pattern:    bench.RandWrite,
+			Ops:        p.ops(3000) * n,
+			Jobs:       jobs,
+			QueueDepth: p.QueueDepth,
+		}
+		wrRes, wrUse, _ := u.measureFio(wrOpts, p.ops(500))
+
+		mixOpts := wrOpts
+		mixOpts.Pattern = bench.RandRW
+		mixOpts.ReadPercent = 30
+		mixRes, _, _ := u.measureFio(mixOpts, p.ops(500))
+		u.close()
+
+		wr, mix := wrRes.IOPS(), mixRes.IOPS()
+		if n == points[0] {
+			baseWr, baseMix = wr, mix
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.2fx\t%.1f\t%.2fx\t%s\n",
+			n, jobs, wr/1000, speedup(wr, baseWr), mix/1000, speedup(mix, baseMix),
+			cpuRow(wrUse))
+	}
+	return tw.Flush()
+}
+
+func speedup(v, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return v / base
+}

@@ -93,7 +93,24 @@ func TestConcurrentAppendAndDrain(t *testing.T) {
 // group-commit accounting must conserve appends: every append belongs to
 // exactly one group, group payload bytes equal appended bytes, and no
 // group exceeded the configured cap.
+//
+// The same invariants must hold on a single-core scheduler (where group
+// formation depends on the leader's Gosched yield) and with real
+// parallelism (where stragglers pile up while the leader persists), so
+// the body runs at both GOMAXPROCS=1 and NumCPU. The reader loop needs no
+// scheduling crutch at either setting: the runtime's asynchronous
+// preemption keeps a looping reader from starving the appenders.
 func TestGroupCommitConcurrentAppendDrainLookup(t *testing.T) {
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			runGroupCommitConcurrent(t)
+		})
+	}
+}
+
+func runGroupCommitConcurrent(t *testing.T) {
 	bank := nvm.NewBank(8<<20, nvm.WithCrashSim(false))
 	region, err := bank.Carve("log", 4<<20)
 	if err != nil {
@@ -129,20 +146,27 @@ func TestGroupCommitConcurrentAppendDrainLookup(t *testing.T) {
 		}
 	}()
 	readers.Add(1)
-	go func() { // read-your-writes path
+	go func() { // read-your-writes path (zero-copy views, pinned)
 		defer readers.Done()
 		oid := wire.ObjectID{Pool: 1, Name: "w0"}
+		buf := make([]byte, 8)
 		for {
 			select {
 			case <-stop:
 				return
 			default:
 			}
-			if data, ok, notFound := l.LookupRead(oid, 0, 8); ok && !notFound && len(data) != 8 {
-				t.Error("short read from log")
-				return
+			if v, ok, notFound := l.LookupReadView(oid, 0, 8); ok && !notFound {
+				for i := range buf {
+					buf[i] = 0
+				}
+				v.CopyTo(buf)
+				v.Release()
+				if string(buf) != "grouped!" {
+					t.Errorf("view read %q, want %q", buf, "grouped!")
+					return
+				}
 			}
-			runtime.Gosched() // don't starve appenders on GOMAXPROCS=1
 		}
 	}()
 

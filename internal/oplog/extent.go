@@ -42,6 +42,12 @@ type objStage struct {
 	next *objStage // hash-collision chain (index use only)
 	refs int       // staged entries (writes/deletes) referencing the object
 
+	// pins counts live zero-copy ReadViews over this stage (view.go); while
+	// pinned the stage may be detached from the index (dead) but must not
+	// return to the pool. Both fields are guarded by the owning Log's mu.
+	pins int
+	dead bool
+
 	// deleted: the newest staged op is a delete — reads answer "not
 	// found". zeroBase: a staged delete exists below the current extents,
 	// so bytes not covered by them read as zero (the object was deleted
@@ -67,6 +73,8 @@ func putObjStage(st *objStage) {
 	st.oid = wire.ObjectID{}
 	st.next = nil
 	st.refs = 0
+	st.pins = 0
+	st.dead = false
 	st.deleted = false
 	st.zeroBase = false
 	objStagePool.Put(st)
@@ -175,6 +183,38 @@ func (st *objStage) compose(lo, hi uint64, out []byte) bool {
 	return true
 }
 
+// gather appends payload-relative scatter segments covering [lo, hi) to
+// segs, sharing compose's resolution rules: every byte must come from a
+// staged extent or a zeroBase gap (encoded later as zero-fill), else the
+// range is not resolvable from the log and gather reports false. The
+// returned segments alias the staged payload bytes — no copy.
+func (st *objStage) gather(lo, hi uint64, segs []wire.DataSeg) ([]wire.DataSeg, bool) {
+	pos := lo
+	i := searchExts(st.exts, lo)
+	for ; i < len(st.exts) && pos < hi; i++ {
+		e := st.exts[i]
+		if e.off > pos {
+			if !st.zeroBase {
+				return segs, false
+			}
+			pos = e.off
+			if pos >= hi {
+				break
+			}
+		}
+		b := e.end()
+		if b > hi {
+			b = hi
+		}
+		segs = append(segs, wire.DataSeg{Off: uint32(pos - lo), B: e.data[pos-e.off : b-e.off]})
+		pos = b
+	}
+	if pos < hi && !st.zeroBase {
+		return segs, false
+	}
+	return segs, true
+}
+
 // indexFor finds the objStage for oid in the index cache, optionally
 // creating it. Caller holds l.mu.
 func (l *Log) indexFor(oid wire.ObjectID, create bool) *objStage {
@@ -239,6 +279,15 @@ func (l *Log) unstage(e *Entry) {
 		}
 	} else {
 		prev.next = st.next
+	}
+	if st.pins > 0 {
+		// A zero-copy reader still holds a view over this stage: detach it
+		// from the index but defer the pool return to the last Release
+		// (view.go) — reusing the stage under the reader would hand its
+		// extent array, and eventually pooled payloads, to another object.
+		st.next = nil
+		st.dead = true
+		return
 	}
 	putObjStage(st)
 }

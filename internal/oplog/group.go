@@ -23,6 +23,13 @@ type groupWaiter struct {
 	ent *Entry
 	err error
 	wg  sync.WaitGroup
+	// batchErr links the members of one AppendBatch: once any member fails,
+	// every later member of the same batch must fail too, even when the
+	// batch spans several commit groups — a later same-object write landing
+	// after an earlier one failed would corrupt newest-wins staging on the
+	// caller's retry. Written and read under l.mu (commit groups run
+	// sequentially); nil for solo Appends.
+	batchErr *error
 }
 
 var waiterPool = sync.Pool{New: func() any { return new(groupWaiter) }}
@@ -39,6 +46,7 @@ func (l *Log) Append(op wire.Op) (*Entry, error) {
 	w.op = op
 	w.ent = nil
 	w.err = nil
+	w.batchErr = nil
 	w.wg.Add(1)
 
 	l.gmu.Lock()
@@ -68,6 +76,77 @@ func (l *Log) Append(op wire.Op) (*Entry, error) {
 	w.err = nil
 	waiterPool.Put(w)
 	return ent, err
+}
+
+// AppendBatch stages several ops as members of one commit cycle: all of
+// them enqueue before the leader commits, so a batch of n ops shares the
+// group's persists the way n concurrent appenders would. This is what
+// keeps group commit effective under the sharded top half, where one shard
+// goroutine is the only appender for its PGs and per-op Append would
+// degenerate to groups of one.
+//
+// Returns how many ops from the front of the batch committed. Failure is
+// prefix-shaped by construction (see groupWaiter.batchErr): if err != nil,
+// ops[:n] are staged and ops[n:] are not, so the caller can flush and
+// retry exactly the uncommitted tail without reordering any object's
+// writes.
+func (l *Log) AppendBatch(ops []wire.Op) (int, error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	if len(ops) == 1 {
+		if _, err := l.Append(ops[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	if l.closed.Load() {
+		return 0, ErrClosed
+	}
+	l.appenders.Add(1)
+	var batchErr error
+	ws := make([]*groupWaiter, len(ops))
+	for i := range ops {
+		w := waiterPool.Get().(*groupWaiter)
+		w.op = ops[i]
+		w.ent = nil
+		w.err = nil
+		w.batchErr = &batchErr
+		w.wg.Add(1)
+		ws[i] = w
+	}
+
+	l.gmu.Lock()
+	l.pending = append(l.pending, ws...)
+	leader := !l.committing
+	if leader {
+		l.committing = true
+	}
+	l.gmu.Unlock()
+
+	if leader {
+		l.commitPending()
+	}
+
+	committed := 0
+	var firstErr error
+	for _, w := range ws {
+		w.wg.Wait()
+		if firstErr == nil {
+			if w.err == nil {
+				committed++
+			} else {
+				firstErr = w.err
+			}
+		}
+		w.op = wire.Op{}
+		w.ent = nil
+		w.err = nil
+		w.batchErr = nil
+		waiterPool.Put(w)
+	}
+	l.appenders.Add(-1)
+	return committed, firstErr
 }
 
 // commitPending drains the pending queue as the group leader, committing
@@ -113,6 +192,13 @@ func (l *Log) commitGroup(ws []*groupWaiter) {
 	var groupBytes uint64
 	committed := 0
 	for _, w := range ws {
+		if w.batchErr != nil && *w.batchErr != nil {
+			// An earlier member of this waiter's batch failed in a previous
+			// group: fail the rest of the batch (and, below, the rest of
+			// this group) to keep batch failure prefix-shaped.
+			w.err = *w.batchErr
+			break
+		}
 		frame.B = appendEntryFrame(frame.B[:0], &w.op)
 		if len(frame.B) > l.frameHint {
 			l.frameHint = len(frame.B)
@@ -144,6 +230,9 @@ func (l *Log) commitGroup(ws []*groupWaiter) {
 		failErr := ws[committed].err
 		for i := committed; i < len(ws); i++ {
 			ws[i].err = failErr
+			if ws[i].batchErr != nil && *ws[i].batchErr == nil {
+				*ws[i].batchErr = failErr
+			}
 			if failErr == ErrFull {
 				l.stats.FullStalls.Inc()
 			}

@@ -168,7 +168,15 @@ type Log struct {
 	closed atomic.Bool
 	frozen bool // under mu: crash-style stop, NVM image is read-only
 
-	hdrScratch [28]byte // persistHeader encode buffer (no per-call alloc)
+	// servedEpoch is the PG's persisted authority rank: the latest map
+	// epoch at which the owning OSD served this PG clean. It lives in the
+	// log header because it must survive restarts — promotion among
+	// mutually-unclean peers ranks by this value, and a member that held
+	// acknowledged writes still holds them after a crash (the REDO log is
+	// the durability), so its rank remains valid.
+	servedEpoch uint32
+
+	hdrScratch [32]byte // persistHeader encode buffer (no per-call alloc)
 
 	threshold int
 	stats     Stats
@@ -228,7 +236,7 @@ func recover_(pg uint32, region *nvm.Region, threshold int, salvage bool) (*Log,
 	if _, err := region.ReadAt(hdr, 0); err != nil {
 		return nil, nil, false, err
 	}
-	d := wire.NewDecoder(hdr[:28])
+	d := wire.NewDecoder(hdr[:32])
 	if d.U32() != logMagic {
 		// Fresh region: initialise empty.
 		if err := l.persistHeader(); err != nil {
@@ -239,6 +247,7 @@ func recover_(pg uint32, region *nvm.Region, threshold int, salvage bool) (*Log,
 	l.tail = d.U64()
 	l.head = d.U64()
 	l.lastSeq = d.U64()
+	l.servedEpoch = d.U32()
 	capy := l.capacity()
 	if l.tail >= capy || l.head >= capy {
 		if !salvage {
@@ -247,7 +256,10 @@ func recover_(pg uint32, region *nvm.Region, threshold int, salvage bool) (*Log,
 		// Header itself is garbage: nothing in the body can be located.
 		// Reformat empty; the sequence counter is also lost, which is safe
 		// only because a salvaging OSD resyncs the PG before serving it.
+		// The authority rank is dropped with it — a member that lost its
+		// log must never outrank peers during promotion.
 		l.tail, l.head, l.lastSeq, l.used = 0, 0, 0, 0
+		l.servedEpoch = 0
 		if err := l.persistHeader(); err != nil {
 			return nil, nil, false, err
 		}
@@ -298,6 +310,7 @@ func (l *Log) persistHeader() error {
 	binary.LittleEndian.PutUint64(hdr[4:], l.tail)
 	binary.LittleEndian.PutUint64(hdr[12:], l.head)
 	binary.LittleEndian.PutUint64(hdr[20:], l.lastSeq)
+	binary.LittleEndian.PutUint32(hdr[28:], l.servedEpoch)
 	if err := l.region.WriteAndPersist(hdr, 0); err != nil {
 		return fmt.Errorf("oplog: persist header: %w", err)
 	}
@@ -600,6 +613,27 @@ func (l *Log) LastSeq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.lastSeq
+}
+
+// ServedEpoch returns the persisted authority rank: the latest map epoch
+// at which the owning OSD served this PG clean (0 if it never has).
+func (l *Log) ServedEpoch() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.servedEpoch
+}
+
+// SetServedEpoch durably records the authority rank. Epochs only grow, so
+// a rank at or below the persisted one is a no-op; this also keeps the
+// call idempotent across repeated map installs of the same interval.
+func (l *Log) SetServedEpoch(epoch uint32) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch <= l.servedEpoch || l.frozen {
+		return nil
+	}
+	l.servedEpoch = epoch
+	return l.persistHeader()
 }
 
 // Stats exposes the log's counters.

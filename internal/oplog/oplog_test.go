@@ -519,3 +519,61 @@ func TestFreezeRejectsInFlightComplete(t *testing.T) {
 		t.Fatalf("recovered LastSeq = %d, want 6", l2.LastSeq())
 	}
 }
+
+// The authority rank must survive a restart: promotion among mutually
+// unclean peers ranks by it, and a member that acknowledged writes still
+// holds them after a crash (the REDO log is the durability), so resetting
+// the rank to 0 on boot let an arbitrary stale member win the election.
+func TestServedEpochSurvivesRecovery(t *testing.T) {
+	l, _, region := newTestLog(t, 1<<20, 16)
+	if l.ServedEpoch() != 0 {
+		t.Fatalf("fresh log ServedEpoch = %d, want 0", l.ServedEpoch())
+	}
+	if err := l.SetServedEpoch(7); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks only grow: a lower epoch must not regress the persisted value.
+	if err := l.SetServedEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(writeOp("o", 0, []byte("data"), 1)); err != nil {
+		t.Fatal(err)
+	}
+	l2, staged, err := Recover(1, region, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged) != 1 {
+		t.Fatalf("recovered %d staged entries, want 1", len(staged))
+	}
+	if l2.ServedEpoch() != 7 {
+		t.Fatalf("recovered ServedEpoch = %d, want 7", l2.ServedEpoch())
+	}
+}
+
+// A reformatted log lost its data, so it must also lose its rank: a
+// member whose NVM image was destroyed must never outrank peers.
+func TestServedEpochResetOnCorruptHeader(t *testing.T) {
+	l, _, region := newTestLog(t, 1<<20, 16)
+	if err := l.SetServedEpoch(9); err != nil {
+		t.Fatal(err)
+	}
+	// Smash the tail field so the header fails validation (tail >= cap).
+	bogus := make([]byte, 8)
+	for i := range bogus {
+		bogus[i] = 0xff
+	}
+	if _, err := region.WriteAt(bogus, 4); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, salvaged, err := RecoverSalvage(1, region, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !salvaged {
+		t.Fatal("corrupt header must report salvaged")
+	}
+	if l2.ServedEpoch() != 0 {
+		t.Fatalf("reformatted log ServedEpoch = %d, want 0", l2.ServedEpoch())
+	}
+}

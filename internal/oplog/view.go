@@ -1,0 +1,112 @@
+package oplog
+
+import (
+	"sync"
+
+	"rebloc/internal/wire"
+)
+
+// ReadView is a pinned, zero-copy resolution of one R1 read: instead of
+// compose-copying the staged bytes into a fresh buffer, the view carries
+// scatter segments that alias the staged entry payloads directly. The OSD
+// hands the segments to the messenger frame encoder (wire.Reply.DataSegs),
+// which appends them straight into the pooled frame — the read hit path
+// then allocates nothing per operation.
+//
+// The view pins the object's index-cache entry against reclaim: a drain
+// completing the last staged entry normally returns the objStage to its
+// pool, but while a view is live the stage is only detached from the index
+// and the pool return is deferred to the last Release. That keeps the
+// lifetime of everything the segments reference explicit — today the
+// payload bytes themselves are GC-owned and write-once, but the pin is
+// what makes it safe to ever pool them, and it guards the stage's extent
+// array against reuse-under-reader.
+//
+// Contract: Release exactly once, after the segments are no longer
+// referenced (for replies: after Conn.Send returns, since Send completes
+// encoding before returning). Views are pooled; a released view must not
+// be touched again.
+type ReadView struct {
+	log  *Log
+	st   *objStage
+	segs []wire.DataSeg
+}
+
+// New views start with a non-nil segment slice: a fully-zero read (every
+// byte over a zeroBase gap) gathers zero segments, and the scatter Reply
+// encoding keys off DataSegs != nil — a nil slice would silently fall
+// back to the flat path and encode a zero-length payload.
+var viewPool = sync.Pool{New: func() any { return &ReadView{segs: make([]wire.DataSeg, 0, 8)} }}
+
+// LookupReadView is LookupRead without the copy: it resolves [off,
+// off+length) from the staged extents as payload-relative scatter segments
+// (gaps over a staged delete read as zero and are encoded as zero-fill by
+// the frame encoder). ok/notFound follow LookupRead: a nil view with
+// ok+notFound means a staged delete answers the read; ok=false means the
+// range needs the backend store. The caller owns the returned view and
+// must Release it.
+func (l *Log) LookupReadView(oid wire.ObjectID, off uint64, length uint32) (v *ReadView, ok, notFound bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.indexFor(oid, false)
+	if st == nil {
+		l.stats.ReadMisses.Inc()
+		return nil, false, false
+	}
+	if st.deleted {
+		l.stats.ReadHits.Inc()
+		return nil, true, true
+	}
+	v = viewPool.Get().(*ReadView)
+	segs, covered := st.gather(off, off+uint64(length), v.segs[:0])
+	v.segs = segs
+	if !covered {
+		v.reset()
+		viewPool.Put(v)
+		l.stats.ReadMisses.Inc()
+		return nil, false, false
+	}
+	v.log = l
+	v.st = st
+	st.pins++
+	l.stats.ReadHits.Inc()
+	return v, true, false
+}
+
+// Segs returns the payload-relative scatter segments. Valid until Release.
+func (v *ReadView) Segs() []wire.DataSeg { return v.segs }
+
+// CopyTo composes the view into out (len = read length); bytes not covered
+// by a segment are left as they are (callers pass a zeroed buffer).
+func (v *ReadView) CopyTo(out []byte) {
+	for _, s := range v.segs {
+		copy(out[s.Off:], s.B)
+	}
+}
+
+// Release unpins the view's index-cache entry, completing any reclaim that
+// was deferred while the view was live, and returns the view to its pool.
+func (v *ReadView) Release() {
+	if v == nil {
+		return
+	}
+	l := v.log
+	l.mu.Lock()
+	st := v.st
+	st.pins--
+	if st.pins == 0 && st.dead {
+		putObjStage(st)
+	}
+	l.mu.Unlock()
+	v.reset()
+	viewPool.Put(v)
+}
+
+func (v *ReadView) reset() {
+	for i := range v.segs {
+		v.segs[i] = wire.DataSeg{}
+	}
+	v.segs = v.segs[:0] // keep capacity across reuse: steady state is 0 allocs
+	v.log = nil
+	v.st = nil
+}

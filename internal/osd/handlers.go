@@ -2,7 +2,6 @@ package osd
 
 import (
 	"errors"
-	"log"
 
 	"rebloc/internal/crush"
 	"rebloc/internal/messenger"
@@ -67,6 +66,20 @@ func (o *OSD) connLoop(conn messenger.Conn, stop <-chan struct{}) {
 // RTC probes time their phases inside rtcMutation instead, since the conn
 // goroutine runs the entire path to completion.
 func (o *OSD) dispatch(conn messenger.Conn, m wire.Message) {
+	if o.cfg.Mode == ModeProposed {
+		// Sharded top half: the conn goroutine validates and routes the
+		// data-path messages to the owning PG shard (accounted MT, the
+		// messenger share); the shard loop does the top-half work under
+		// PT. Everything else falls through to the common dispatch.
+		switch m.(type) {
+		case *wire.ClientWrite, *wire.ClientDelete, *wire.ClientRead,
+			*wire.Repl, *wire.ReplBatch:
+			tm := o.acct.Start(metrics.CatMT)
+			o.routeProposed(conn, m)
+			tm.Stop()
+			return
+		}
+	}
 	var tm metrics.Timer
 	switch o.cfg.Mode {
 	case ModeOriginal, ModeCOSOnly:
@@ -191,25 +204,8 @@ func (o *OSD) handleClientMutation(conn messenger.Conn, reqID uint64, epoch uint
 		o.replicate(id, pg, m.Epoch, secondaries, op)
 		o.enqueueNPT(pg, &task{pg: pg, pgs: pgs, msg: &localCommit{op: op, pendingID: id}})
 
-	case ModeProposed:
-		if err := o.appendWithFlush(pgs, op); err != nil {
-			log.Printf("osd %d: pg %d stage: %v", o.cfg.ID, pg, err)
-			reply(wire.StatusIOError)
-			return
-		}
-		// A failed fan-out leaves this primary ahead of a replica with no
-		// guarantee the client retries: queue the object for repair so
-		// the replicas reconverge even if this was its last write.
-		id := o.pending.register(len(secondaries), func(status wire.Status) {
-			if status != wire.StatusOK {
-				o.noteRepair(pg, op.OID)
-			}
-			reply(status)
-		})
-		o.replicate(id, pg, m.Epoch, secondaries, op)
-		if pgs.log.ShouldFlush() {
-			o.wakeNPT(pg)
-		}
+	// ModeProposed never reaches here: dispatch routes client mutations
+	// to the owning top-half shard (shard.go).
 
 	case ModeIdeal:
 		// Track existence in the null store (O(1) map update) so reads
@@ -245,6 +241,32 @@ func (o *OSD) appendWithFlush(pgs *pgState, op wire.Op) error {
 		o.ForcedFlush.Inc()
 		if err := o.flushPG(pgs); err != nil {
 			return err
+		}
+	}
+}
+
+// appendBatchWithFlush batch-appends a run of ops (one PG, run order) to
+// the PG op log, flushing synchronously and retrying the uncommitted tail
+// whenever the NVM region fills. Returns how many leading ops committed;
+// on a non-ErrFull error the tail is abandoned (prefix-fail, so no
+// object's writes reorder). Marks the PG dirty when anything committed.
+func (o *OSD) appendBatchWithFlush(pgs *pgState, ops []wire.Op) (int, error) {
+	done := 0
+	for {
+		n, err := pgs.log.AppendBatch(ops[done:])
+		if n > 0 {
+			done += n
+			o.markDirty(pgs)
+		}
+		if err == nil {
+			return done, nil
+		}
+		if !errors.Is(err, oplog.ErrFull) {
+			return done, err
+		}
+		o.ForcedFlush.Inc()
+		if ferr := o.flushPG(pgs); ferr != nil {
+			return done, ferr
 		}
 	}
 }
@@ -291,32 +313,9 @@ func (o *OSD) handleClientRead(conn messenger.Conn, msg *wire.ClientRead) {
 	case ModePTC:
 		o.enqueueNPT(pg, &task{pg: pg, pgs: pgs, msg: &readTask{oid: msg.OID, off: msg.Offset, length: msg.Length, reply: reply}})
 
-	case ModeProposed:
-		if data, ok, notFound := pgs.log.LookupRead(msg.OID, msg.Offset, msg.Length); ok {
-			// R1: resolved entirely from the op log (including staged
-			// deletes, which read as "not found").
-			if notFound {
-				reply(wire.StatusNotFound, nil)
-			} else {
-				reply(wire.StatusOK, data)
-			}
-			return
-		}
-		rt := &readTask{oid: msg.OID, off: msg.Offset, length: msg.Length, reply: reply}
-		if pgs.log.HasStaged(msg.OID) {
-			// R2/R3: order the read behind the staged writes and force a
-			// flush (paper W3).
-			op := wire.Op{Kind: wire.OpRead, OID: msg.OID, Offset: msg.Offset, Length: msg.Length, Seq: pgs.nextSeq()}
-			o.readWaiters.Store(readKey(pg, op.Seq), rt)
-			if err := o.appendWithFlush(pgs, op); err != nil {
-				o.readWaiters.Delete(readKey(pg, op.Seq))
-				reply(wire.StatusIOError, nil)
-				return
-			}
-			o.wakeNPT(pg)
-		} else {
-			o.enqueueNPT(pg, &task{pg: pg, pgs: pgs, msg: rt})
-		}
+	// ModeProposed never reaches here: dispatch routes client reads to
+	// the owning top-half shard, which serves R1 hits zero-copy
+	// (shard.go clientRead).
 
 	case ModeIdeal:
 		data, err := o.storeRead(pg, msg.OID, msg.Offset, msg.Length)
@@ -368,18 +367,9 @@ func (o *OSD) handleRepl(conn messenger.Conn, msg *wire.Repl) {
 	case ModePTC:
 		o.enqueueNPT(msg.PG, &task{pg: msg.PG, pgs: pgs, msg: &replApply{op: msg.Op, ack: ack}})
 
-	case ModeProposed:
-		// Top half at the replica: log in NVM, acknowledge immediately
-		// (paper Figure 3b step ③).
-		if err := o.appendWithFlush(pgs, msg.Op); err != nil {
-			log.Printf("osd %d: pg %d repl stage: %v", o.cfg.ID, msg.PG, err)
-			ack(wire.StatusIOError)
-			return
-		}
-		ack(wire.StatusOK)
-		if pgs.log.ShouldFlush() {
-			o.wakeNPT(msg.PG)
-		}
+		// ModeProposed never reaches here: dispatch routes repls to the
+		// owning top-half shard, which logs in NVM and acknowledges
+		// immediately (paper Figure 3b step ③) with batched appends.
 	}
 }
 

@@ -19,6 +19,7 @@ package osd
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,6 +99,10 @@ type Config struct {
 	PGWorkers int
 	// NonPriority is the non-priority thread count for PTC/Proposed.
 	NonPriority int
+	// Shards is the number of top-half shards for Proposed mode: each
+	// shard owns a disjoint set of PGs and runs their requests
+	// run-to-completion on its own goroutine. Default GOMAXPROCS.
+	Shards int
 	// Partitions is the COS sharded-partition count.
 	Partitions int
 	// ObjectBytes is the fixed object size the block layer stripes over
@@ -151,6 +156,9 @@ func (c *Config) fill() error {
 	if c.NonPriority <= 0 {
 		c.NonPriority = c.Partitions
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
 	if c.FlushThreshold <= 0 {
 		c.FlushThreshold = 16
 	}
@@ -202,14 +210,22 @@ type pgState struct {
 	// served the PG clean. It ranks authority when no clean backfill
 	// source is reachable: acknowledgements require every acting member
 	// to apply, so the member of the most recent fully-clean interval
-	// holds every acknowledged write. Deliberately volatile — a crashed
-	// daemon restarts at 0 and must defer to live peers.
+	// holds every acknowledged write. Persisted in the oplog header and
+	// restored on boot — a crashed member still holds everything it
+	// acknowledged (the NVM REDO log is the durability), so its rank
+	// stays valid; resetting it to 0 made promotion after a whole-set
+	// restart pick an arbitrary stale member.
 	servedEpoch uint32
 	flushMu     sync.Mutex
 
 	// dirty is set when the PG enters its worker's dirty queue (appends
 	// with staged entries) and cleared when the worker picks it up.
 	dirty atomic.Bool
+	// dirtyNext links this PG in its worker's lock-free dirty queue
+	// (workers.go). Written only by the producer that won the dirty CAS,
+	// read only by the consumer after it swapped the stack head — the
+	// atomics on dirty and dirtyQueue.head order both sides.
+	dirtyNext *pgState
 	// coal is the bottom half's coalescing scratch, used under flushMu.
 	coal oplog.Coalescer
 	// flushErrs counts store-submit failures for this PG (satellite:
@@ -243,11 +259,22 @@ type OSD struct {
 	group *sched.Group
 	wakes *sched.WakeSet
 
-	mapMu  sync.RWMutex
-	curMap *crush.Map
+	// curMap is the installed cluster map: an atomic pointer, because the
+	// commit fast path reads it per request (sharded top half) and a
+	// RWMutex read-lock there is exactly the cross-shard cacheline
+	// bouncing the sharding removes. mapInstallMu serializes installers.
+	curMap       atomic.Pointer[crush.Map]
+	mapInstallMu sync.Mutex
 
+	// pgMu guards the global PG registry — slow path only: PG
+	// creation/recovery and lifecycle iteration (Kill, FlushAll,
+	// OplogSnapshot). The commit path resolves PGs through per-shard
+	// tables (shard.pgTab) after one warm-up miss.
 	pgMu sync.Mutex
 	pgs  map[uint32]*pgState
+
+	// shards are the proposed-mode top-half execution contexts.
+	shards []*shard
 
 	peers    sync.Map // osd id -> *peer
 	pending  *pendingSet
@@ -262,8 +289,10 @@ type OSD struct {
 	nptQueues []chan *task
 	// Per-NPT-worker dirty-PG queues (proposed mode): appends enqueue the
 	// PG here so drains visit exactly the PGs with staged entries instead
-	// of scanning the whole PG map under pgMu.
-	dirtySets []dirtySet
+	// of scanning the whole PG map under pgMu. Lock-free Treiber stacks:
+	// the top-half shards push without ever sharing a mutex with the
+	// bottom half.
+	dirtyQueues []dirtyQueue
 	// drainBufs is each worker's take-and-clear scratch for its dirty set.
 	drainBufs [][]*pgState
 
@@ -406,12 +435,21 @@ func (o *OSD) Start() error {
 	case o.cfg.Mode.usesPTC():
 		o.wakes = sched.NewWakeSet(o.cfg.NonPriority)
 		o.nptQueues = make([]chan *task, o.cfg.NonPriority)
-		o.dirtySets = make([]dirtySet, o.cfg.NonPriority)
+		o.dirtyQueues = make([]dirtyQueue, o.cfg.NonPriority)
 		o.drainBufs = make([][]*pgState, o.cfg.NonPriority)
 		for i := range o.nptQueues {
 			o.nptQueues[i] = make(chan *task, 1024)
 			worker := i
 			o.group.Go(func(stop <-chan struct{}) { o.nonPriorityLoop(worker, stop) })
+		}
+		if o.cfg.Mode.usesOplog() {
+			// Proposed only: per-core top-half shards (shard.go).
+			o.shards = make([]*shard, o.cfg.Shards)
+			for i := range o.shards {
+				sh := newShard(o, i)
+				o.shards[i] = sh
+				o.group.Go(func(stop <-chan struct{}) { sh.loop(stop) })
+			}
 		}
 	case o.cfg.Mode.rtc():
 		// Run-to-completion: no worker pools; conn loops do everything.
@@ -447,19 +485,14 @@ func (o *OSD) Start() error {
 
 // SetMap installs a cluster map directly (tests and in-process clusters).
 func (o *OSD) SetMap(m *crush.Map) {
-	o.mapMu.Lock()
-	old := o.curMap
-	o.curMap = m
-	o.mapMu.Unlock()
+	o.mapInstallMu.Lock()
+	old := o.curMap.Swap(m)
+	o.mapInstallMu.Unlock()
 	o.onMapChange(old, m)
 }
 
 // Map returns the current cluster map (may be nil before boot).
-func (o *OSD) Map() *crush.Map {
-	o.mapMu.RLock()
-	defer o.mapMu.RUnlock()
-	return o.curMap
-}
+func (o *OSD) Map() *crush.Map { return o.curMap.Load() }
 
 // Epoch returns the current map epoch (0 before boot).
 func (o *OSD) Epoch() uint32 {
@@ -501,6 +534,7 @@ func (o *OSD) pgStateFor(pg uint32) (*pgState, error) {
 		log.SetGroupCommitMax(o.cfg.GroupCommitMax)
 		s.log = log
 		s.seq = log.LastSeq()
+		s.servedEpoch = log.ServedEpoch()
 		if len(staged) > 0 {
 			// Entries that survived a crash REDO into the store now.
 			if err := o.applyBatchToStore(pg, staged); err != nil {

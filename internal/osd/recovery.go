@@ -2,6 +2,7 @@ package osd
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"rebloc/internal/crush"
@@ -54,10 +55,17 @@ func (o *OSD) onMapChange(old, cur *crush.Map) {
 			// ops while unclean), so a clean member of epoch E holds
 			// every write acknowledged at or before E.
 			pgs.mu.Lock()
-			if pgs.clean {
+			claimed := pgs.clean
+			if claimed {
 				pgs.servedEpoch = cur.Epoch
 			}
+			lg := pgs.log
 			pgs.mu.Unlock()
+			if claimed && lg != nil {
+				if err := lg.SetServedEpoch(cur.Epoch); err != nil {
+					log.Printf("osd %d: pg %d persist served epoch: %v", o.cfg.ID, pg, err)
+				}
+			}
 			continue
 		}
 		if len(acting) < 2 {
@@ -116,7 +124,13 @@ func (o *OSD) syncPG(pg uint32, pgs *pgState, stop <-chan struct{}) {
 			pgs.mu.Lock()
 			pgs.clean = true
 			pgs.servedEpoch = m.Epoch
+			lg := pgs.log
 			pgs.mu.Unlock()
+			if lg != nil {
+				if err := lg.SetServedEpoch(m.Epoch); err != nil {
+					log.Printf("osd %d: pg %d persist served epoch: %v", o.cfg.ID, pg, err)
+				}
+			}
 			return
 		}
 		select {
@@ -175,6 +189,8 @@ func (o *OSD) syncRound(pg uint32, pgs *pgState, m *crush.Map, acting []uint32, 
 		// Every peer is unclean and ranks below this OSD: promote the
 		// local copy. Peers observe the same ranking through their own
 		// probes and wait for this OSD to come clean, then pull from it.
+		log.Printf("osd %d: pg %d promoting local copy (rank %d, best peer rank %d on osd %d)",
+			o.cfg.ID, pg, myEpoch, bestEpoch, bestID)
 		return true
 	}
 	return false
@@ -293,6 +309,8 @@ func (o *OSD) backfillAttempt(pg uint32, pgs *pgState, m *crush.Map, source uint
 		cursor = chunk.NextCursor
 	}
 	o.pruneStaleObjects(pg, seen)
+	log.Printf("osd %d: pg %d synced from osd %d (%d oplog ops, %d objects)",
+		o.cfg.ID, pg, source, len(chunk0.Ops), len(seen))
 	res.synced = true
 	return res
 }
@@ -324,10 +342,11 @@ func recvPullReply(pull messenger.Conn, id uint64) (wire.Message, error) {
 // has (deleted cluster-wide while this node was down).
 func (o *OSD) pruneStaleObjects(pg uint32, seen map[store.Key]bool) {
 	var cursor store.Key
+	pruned := 0
 	for {
 		infos, last, done, err := o.st.ListPG(pg, cursor, 64)
 		if err != nil {
-			return
+			break
 		}
 		for _, info := range infos {
 			if seen[info.Key] {
@@ -336,11 +355,15 @@ func (o *OSD) pruneStaleObjects(pg uint32, seen map[store.Key]bool) {
 			txn := &store.Transaction{}
 			txn.AddDelete(pg, info.OID)
 			_ = o.st.Submit(txn)
+			pruned++
 		}
 		if done {
-			return
+			break
 		}
 		cursor = last
+	}
+	if pruned > 0 {
+		log.Printf("osd %d: pg %d pruned %d stale objects after sync", o.cfg.ID, pg, pruned)
 	}
 }
 

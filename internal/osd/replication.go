@@ -20,15 +20,34 @@ type pendingOp struct {
 	seen      []uint32 // OSDs already counted (under pendingSet.mu)
 }
 
+// pendingStripes is the lock-striping factor of pendingSet. The
+// rendezvous between shard goroutines (register) and peer receive loops
+// (complete) is inherently cross-goroutine, so the lock cannot disappear
+// from the commit path — striping by id cuts the contention 16× so
+// shards rarely collide on the same stripe.
+const pendingStripes = 16
+
 // pendingSet indexes in-flight operations by their replication tag.
 type pendingSet struct {
-	mu   sync.Mutex
-	m    map[uint64]*pendingOp
-	next atomic.Uint64
+	stripes [pendingStripes]pendingStripe
+	next    atomic.Uint64
+}
+
+type pendingStripe struct {
+	mu sync.Mutex
+	m  map[uint64]*pendingOp
 }
 
 func newPendingSet() *pendingSet {
-	return &pendingSet{m: make(map[uint64]*pendingOp)}
+	p := &pendingSet{}
+	for i := range p.stripes {
+		p.stripes[i].m = make(map[uint64]*pendingOp)
+	}
+	return p
+}
+
+func (p *pendingSet) stripe(id uint64) *pendingStripe {
+	return &p.stripes[id%pendingStripes]
 }
 
 // register creates a pending op needing n completions; done runs exactly
@@ -41,9 +60,10 @@ func (p *pendingSet) register(n int, done func(wire.Status)) uint64 {
 		done(wire.StatusOK)
 		return id
 	}
-	p.mu.Lock()
-	p.m[id] = op
-	p.mu.Unlock()
+	s := p.stripe(id)
+	s.mu.Lock()
+	s.m[id] = op
+	s.mu.Unlock()
 	return id
 }
 
@@ -52,18 +72,19 @@ func (p *pendingSet) register(n int, done func(wire.Status)) uint64 {
 // network can replay a ReplAck frame, and counting the duplicate would
 // acknowledge the client with one replica's durability still outstanding.
 func (p *pendingSet) complete(id uint64, from uint32, status wire.Status) {
-	p.mu.Lock()
-	op := p.m[id]
+	s := p.stripe(id)
+	s.mu.Lock()
+	op := s.m[id]
 	if op != nil {
-		for _, s := range op.seen {
-			if s == from {
-				p.mu.Unlock()
+		for _, seen := range op.seen {
+			if seen == from {
+				s.mu.Unlock()
 				return // duplicate ack from the same OSD
 			}
 		}
 		op.seen = append(op.seen, from)
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 	if op == nil {
 		return // late ack after completion or timeout
 	}
@@ -71,19 +92,20 @@ func (p *pendingSet) complete(id uint64, from uint32, status wire.Status) {
 		op.status.CompareAndSwap(uint32(wire.StatusOK), uint32(status))
 	}
 	if op.remaining.Add(-1) == 0 {
-		p.mu.Lock()
-		delete(p.m, id)
-		p.mu.Unlock()
+		s.mu.Lock()
+		delete(s.m, id)
+		s.mu.Unlock()
 		op.done(wire.Status(op.status.Load()))
 	}
 }
 
 // fail aborts a pending op outright (peer connection lost).
 func (p *pendingSet) fail(id uint64, status wire.Status) {
-	p.mu.Lock()
-	op := p.m[id]
-	delete(p.m, id)
-	p.mu.Unlock()
+	s := p.stripe(id)
+	s.mu.Lock()
+	op := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
 	if op != nil {
 		op.done(status)
 	}
@@ -93,14 +115,17 @@ func (p *pendingSet) fail(id uint64, status wire.Status) {
 // replica dies mid-operation. Returns how many were failed.
 func (p *pendingSet) sweep(maxAge time.Duration) int {
 	cutoff := time.Now().Add(-maxAge)
-	p.mu.Lock()
 	var expired []uint64
-	for id, op := range p.m {
-		if op.created.Before(cutoff) {
-			expired = append(expired, id)
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		for id, op := range s.m {
+			if op.created.Before(cutoff) {
+				expired = append(expired, id)
+			}
 		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 	for _, id := range expired {
 		p.fail(id, wire.StatusAgain)
 	}
@@ -109,9 +134,14 @@ func (p *pendingSet) sweep(maxAge time.Duration) int {
 
 // size reports outstanding operations (diagnostics).
 func (p *pendingSet) size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.m)
+	n := 0
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // replQueueDepth bounds ops queued behind one peer's replication sender.

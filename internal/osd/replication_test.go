@@ -75,9 +75,10 @@ func TestPendingAckAfterSweepIgnored(t *testing.T) {
 	done, ch := collectStatus()
 	id := p.register(2, done)
 	// Backdate the op so the sweep sees it as stalled.
-	p.mu.Lock()
-	p.m[id].created = time.Now().Add(-time.Hour)
-	p.mu.Unlock()
+	s := p.stripe(id)
+	s.mu.Lock()
+	s.m[id].created = time.Now().Add(-time.Hour)
+	s.mu.Unlock()
 	if n := p.sweep(2 * time.Second); n != 1 {
 		t.Fatalf("sweep failed %d ops, want 1", n)
 	}

@@ -1,0 +1,50 @@
+package osd
+
+import "testing"
+
+// TestShardOfRange: every PG maps into [0, nshards) for every shard
+// count the config can produce.
+func TestShardOfRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 64} {
+		for pg := uint32(0); pg < 4096; pg++ {
+			s := shardOf(pg, n)
+			if s < 0 || s >= n {
+				t.Fatalf("shardOf(%d, %d) = %d, out of range", pg, n, s)
+			}
+		}
+	}
+}
+
+// TestShardOfStable: the mapping is a pure function of (pg, nshards) —
+// shard-local PG tables assume a PG's owner never changes while the OSD
+// runs.
+func TestShardOfStable(t *testing.T) {
+	for pg := uint32(0); pg < 1024; pg++ {
+		first := shardOf(pg, 8)
+		for i := 0; i < 3; i++ {
+			if got := shardOf(pg, 8); got != first {
+				t.Fatalf("shardOf(%d, 8) flapped: %d then %d", pg, first, got)
+			}
+		}
+	}
+}
+
+// TestShardOfSpread: consecutive PG ids (the common cluster layout) must
+// spread across shards rather than clumping — no shard may own more than
+// twice its fair share of a consecutive range.
+func TestShardOfSpread(t *testing.T) {
+	const nshards, pgs = 8, 4096
+	var counts [nshards]int
+	for pg := uint32(0); pg < pgs; pg++ {
+		counts[shardOf(pg, nshards)]++
+	}
+	fair := pgs / nshards
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d owns no PGs out of %d", s, pgs)
+		}
+		if n > 2*fair {
+			t.Fatalf("shard %d owns %d of %d PGs (fair share %d)", s, n, pgs, fair)
+		}
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"rebloc/internal/metrics"
@@ -42,25 +42,42 @@ func (o *OSD) enqueueNPT(pg uint32, t *task) {
 	}
 }
 
-// dirtySet is one worker's queue of PGs with staged op-log entries.
-type dirtySet struct {
-	mu  sync.Mutex
-	pgs []*pgState
+// dirtyQueue is one worker's lock-free queue of PGs with staged op-log
+// entries: a Treiber stack of pgStates linked through dirtyNext. The
+// dirty CAS in markDirty admits each PG at most once, so a node is in at
+// most one stack and push never races push on the same node. The single
+// consumer (the owning NPT worker) swaps the head and walks the links
+// while every node's dirty flag is still set — a producer can only write
+// a node's dirtyNext after winning the CAS, impossible until the consumer
+// clears the flag in drainBatch.
+type dirtyQueue struct {
+	head atomic.Pointer[pgState]
 }
+
+func (q *dirtyQueue) push(s *pgState) {
+	for {
+		h := q.head.Load()
+		s.dirtyNext = h
+		if q.head.CompareAndSwap(h, s) {
+			return
+		}
+	}
+}
+
+// takeAll detaches the whole stack (LIFO order).
+func (q *dirtyQueue) takeAll() *pgState { return q.head.Swap(nil) }
 
 // markDirty queues pg for its worker's next drain. The atomic flag keeps
 // a PG in at most one queue slot: re-appends while queued are no-ops, and
 // the flag clears when the drain picks the PG up, so later appends requeue
 // it. Callers decide separately whether to wake the worker (threshold) or
-// leave it to the flush ticker.
+// leave it to the flush ticker. Lock-free: this is the top-half → bottom-
+// half handoff, and the shards must not share a mutex here.
 func (o *OSD) markDirty(s *pgState) {
 	if !s.dirty.CompareAndSwap(false, true) {
 		return
 	}
-	d := &o.dirtySets[o.nptFor(s.pg)]
-	d.mu.Lock()
-	d.pgs = append(d.pgs, s)
-	d.mu.Unlock()
+	o.dirtyQueues[o.nptFor(s.pg)].push(s)
 }
 
 // wakeNPT signals the worker owning pg's partition.
@@ -200,11 +217,13 @@ func (o *OSD) drainOwnedPGs(worker int) {
 	}
 	o.wakes.SetBusy(worker, true)
 	defer o.wakes.SetBusy(worker, false)
-	d := &o.dirtySets[worker]
-	d.mu.Lock()
-	owned := d.pgs
-	d.pgs = o.drainBufs[worker][:0] // swap in the spare slice
-	d.mu.Unlock()
+	// Collect the entire list BEFORE drainBatch clears any dirty flag:
+	// while the flags are set no producer can touch the dirtyNext links
+	// (see dirtyQueue).
+	owned := o.drainBufs[worker][:0]
+	for s := o.dirtyQueues[worker].takeAll(); s != nil; s = s.dirtyNext {
+		owned = append(owned, s)
+	}
 	tm := o.acct.Start(metrics.CatNPT)
 	o.drainBatch(owned)
 	tm.Stop()

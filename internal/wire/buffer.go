@@ -57,6 +57,27 @@ func (e *Encoder) Bytes32(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// Raw appends b with no length prefix. Scatter encoders (Reply.DataSegs)
+// emit one U32 length up front and then splice raw segments and zero runs
+// to form what a Bytes32 of the composed buffer would have produced.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// zeroBlock feeds Zeros: appending from a static block avoids both a
+// per-call allocation and a byte-at-a-time loop.
+var zeroBlock [4096]byte
+
+// Zeros appends n zero bytes.
+func (e *Encoder) Zeros(n int) {
+	for n > 0 {
+		c := n
+		if c > len(zeroBlock) {
+			c = len(zeroBlock)
+		}
+		e.buf = append(e.buf, zeroBlock[:c]...)
+		n -= c
+	}
+}
+
 // String32 appends a u32 length prefix followed by s.
 func (e *Encoder) String32(s string) {
 	e.U32(uint32(len(s)))

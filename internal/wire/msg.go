@@ -294,12 +294,31 @@ func (m *ClientDelete) Decode(d *Decoder) {
 	m.OID = decodeObjectID(d)
 }
 
+// DataSeg is one scatter segment of a zero-copy reply payload: B covers
+// [Off, Off+len(B)) of the payload; bytes between segments read as zero.
+// Segments must be sorted by Off and non-overlapping.
+type DataSeg struct {
+	Off uint32
+	B   []byte
+}
+
 // Reply answers a client request or an admin command.
+//
+// The payload has two in-memory representations with one wire format:
+// the flat Data slice, or — when DataSegs is non-nil — a scatter list
+// over a payload of DataLen bytes, encoded segment by segment straight
+// into the frame (gaps zero-filled). The zero-copy read path uses the
+// scatter form so extent-index hits serve staged bytes to the frame
+// encoder without an intermediate compose copy. Decode always produces
+// the flat form; receivers never see DataSegs.
 type Reply struct {
 	ReqID   uint64
 	Status  Status
 	Version uint64
 	Data    []byte
+
+	DataLen  uint32    // scatter payload length; used only when DataSegs != nil
+	DataSegs []DataSeg // scatter segments; nil means use Data
 }
 
 // Type implements Message.
@@ -310,7 +329,23 @@ func (m *Reply) Encode(e *Encoder) {
 	e.U64(m.ReqID)
 	e.U8(uint8(m.Status))
 	e.U64(m.Version)
-	e.Bytes32(m.Data)
+	if m.DataSegs == nil {
+		e.Bytes32(m.Data)
+		return
+	}
+	// Scatter form: byte-identical to Bytes32 of the composed payload.
+	e.U32(m.DataLen)
+	pos := uint32(0)
+	for _, s := range m.DataSegs {
+		if s.Off > pos {
+			e.Zeros(int(s.Off - pos))
+		}
+		e.Raw(s.B)
+		pos = s.Off + uint32(len(s.B))
+	}
+	if pos < m.DataLen {
+		e.Zeros(int(m.DataLen - pos))
+	}
 }
 
 // Decode implements Message.
