@@ -6,9 +6,9 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/messenger/... ./internal/oplog/... ./internal/osd/... ./internal/sched/... ./internal/store/... ./internal/device/...
+RACE_PKGS = ./internal/messenger/... ./internal/oplog/... ./internal/osd/... ./internal/sched/... ./internal/store/... ./internal/device/... ./internal/readcache/...
 
-.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos bench-scale bench-scale-smoke
+.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos bench-scale bench-scale-smoke bench-ycsb bench-mixed bench-ycsb-smoke
 
 check: vet race
 	$(GO) test ./...
@@ -62,6 +62,24 @@ bench-scale:
 # the full sweep.
 bench-scale-smoke:
 	$(GO) run ./cmd/rebloc-bench -scale 0.2 -cores 2 -osds 2 -image-mb 32 scale
+
+# Read-cache benches (internal/figures rcache.go). bench-ycsb runs YCSB
+# A/B/C (zipfian theta 0.99) over proposed+cache / proposed-nocache /
+# original; bench-mixed runs the fio-style zipfian sweeps (100% read,
+# 70/30, 50/50). Image sizing keeps the zipfian hot set within reach of
+# the default per-OSD cache so the read-heavy rows show the cache's
+# steady state; results belong in EXPERIMENTS.md.
+bench-ycsb:
+	$(GO) run ./cmd/rebloc-bench -image-mb 16 -jobs 4 ycsb-cache
+
+bench-mixed:
+	$(GO) run ./cmd/rebloc-bench -image-mb 4 -jobs 4 mixed
+
+# CI smoke: one tiny pass over each cache bench so the figures and the
+# cache counters stay wired on every PR.
+bench-ycsb-smoke:
+	$(GO) run ./cmd/rebloc-bench -scale 0.1 -osds 2 -image-mb 8 -jobs 2 ycsb-cache
+	$(GO) run ./cmd/rebloc-bench -scale 0.1 -osds 2 -image-mb 8 -jobs 2 mixed
 
 # COS submit-path microbenchmarks: serial per-op Submit vs one batched
 # Submit per 128 ops across 1..16 partitions, plus prealloc and NVM

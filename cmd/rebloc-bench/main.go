@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|scale|all
+//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|ycsb-cache|mixed|scale|all
 //
 // Flags scale the experiments; see -h. Paper-vs-measured notes live in
 // EXPERIMENTS.md.
@@ -68,6 +68,8 @@ func run(args []string) error {
 		{"fig8", func() error { return figures.Fig8(os.Stdout, p) }},
 		{"fig9", func() error { return figures.Fig9(os.Stdout, p) }},
 		{"fig10", func() error { return figures.Fig10(os.Stdout, p) }},
+		{"ycsb-cache", func() error { return figures.YCSBCache(os.Stdout, p) }},
+		{"mixed", func() error { return figures.MixedSweep(os.Stdout, p) }},
 		{"fig11", func() error { return figures.Fig11(os.Stdout, p) }},
 		{"fig12", func() error { return figures.Fig12(os.Stdout, p) }},
 		{"scale", func() error { return figures.ScaleSweep(os.Stdout, p) }},

@@ -51,8 +51,12 @@ type FioOptions struct {
 	QueueDepth  int // outstanding ops per worker (worker goroutines × QD)
 	Ops         int // total operations (0: use Duration)
 	Duration    time.Duration
-	ReadPercent int   // RandRW only
-	Seed        int64 // workload reproducibility
+	ReadPercent int // RandRW only
+	// ZipfianTheta skews random block picks with the YCSB zipfian
+	// distribution (0: uniform). 0.99 concentrates most traffic on a
+	// small hot set, the shape that makes a read cache earn its keep.
+	ZipfianTheta float64
+	Seed         int64 // workload reproducibility
 }
 
 func (o *FioOptions) fill() {
@@ -83,6 +87,11 @@ type Result struct {
 	Errors    int64
 	Elapsed   time.Duration
 	Lat       *metrics.Histogram
+	// ReadLat/WriteLat split the distribution by op class so mixed
+	// patterns can report read latency on its own (the number a read
+	// cache moves). Both observe into Lat as well.
+	ReadLat   *metrics.Histogram
+	WriteLat  *metrics.Histogram
 	BytesDone int64
 }
 
@@ -118,7 +127,12 @@ func RunFio(img *rbd.Image, opts FioOptions) Result {
 // Job j drives imgs[j % len(imgs)].
 func RunFioMulti(imgs []*rbd.Image, opts FioOptions) Result {
 	opts.fill()
-	res := Result{Name: opts.Pattern.String(), Lat: metrics.NewHistogram()}
+	res := Result{
+		Name:     opts.Pattern.String(),
+		Lat:      metrics.NewHistogram(),
+		ReadLat:  metrics.NewHistogram(),
+		WriteLat: metrics.NewHistogram(),
+	}
 	blocks := imgs[0].Size() / uint64(opts.BlockBytes)
 	if blocks == 0 {
 		blocks = 1
@@ -159,6 +173,10 @@ func RunFioMulti(imgs []*rbd.Image, opts FioOptions) Result {
 			defer wg.Done()
 			img := imgs[(w/opts.QueueDepth)%len(imgs)]
 			rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+			var zipf *Zipfian
+			if opts.ZipfianTheta > 0 {
+				zipf = NewZipfian(rng, blocks, opts.ZipfianTheta)
+			}
 			buf := make([]byte, opts.BlockBytes)
 			rng.Read(buf)
 			for {
@@ -172,7 +190,11 @@ func RunFioMulti(imgs []*rbd.Image, opts FioOptions) Result {
 					// Each worker owns an interleaved sequential stream.
 					block = (uint64(opIdx)) % blocks
 				default:
-					block = uint64(rng.Int63n(int64(blocks)))
+					if zipf != nil {
+						block = zipf.Next()
+					} else {
+						block = uint64(rng.Int63n(int64(blocks)))
+					}
 				}
 				off := block * uint64(opts.BlockBytes)
 				isRead := opts.Pattern == RandRead || opts.Pattern == SeqRead ||
@@ -184,7 +206,13 @@ func RunFioMulti(imgs []*rbd.Image, opts FioOptions) Result {
 				} else {
 					err = img.WriteAt(buf, off)
 				}
-				res.Lat.Observe(time.Since(t0))
+				d := time.Since(t0)
+				res.Lat.Observe(d)
+				if isRead {
+					res.ReadLat.Observe(d)
+				} else {
+					res.WriteLat.Observe(d)
+				}
 				mu.Lock()
 				if err != nil {
 					errs++

@@ -54,6 +54,10 @@ type Options struct {
 	Writers      int
 	OpsPerWriter int
 	ReadEvery    int
+	// Zipfian skews each writer's block picks so a hot set stays
+	// read-cache-resident while overwrites race the reads (the
+	// stale-cache-read scenario's whole point).
+	Zipfian bool
 	// HeartbeatTimeout tunes monitor failure detection (default 600ms —
 	// kills must be noticed well within a scenario).
 	HeartbeatTimeout time.Duration

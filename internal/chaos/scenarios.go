@@ -128,6 +128,27 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			// Read-heavy zipfian workload racing overwrites of the same hot
+			// blocks, with a power-loss crash+restart in the middle: the NVM
+			// read cache must never serve pre-overwrite bytes (strict
+			// stage-time invalidation) or pre-crash bytes (the cache region
+			// is volatile, so power loss must revert it and the restarted
+			// daemon must boot cold). The writers' read-your-writes probes
+			// check every read inline; the end-of-run checker proves every
+			// block matches its highest acknowledged sequence.
+			Name:        "stale-cache-read",
+			DefaultSeed: 808,
+			Opts:        Options{ReadEvery: 2, Zipfian: true, OpsPerWriter: 120},
+			Schedule: func(h *Harness) []Event {
+				return []Event{
+					{At: 0.35, Name: "kill osd1 (power loss)", Do: func(h *Harness) { h.Kill(1, true) }},
+					{At: 0.55, Name: "restart osd1 (cold cache)", Do: func(h *Harness) { h.Restart(1) }},
+					{At: 0.75, Name: "kill osd0 (power loss)", Do: func(h *Harness) { h.Kill(0, true) }},
+					{At: 0.90, Name: "restart osd0 (cold cache)", Do: func(h *Harness) { h.Restart(0) }},
+				}
+			},
+		},
+		{
 			// Lossy, laggy network: 5% of frames dropped, 10% delayed up to
 			// 5ms, for most of the run. Client and replication retries must
 			// mask all of it; no crash involved.

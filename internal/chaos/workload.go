@@ -138,6 +138,10 @@ func (h *Harness) writer(w int) {
 		}
 	}
 	rng := rand.New(rand.NewSource(int64(mix(h.Seed, uint32(w), 0xB10C, 0))))
+	var zipf *rand.Zipf
+	if h.opts.Zipfian && len(mine) > 1 {
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(len(mine)-1))
+	}
 	buf := make([]byte, h.opts.BlockBytes)
 	scratch := make([]byte, h.opts.BlockBytes)
 
@@ -146,7 +150,11 @@ func (h *Harness) writer(w int) {
 			h.issued.Add(1)
 			continue
 		}
-		pick := mine[rng.Intn(len(mine))]
+		idx := rng.Intn(len(mine))
+		if zipf != nil {
+			idx = int(zipf.Uint64())
+		}
+		pick := mine[idx]
 		hist := &h.hist.blocks[pick.obj][pick.blk]
 		oid := objectID(int(pick.obj))
 		off := uint64(pick.blk) * uint64(h.opts.BlockBytes)

@@ -71,6 +71,9 @@ type Options struct {
 	// GroupCommitMax caps the oplog group-commit batch per PG (zero =
 	// oplog default).
 	GroupCommitMax int
+	// ReadCacheBytes sizes each OSD's NVM block read cache (zero =
+	// default 8 MiB, negative = disabled).
+	ReadCacheBytes int64
 	// PinCPUs pins priority/non-priority workers to disjoint core pools.
 	PinCPUs bool
 	// COS overrides the CPU-efficient store options (ablations); COSSet
@@ -213,6 +216,7 @@ func (c *Cluster) startOSD(id uint32, addr string, dev device.Device, bank *nvm.
 		FlushThreshold: c.opts.FlushThreshold,
 		FlushInterval:  c.opts.FlushInterval,
 		GroupCommitMax: c.opts.GroupCommitMax,
+		ReadCacheBytes: c.opts.ReadCacheBytes,
 		Shards:         c.opts.Shards,
 		Account:        acct,
 		COS:            c.opts.COS,

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadCacheLifecycle drives the R1.5 path end to end on a single-OSD
+// cluster: flush admission keeps freshly-drained extents hot, a cold miss
+// fills the cache through the NPT, and a staged overwrite strictly
+// invalidates so the cache never shadows newer bytes.
+func TestReadCacheLifecycle(t *testing.T) {
+	c := testCluster(t, Options{OSDs: 1, Replicas: 1, PGs: 8})
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := c.OSD(0)
+	rc := o.ReadCache()
+	if rc == nil {
+		t.Fatal("proposed mode with a bank must carve a read cache")
+	}
+	st := rc.Stats()
+
+	obj := oid("cached")
+	v1 := bytes.Repeat([]byte{0xA1}, 8192)
+	if _, err := cl.Write(obj, 0, v1); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the op log: flush admission installs the extent it just made
+	// durable, so the flush does not turn a hot object cold.
+	if err := o.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admits.Load() == 0 {
+		t.Fatal("flush admission did not install the drained extent")
+	}
+	hits0 := st.Hits.Load()
+	got, err := cl.Read(obj, 0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Fatal("cached read returned wrong bytes")
+	}
+	if st.Hits.Load() <= hits0 {
+		t.Fatal("read after flush must hit the cache")
+	}
+
+	// Cold miss: an unwritten (hole) range of the object is not cached.
+	// The NPT fill serves zeros and admits the blocks it read.
+	admits0, misses0 := st.Admits.Load(), st.Misses.Load()
+	got, err = cl.Read(obj, 16384, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 4096)) {
+		t.Fatal("hole read must be zeros")
+	}
+	if st.Misses.Load() <= misses0 || st.Admits.Load() <= admits0 {
+		t.Fatal("cold read must miss and fill the cache")
+	}
+	hits1 := st.Hits.Load()
+	if _, err := cl.Read(obj, 16384, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits.Load() <= hits1 {
+		t.Fatal("repeat of a filled range must hit")
+	}
+
+	// Strict invalidation: an overwrite drops the cached blocks before
+	// the write is acknowledged; the read observes the new bytes (op log)
+	// and after the next flush the cache serves them too.
+	v2 := bytes.Repeat([]byte{0xB2}, 8192)
+	if _, err := cl.Write(obj, 0, v2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Invalidations.Load() == 0 {
+		t.Fatal("staging an overwrite must invalidate the cached blocks")
+	}
+	got, err = cl.Read(obj, 0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("read after overwrite returned stale bytes")
+	}
+	if err := o.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	hits2 := st.Hits.Load()
+	got, err = cl.Read(obj, 0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("cache served pre-overwrite bytes after flush")
+	}
+	if st.Hits.Load() <= hits2 {
+		t.Fatal("post-flush read of the overwritten extent must hit")
+	}
+}
+
+// TestReadCacheDisabled proves the knob: negative ReadCacheBytes runs the
+// whole read path uncached.
+func TestReadCacheDisabled(t *testing.T) {
+	c := testCluster(t, Options{OSDs: 1, Replicas: 1, PGs: 8, ReadCacheBytes: -1})
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OSD(0).ReadCache() != nil {
+		t.Fatal("negative ReadCacheBytes must disable the cache")
+	}
+	obj := oid("uncached")
+	data := bytes.Repeat([]byte{7}, 4096)
+	if _, err := cl.Write(obj, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OSD(0).FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(obj, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("uncached read returned wrong bytes")
+	}
+}

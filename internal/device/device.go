@@ -46,6 +46,11 @@ type Device interface {
 	// written; an error may leave a prefix of the vectors applied, like a
 	// torn multi-sector write.
 	WriteAtv(vecs []IOVec) (int, error)
+	// ReadAtv fills every vector in one device call (one queue
+	// submission): each vector's Data is filled from Off. It returns the
+	// total bytes read; an error may leave a prefix of the vectors filled,
+	// mirroring WriteAtv's torn-batch semantics.
+	ReadAtv(vecs []IOVec) (int, error)
 	// Flush persists all completed writes (write-barrier semantics).
 	Flush() error
 	// Size returns the device capacity in bytes.
@@ -59,6 +64,8 @@ type Device interface {
 // Stats counts device I/O for write-amplification accounting. WriteOps
 // counts queue submissions: a WriteAtv call is one WriteOp regardless of
 // how many vectors it carries; VecOps/VecSegs record the batching factor.
+// ReadAtv mirrors the write side: one ReadOp per call, with
+// RVecOps/RVecSegs recording the read batching factor.
 type Stats struct {
 	ReadOps      metrics.Counter
 	WriteOps     metrics.Counter
@@ -67,6 +74,8 @@ type Stats struct {
 	Flushes      metrics.Counter
 	VecOps       metrics.Counter // WriteAtv calls
 	VecSegs      metrics.Counter // vectors submitted across all WriteAtv calls
+	RVecOps      metrics.Counter // ReadAtv calls
+	RVecSegs     metrics.Counter // vectors submitted across all ReadAtv calls
 }
 
 // Snapshot is a point-in-time copy of device counters.
@@ -78,6 +87,8 @@ type Snapshot struct {
 	Flushes      int64
 	VecOps       int64
 	VecSegs      int64
+	RVecOps      int64
+	RVecSegs     int64
 }
 
 // Snapshot copies the counters.
@@ -90,6 +101,8 @@ func (s *Stats) Snapshot() Snapshot {
 		Flushes:      s.Flushes.Load(),
 		VecOps:       s.VecOps.Load(),
 		VecSegs:      s.VecSegs.Load(),
+		RVecOps:      s.RVecOps.Load(),
+		RVecSegs:     s.RVecSegs.Load(),
 	}
 }
 
@@ -103,13 +116,15 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Flushes:      s.Flushes - o.Flushes,
 		VecOps:       s.VecOps - o.VecOps,
 		VecSegs:      s.VecSegs - o.VecSegs,
+		RVecOps:      s.RVecOps - o.RVecOps,
+		RVecSegs:     s.RVecSegs - o.RVecSegs,
 	}
 }
 
 // String renders the snapshot compactly.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("rops=%d wops=%d rbytes=%d wbytes=%d flushes=%d vecops=%d vecsegs=%d",
-		s.ReadOps, s.WriteOps, s.BytesRead, s.BytesWritten, s.Flushes, s.VecOps, s.VecSegs)
+	return fmt.Sprintf("rops=%d wops=%d rbytes=%d wbytes=%d flushes=%d vecops=%d vecsegs=%d rvecops=%d rvecsegs=%d",
+		s.ReadOps, s.WriteOps, s.BytesRead, s.BytesWritten, s.Flushes, s.VecOps, s.VecSegs, s.RVecOps, s.RVecSegs)
 }
 
 func checkRange(size, off int64, n int) error {

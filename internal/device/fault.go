@@ -104,6 +104,32 @@ func (f *Fault) WriteAtv(vecs []IOVec) (int, error) {
 	return n, err
 }
 
+// ReadAtv implements Device. When reads are armed each vector consumes one
+// credit, so Arm(n)+ArmReads can tear a vectored read mid-batch: the
+// surviving prefix is filled from the inner device (as one smaller vectored
+// call) and the rest is left untouched.
+func (f *Fault) ReadAtv(vecs []IOVec) (int, error) {
+	if !f.armed.Load() || !f.readsFail.Load() {
+		return f.inner.ReadAtv(vecs)
+	}
+	ok := 0
+	for range vecs {
+		if f.failAfter.Add(-1) < 0 {
+			break
+		}
+		ok++
+	}
+	if ok == len(vecs) {
+		return f.inner.ReadAtv(vecs)
+	}
+	n := 0
+	if ok > 0 {
+		n, _ = f.inner.ReadAtv(vecs[:ok])
+	}
+	err, _ := f.err.Load().(error)
+	return n, err
+}
+
 // Flush implements Device.
 func (f *Fault) Flush() error {
 	if err := f.failing(); err != nil {

@@ -100,6 +100,36 @@ func (d *File) countVec(bytes, segs int) {
 	d.stats.BytesWritten.Add(int64(bytes))
 }
 
+// ReadAtv implements Device. Like WriteAtv, segments move one preadv-less
+// pread at a time but count as a single queue submission.
+func (d *File) ReadAtv(vecs []IOVec) (int, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	total := 0
+	for _, v := range vecs {
+		if err := checkRange(d.size, v.Off, len(v.Data)); err != nil {
+			d.countReadVec(total, len(vecs))
+			return total, err
+		}
+		n, err := d.f.ReadAt(v.Data, v.Off)
+		total += n
+		if err != nil {
+			d.countReadVec(total, len(vecs))
+			return total, err
+		}
+	}
+	d.countReadVec(total, len(vecs))
+	return total, nil
+}
+
+func (d *File) countReadVec(bytes, segs int) {
+	d.stats.ReadOps.Inc()
+	d.stats.RVecOps.Inc()
+	d.stats.RVecSegs.Add(int64(segs))
+	d.stats.BytesRead.Add(int64(bytes))
+}
+
 // Flush implements Device by fsyncing the backing file.
 func (d *File) Flush() error {
 	if d.closed.Load() {

@@ -73,6 +73,30 @@ func (m *Mem) countVec(bytes, segs int) {
 	m.stats.BytesWritten.Add(int64(bytes))
 }
 
+// ReadAtv implements Device: one queue submission filling all vectors.
+func (m *Mem) ReadAtv(vecs []IOVec) (int, error) {
+	if m.closed.Load() {
+		return 0, ErrClosed
+	}
+	total := 0
+	for _, v := range vecs {
+		if err := checkRange(int64(len(m.buf)), v.Off, len(v.Data)); err != nil {
+			m.countReadVec(total, len(vecs))
+			return total, err
+		}
+		total += copy(v.Data, m.buf[v.Off:])
+	}
+	m.countReadVec(total, len(vecs))
+	return total, nil
+}
+
+func (m *Mem) countReadVec(bytes, segs int) {
+	m.stats.ReadOps.Inc()
+	m.stats.RVecOps.Inc()
+	m.stats.RVecSegs.Add(int64(segs))
+	m.stats.BytesRead.Add(int64(bytes))
+}
+
 // Flush implements Device. RAM is always "persistent" for simulation
 // purposes; the counter still advances so flush frequency is observable.
 func (m *Mem) Flush() error {

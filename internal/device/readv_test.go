@@ -1,0 +1,165 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMemReadAtv(t *testing.T) {
+	d := NewMem(1 << 20)
+	defer d.Close()
+	want := []IOVec{
+		{Off: 0, Data: []byte("aaaa")},
+		{Off: 8192, Data: []byte("bbbb")},
+		{Off: 4096, Data: []byte("cccc")},
+	}
+	for _, v := range want {
+		if _, err := d.WriteAt(v.Data, v.Off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Stats().Snapshot()
+	vecs := []IOVec{
+		{Off: 0, Data: make([]byte, 4)},
+		{Off: 8192, Data: make([]byte, 4)},
+		{Off: 4096, Data: make([]byte, 4)},
+	}
+	n, err := d.ReadAtv(vecs)
+	if err != nil {
+		t.Fatalf("ReadAtv: %v", err)
+	}
+	if n != 12 {
+		t.Fatalf("n = %d, want 12", n)
+	}
+	for i, v := range vecs {
+		if !bytes.Equal(v.Data, want[i].Data) {
+			t.Fatalf("vec at %d: got %q want %q", v.Off, v.Data, want[i].Data)
+		}
+	}
+	st := d.Stats().Snapshot().Sub(before)
+	// One batch = one queue submission: ReadOps counts 1, not 3.
+	if st.ReadOps != 1 || st.RVecOps != 1 || st.RVecSegs != 3 {
+		t.Fatalf("vectored read must count as one submission: %+v", st)
+	}
+	if st.BytesRead != 12 {
+		t.Fatalf("BytesRead = %d, want 12", st.BytesRead)
+	}
+}
+
+func TestMemReadAtvPrefixOnError(t *testing.T) {
+	d := NewMem(8192)
+	defer d.Close()
+	if _, err := d.WriteAt([]byte("good"), 0); err != nil {
+		t.Fatal(err)
+	}
+	vecs := []IOVec{
+		{Off: 0, Data: make([]byte, 4)},
+		{Off: 8190, Data: make([]byte, 16)}, // spills past the end
+		{Off: 4096, Data: make([]byte, 4)},
+	}
+	n, err := d.ReadAtv(vecs)
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if n != 4 {
+		t.Fatalf("n = %d, want the surviving prefix (4)", n)
+	}
+	if !bytes.Equal(vecs[0].Data, []byte("good")) {
+		t.Fatalf("prefix vector lost: %q", vecs[0].Data)
+	}
+}
+
+func TestFileReadAtv(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	want := []IOVec{
+		{Off: 512, Data: []byte("first")},
+		{Off: 64 << 10, Data: []byte("second")},
+	}
+	for _, v := range want {
+		if _, err := d.WriteAt(v.Data, v.Off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Stats().Snapshot()
+	vecs := []IOVec{
+		{Off: 512, Data: make([]byte, 5)},
+		{Off: 64 << 10, Data: make([]byte, 6)},
+	}
+	if _, err := d.ReadAtv(vecs); err != nil {
+		t.Fatalf("ReadAtv: %v", err)
+	}
+	for i, v := range vecs {
+		if !bytes.Equal(v.Data, want[i].Data) {
+			t.Fatalf("vec at %d: got %q want %q", v.Off, v.Data, want[i].Data)
+		}
+	}
+	st := d.Stats().Snapshot().Sub(before)
+	if st.ReadOps != 1 || st.RVecOps != 1 || st.RVecSegs != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSimReadAtvChargesBatchOnce(t *testing.T) {
+	// QD=1 and 20ms latency: 8 separate reads cost >=160ms, one vectored
+	// batch of the same 8 segments costs one submission (~20ms).
+	d := NewSim(NewMem(1<<20), Profile{ReadLatency: 20 * time.Millisecond, QueueDepth: 1})
+	defer d.Close()
+	vecs := make([]IOVec, 8)
+	for i := range vecs {
+		vecs[i] = IOVec{Off: int64(i) * 4096, Data: make([]byte, 512)}
+	}
+	start := time.Now()
+	if _, err := d.ReadAtv(vecs); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("vectored batch paced per segment: %v", el)
+	}
+}
+
+func TestFaultReadAtvTearsMidBatch(t *testing.T) {
+	errBoom := errors.New("boom")
+	mem := NewMem(1 << 16)
+	f := NewFault(mem)
+	defer f.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := mem.WriteAt([]byte{byte(i + 1), byte(i + 1)}, int64(i)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vecs := []IOVec{
+		{Off: 0, Data: make([]byte, 2)},
+		{Off: 4096, Data: make([]byte, 2)},
+		{Off: 8192, Data: make([]byte, 2)},
+		{Off: 12288, Data: make([]byte, 2)},
+	}
+	f.Arm(3, errBoom) // two read credits: vectors 0 and 1 survive
+	f.ArmReads()
+	n, err := f.ReadAtv(vecs)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 4 {
+		t.Fatalf("n = %d, want the 4 surviving bytes", n)
+	}
+	for i, v := range vecs {
+		if i < 2 && !bytes.Equal(v.Data, []byte{byte(i + 1), byte(i + 1)}) {
+			t.Fatalf("surviving vector %d not filled: %v", i, v.Data)
+		}
+		if i >= 2 && (v.Data[0] != 0 || v.Data[1] != 0) {
+			t.Fatalf("torn vector %d must not be filled", i)
+		}
+	}
+	f.Disarm()
+	if _, err := f.ReadAtv(vecs); err != nil {
+		t.Fatalf("after Disarm: %v", err)
+	}
+}

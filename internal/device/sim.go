@@ -1,6 +1,7 @@
 package device
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -18,6 +19,14 @@ type Profile struct {
 	WriteBandwidth int64
 	// QueueDepth is the device-internal parallelism (default 128).
 	QueueDepth int
+	// SyncReads additionally charges ReadLatency as per-op service time:
+	// every read submission blocks the caller for the full latency, the
+	// way a synchronous read waits out the flash program/read time. The
+	// default pacing only models sustained-rate backpressure (cost
+	// latency/QueueDepth amortised against real time), which is right
+	// for throughput benches but makes an idle device look free to a
+	// latency bench — read-cache comparisons need the per-op cost.
+	SyncReads bool
 }
 
 // PM1725a approximates the Samsung PM1725a NVMe SSD used in the paper:
@@ -110,7 +119,24 @@ var simEpoch = time.Now()
 // ReadAt implements Device.
 func (s *Sim) ReadAt(p []byte, off int64) (int, error) {
 	pace(&s.readClock, cost(s.profile.ReadLatency, s.profile.QueueDepth, len(p), s.profile.ReadBandwidth))
+	s.syncReadWait()
 	return s.inner.ReadAt(p, off)
+}
+
+// syncReadWait applies the per-op read service time when SyncReads is on.
+// Waiting yields rather than sleeps: at the tens-of-microseconds scale a
+// parked goroutine oversleeps by a full scheduler quantum (tens of
+// milliseconds on a loaded single-core host), which would drown the
+// latency being modelled. Gosched keeps the rest of the system running
+// while the deadline passes.
+func (s *Sim) syncReadWait() {
+	if !s.profile.SyncReads || s.profile.ReadLatency <= 0 {
+		return
+	}
+	deadline := time.Now().Add(s.profile.ReadLatency)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
 }
 
 // WriteAt implements Device.
@@ -130,6 +156,19 @@ func (s *Sim) WriteAtv(vecs []IOVec) (int, error) {
 	}
 	pace(&s.writeClock, cost(s.profile.WriteLatency, s.profile.QueueDepth, total, s.profile.WriteBandwidth))
 	return s.inner.WriteAtv(vecs)
+}
+
+// ReadAtv implements Device: like WriteAtv, the whole batch is one queue
+// submission, so the read latency is charged once while the bandwidth cap
+// sees every byte.
+func (s *Sim) ReadAtv(vecs []IOVec) (int, error) {
+	total := 0
+	for _, v := range vecs {
+		total += len(v.Data)
+	}
+	pace(&s.readClock, cost(s.profile.ReadLatency, s.profile.QueueDepth, total, s.profile.ReadBandwidth))
+	s.syncReadWait()
+	return s.inner.ReadAtv(vecs)
 }
 
 // Flush implements Device.

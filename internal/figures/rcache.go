@@ -1,0 +1,259 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/device"
+	"rebloc/internal/osd"
+)
+
+// us renders a duration in microseconds: cache hits live at the tens-of-
+// microseconds scale where the millisecond formatting of ms() rounds the
+// on/off gap away.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.0fus", float64(d)/float64(time.Microsecond))
+}
+
+// This file holds the read-cache evaluation: the NVM-resident read cache
+// (internal/readcache) is the paper's complement to the write-side op
+// log — logging absorbs random writes, the cache absorbs the zipfian
+// read traffic the flushed extents then serve. Two experiments cover it:
+//
+//   - YCSBCache: YCSB A/B/C at theta 0.99, Proposed with the cache on
+//     and off plus Original, so the logging-vs-paging comparison and the
+//     cache's own contribution are separable.
+//   - MixedSweep: fio-style 4 KiB zipfian sweeps — 100% read, 70/30 and
+//     50/50 read/write — over the same three configs, reporting read
+//     p50/p95 on their own (the numbers the cache moves) next to hit
+//     rate and eviction churn.
+//
+// Expected shape: on the read-heavy zipfian rows the cache-on config
+// serves >= 80% of reads from NVM and its read p50 sits well under the
+// cache-off config (acceptance: >= 3x); on write-heavy mixes strict
+// invalidation gives some of that back, and Original shows where the
+// baseline's paging design lands.
+
+// cacheSnap is a point-in-time sum of every OSD's read-cache counters.
+type cacheSnap struct {
+	hits, misses, admits, evictions, invalidations, aborts int64
+}
+
+func snapCache(u *cut) cacheSnap {
+	var s cacheSnap
+	for i := 0; i < u.c.OSDs(); i++ {
+		o := u.c.OSD(i)
+		if o == nil {
+			continue
+		}
+		rc := o.ReadCache()
+		if rc == nil {
+			continue
+		}
+		st := rc.Stats()
+		s.hits += st.Hits.Load()
+		s.misses += st.Misses.Load()
+		s.admits += st.Admits.Load()
+		s.evictions += st.Evictions.Load()
+		s.invalidations += st.Invalidations.Load()
+		s.aborts += st.FillAborts.Load()
+	}
+	return s
+}
+
+func (s cacheSnap) sub(b cacheSnap) cacheSnap {
+	return cacheSnap{
+		hits:          s.hits - b.hits,
+		misses:        s.misses - b.misses,
+		admits:        s.admits - b.admits,
+		evictions:     s.evictions - b.evictions,
+		invalidations: s.invalidations - b.invalidations,
+		aborts:        s.aborts - b.aborts,
+	}
+}
+
+// hitPct renders the window's hit rate, or "-" when the cache saw no
+// lookups (cache off, or a write-only window).
+func (s cacheSnap) hitPct() string {
+	total := s.hits + s.misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(s.hits)/float64(total))
+}
+
+// rcacheRow summarises the read-cache window for a shared figure column:
+// hit rate plus admission/invalidation volume, or "-" when the config
+// has no cache or the workload never touched it.
+func rcacheRow(s cacheSnap) string {
+	if s.hits+s.misses+s.admits == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s hit %da/%di", s.hitPct(), s.admits, s.invalidations)
+}
+
+// occupancyPct renders how full the caches are, summed across OSDs.
+func occupancyPct(u *cut) string {
+	var occ, slots int64
+	for i := 0; i < u.c.OSDs(); i++ {
+		o := u.c.OSD(i)
+		if o == nil {
+			continue
+		}
+		rc := o.ReadCache()
+		if rc == nil {
+			continue
+		}
+		occ += rc.Occupancy()
+		slots += int64(rc.Slots())
+	}
+	if slots == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(occ)/float64(slots))
+}
+
+// cacheConfigs is the config axis both experiments share: the tentpole
+// (Proposed + NVM read cache), its ablation (same write path, cache
+// disabled) and the Original baseline (the paper's paging design). All
+// three pace their devices with the paper's PM1725a profile: the cache's
+// value is NVM-latency hits versus SSD-latency cold reads, which RAM
+// devices would round to nothing.
+type cacheConfig struct {
+	name   string
+	mode   osd.Mode
+	adjust func(*coreOptions)
+}
+
+func cacheConfigs() []cacheConfig {
+	profile := device.PM1725a()
+	// Charge the SSD's read latency per op, not just as rate pacing: the
+	// comparison under test is an NVM hit against a device read.
+	profile.SyncReads = true
+	paced := func(o *coreOptions) { o.DeviceProfile = &profile }
+	return []cacheConfig{
+		{"proposed+cache", osd.ModeProposed, paced},
+		{"proposed-nocache", osd.ModeProposed, func(o *coreOptions) {
+			paced(o)
+			o.ReadCacheBytes = -1
+		}},
+		{"original", osd.ModeOriginal, paced},
+	}
+}
+
+// YCSBCache runs YCSB A, B and C (theta 0.99) over the block device for
+// each cache config. C (100% reads) shows the cache's full effect, B
+// (95/5) shows it surviving a trickle of invalidations, A (50/50) bounds
+// the write-heavy end where strict invalidation costs the most.
+func YCSBCache(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Read cache — YCSB A/B/C (zipfian theta 0.99) across cache configs")
+	fmt.Fprintln(w, "(proposed+cache vs proposed-nocache isolates the cache; original is the paging baseline)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "workload\tconfig\tops/s\tread p50\tread p95\tupdate p50\thit\toccupancy")
+
+	workloads := []bench.YCSBWorkload{bench.YCSBA, bench.YCSBB, bench.YCSBC}
+	for _, cfg := range cacheConfigs() {
+		u, err := setup(cfg.mode, p, cfg.adjust)
+		if err != nil {
+			return err
+		}
+		yopts := bench.YCSBOptions{
+			RecordCount: uint64(p.ops(4000)),
+			Ops:         p.ops(3000),
+			Threads:     10,
+		}
+		if err := bench.LoadYCSB(u.img, yopts); err != nil {
+			u.close()
+			return err
+		}
+		_ = u.c.FlushAll()
+		for _, wl := range workloads {
+			yopts.Workload = wl
+			// Warm pass: populate the cache with the run's own key
+			// distribution, then measure a window with clean counters.
+			warm := yopts
+			warm.Ops = p.ops(1500)
+			_ = bench.RunYCSB(u.img, warm)
+			before := snapCache(u)
+			res := bench.RunYCSB(u.img, yopts)
+			window := snapCache(u).sub(before)
+			readP50, readP95 := "-", "-"
+			if res.ReadLat.Count() > 0 {
+				readP50, readP95 = us(res.ReadLat.Quantile(0.5)), us(res.ReadLat.Quantile(0.95))
+			}
+			updP50 := "-"
+			if res.UpdateLat.Count() > 0 {
+				updP50 = us(res.UpdateLat.Quantile(0.5))
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.0f\t%s\t%s\t%s\t%s\t%s\n",
+				wl, cfg.name, res.Throughput(), readP50, readP95, updP50,
+				window.hitPct(), occupancyPct(u))
+		}
+		u.close()
+	}
+	return tw.Flush()
+}
+
+// MixedSweep runs the fio-style zipfian sweeps: 4 KiB reads and mixed
+// read/write at theta 0.99 over prefilled images. The randread row is
+// the acceptance gate (cache-on read p50 >= 3x better than cache-off at
+// >= 80% hit rate); the mixed rows show invalidation and flush
+// re-admission keeping the cache honest while writes race it.
+func MixedSweep(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Read cache — zipfian 4 KiB sweeps (theta 0.99), read-heavy to write-heavy")
+	fmt.Fprintln(w, "(read p50/p95 split out per op class; inval/evict are per measured window)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "pattern\tconfig\tkIOPS\tread p50\tread p95\twrite p50\thit\toccupancy\tinval\tevict")
+
+	rows := []struct {
+		name    string
+		pattern bench.Pattern
+		readPct int
+	}{
+		{"randread", bench.RandRead, 100},
+		{"randrw 70/30", bench.RandRW, 70},
+		{"randrw 50/50", bench.RandRW, 50},
+	}
+	for _, cfg := range cacheConfigs() {
+		u, err := setup(cfg.mode, p, cfg.adjust)
+		if err != nil {
+			return err
+		}
+		u.prefill()
+		for _, row := range rows {
+			opts := bench.FioOptions{
+				Pattern:      row.pattern,
+				BlockBytes:   4096,
+				Jobs:         p.Jobs,
+				QueueDepth:   p.QueueDepth,
+				Ops:          p.ops(6000),
+				ReadPercent:  row.readPct,
+				ZipfianTheta: 0.99,
+			}
+			// Warm pass with the same distribution, then measure.
+			warm := opts
+			warm.Ops = p.ops(3000)
+			_ = bench.RunFioMulti(u.imgs, warm)
+			before := snapCache(u)
+			res, _, _ := u.measureFio(opts, 0)
+			window := snapCache(u).sub(before)
+			readP50, readP95 := "-", "-"
+			if res.ReadLat.Count() > 0 {
+				readP50, readP95 = us(res.ReadLat.Quantile(0.5)), us(res.ReadLat.Quantile(0.95))
+			}
+			writeP50 := "-"
+			if res.WriteLat.Count() > 0 {
+				writeP50 = us(res.WriteLat.Quantile(0.5))
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%s\t%s\t%s\t%s\t%s\t%d\t%d\n",
+				row.name, cfg.name, res.IOPS()/1000, readP50, readP95, writeP50,
+				window.hitPct(), occupancyPct(u), window.invalidations, window.evictions)
+		}
+		u.close()
+	}
+	return tw.Flush()
+}

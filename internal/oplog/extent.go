@@ -245,6 +245,9 @@ func (l *Log) stage(e *Entry) {
 	} else {
 		st.stageWrite(op.Offset, op.Data)
 	}
+	if l.onStage != nil {
+		l.onStage(op.OID)
+	}
 }
 
 // unstage drops one entry's reference; the object leaves the index cache

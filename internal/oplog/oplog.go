@@ -178,8 +178,26 @@ type Log struct {
 
 	hdrScratch [32]byte // persistHeader encode buffer (no per-call alloc)
 
+	// Read-cache hooks (nil until SetCacheHooks; recovery stages entries
+	// before any cache exists, which is fine — a fresh cache is empty).
+	// onStage fires under mu for every staged write/delete, before the
+	// append returns: strict invalidation. onComplete fires under mu when
+	// a Complete moved entries to the store: the backend's contents
+	// changed, so in-flight miss fills that pre-date it must not admit.
+	onStage    func(oid wire.ObjectID)
+	onComplete func()
+
 	threshold int
 	stats     Stats
+}
+
+// SetCacheHooks installs the read-cache invalidation callbacks. Both run
+// under the log mutex and must not call back into the log.
+func (l *Log) SetCacheHooks(onStage func(oid wire.ObjectID), onComplete func()) {
+	l.mu.Lock()
+	l.onStage = onStage
+	l.onComplete = onComplete
+	l.mu.Unlock()
 }
 
 func newLog(pg uint32, region *nvm.Region, threshold int) *Log {
@@ -574,15 +592,20 @@ func (l *Log) Complete(batch []*Entry) error {
 		}
 	}
 	oldLen := len(l.entries)
+	flushed := 0
 	kept := l.entries[:0]
 	for _, e := range l.entries {
 		if e.State == stateDone {
 			l.stats.Flushed.Inc()
+			flushed++
 			l.unstage(e)
 			releaseEntry(e)
 			continue
 		}
 		kept = append(kept, e)
+	}
+	if flushed > 0 && l.onComplete != nil {
+		l.onComplete()
 	}
 	// Clear the vacated slots: pooled entries must not be reachable from
 	// the retained backing array.

@@ -30,10 +30,12 @@ import (
 	"rebloc/internal/metrics"
 	"rebloc/internal/nvm"
 	"rebloc/internal/oplog"
+	"rebloc/internal/readcache"
 	"rebloc/internal/sched"
 	"rebloc/internal/store"
 	"rebloc/internal/store/bluestore"
 	"rebloc/internal/store/cos"
+	"rebloc/internal/wire"
 )
 
 // Mode selects the OSD architecture.
@@ -114,6 +116,10 @@ type Config struct {
 	FlushInterval time.Duration
 	// OplogRegionBytes sizes each PG's NVM op-log region.
 	OplogRegionBytes int64
+	// ReadCacheBytes sizes the OSD's NVM-resident block read cache
+	// (proposed mode). 0 picks the default (8 MiB, best-effort: a bank
+	// too small to carve it just runs uncached); negative disables it.
+	ReadCacheBytes int64
 	// GroupCommitMax caps how many concurrent appends the op log commits
 	// as one group (one shared NVM persist). 0 means the oplog default.
 	GroupCommitMax int
@@ -276,6 +282,13 @@ type OSD struct {
 	// shards are the proposed-mode top-half execution contexts.
 	shards []*shard
 
+	// rcache is the NVM-resident block read cache (proposed mode; nil
+	// when disabled or the bank couldn't fit it). cosStore is the backend
+	// down-cast for the ReadInto/pooled-buffer fill path.
+	rcache   *readcache.Cache
+	cosStore *cos.Store
+	readBufs sync.Pool // pooled reply/fill buffers (miss path)
+
 	peers    sync.Map // osd id -> *peer
 	pending  *pendingSet
 	accepted messenger.ConnSet
@@ -401,8 +414,29 @@ func New(cfg Config) (*OSD, error) {
 	if err != nil {
 		return nil, fmt.Errorf("osd %d: open store: %w", cfg.ID, err)
 	}
+	o.cosStore, _ = o.st.(*cos.Store)
+	if cfg.Mode.usesOplog() && cfg.Bank != nil && cfg.ReadCacheBytes >= 0 {
+		size := cfg.ReadCacheBytes
+		if size == 0 {
+			size = 8 << 20
+		}
+		name := fmt.Sprintf("osd%d.rcache", cfg.ID)
+		region, rerr := cfg.Bank.Region(name)
+		if rerr != nil {
+			region, rerr = cfg.Bank.Carve(name, size)
+		}
+		if rerr == nil {
+			// The region's contents are treated as garbage, so a restart
+			// (or NVM power loss) always boots a cold cache. Best-effort:
+			// a bank too small for one slot per shard runs uncached.
+			o.rcache, _ = readcache.New(region, readcache.Options{})
+		}
+	}
 	return o, nil
 }
+
+// ReadCache exposes the read cache (benchmarks, tests); nil when disabled.
+func (o *OSD) ReadCache() *readcache.Cache { return o.rcache }
 
 // Store exposes the backend store (benchmarks, tests).
 func (o *OSD) Store() store.ObjectStore { return o.st }
@@ -532,6 +566,17 @@ func (o *OSD) pgStateFor(pg uint32) (*pgState, error) {
 			o.OplogSalvages.Inc()
 		}
 		log.SetGroupCommitMax(o.cfg.GroupCommitMax)
+		if rc := o.rcache; rc != nil {
+			// Strict invalidation: staging a write/delete drops the
+			// object's cached blocks before the append returns; a flush
+			// completion moves the PG's fill generation so in-flight miss
+			// fills that read the pre-flush backend cannot admit.
+			pgid := pg
+			log.SetCacheHooks(
+				func(oid wire.ObjectID) { rc.Invalidate(pgid, oid) },
+				func() { rc.BumpFill(pgid) },
+			)
+		}
 		s.log = log
 		s.seq = log.LastSeq()
 		s.servedEpoch = log.ServedEpoch()
@@ -676,6 +721,23 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry, prefix string) {
 		}
 		return o.FlushedEntries.Load() * 100 / ops
 	})
+	if rc := o.rcache; rc != nil {
+		st := rc.Stats()
+		r.RegisterCounter(prefix+".rcache.hits", &st.Hits)
+		r.RegisterCounter(prefix+".rcache.misses", &st.Misses)
+		r.RegisterCounter(prefix+".rcache.admits", &st.Admits)
+		r.RegisterCounter(prefix+".rcache.evictions", &st.Evictions)
+		r.RegisterCounter(prefix+".rcache.invalidations", &st.Invalidations)
+		r.RegisterCounter(prefix+".rcache.fill_aborts", &st.FillAborts)
+		r.RegisterFunc(prefix+".rcache.occupancy", rc.Occupancy)
+		r.RegisterFunc(prefix+".rcache.hit_rate_x100", func() int64 {
+			h, m := st.Hits.Load(), st.Misses.Load()
+			if h+m == 0 {
+				return 0
+			}
+			return h * 100 / (h + m)
+		})
+	}
 }
 
 // FlushAll synchronously drains every op log into the store (admin,

@@ -121,6 +121,12 @@ func (o *OSD) syncPG(pg uint32, pgs *pgState, stop <-chan struct{}) {
 			return
 		}
 		if err == nil && o.syncRound(pg, pgs, m, acting, stop) {
+			if o.rcache != nil {
+				// Backfill writes bypass the oplog staging hooks, so the
+				// strict per-object invalidation never saw them: drop the
+				// whole PG before serving reads again.
+				o.rcache.InvalidatePG(pg)
+			}
 			pgs.mu.Lock()
 			pgs.clean = true
 			pgs.servedEpoch = m.Epoch

@@ -373,6 +373,25 @@ func (sh *shard) clientRead(conn messenger.Conn, msg *wire.ClientRead, pg uint32
 		v.Release()
 		return
 	}
+	if rc := o.rcache; rc != nil {
+		if v, ok := rc.Lookup(pg, msg.OID, msg.Offset, msg.Length); ok {
+			// R1.5: run-to-completion on the shard from the NVM read
+			// cache, zero-copy — the scatter segments alias the cache
+			// slots and the pins hold them until the frame is encoded.
+			// Strict invalidation keeps this safe without checking
+			// HasStaged: staging a write drops the object's blocks before
+			// the append returns, so a hit implies nothing newer is
+			// staged for these bytes.
+			o.ClientOps.Inc()
+			sh.reply = wire.Reply{
+				ReqID: msg.ReqID, Status: wire.StatusOK,
+				DataLen: msg.Length, DataSegs: v.Segs(),
+			}
+			_ = conn.Send(&sh.reply)
+			v.Release()
+			return
+		}
+	}
 	reply := func(status wire.Status, data []byte) {
 		o.ClientOps.Inc()
 		_ = conn.Send(&wire.Reply{ReqID: msg.ReqID, Status: status, Data: data})

@@ -192,12 +192,7 @@ func (o *OSD) runNPTTask(t *task) {
 		}
 		o.pending.complete(msg.pendingID, o.cfg.ID, status)
 	case *readTask:
-		data, err := o.storeRead(t.pg, msg.oid, msg.off, msg.length)
-		if err != nil {
-			msg.reply(storeStatus(err), nil)
-			return
-		}
-		msg.reply(wire.StatusOK, data)
+		o.serveColdRead(t.pg, msg)
 	case *replApply: // PTC mode: secondary storage processing
 		txn := o.buildBaselineTxn(t.pg, msg.op)
 		if err := o.st.Submit(txn); err != nil {
@@ -249,6 +244,8 @@ func (o *OSD) drainBatch(owned []*pgState) {
 		combined []*pgState
 		batches  [][]*oplog.Entry
 		opCounts []int
+		merges   [][]oplog.MergedOp
+		gens     []uint64
 	)
 	for _, s := range owned {
 		// Clear before flushing: appends racing with the flush re-queue
@@ -258,13 +255,20 @@ func (o *OSD) drainBatch(owned []*pgState) {
 			continue
 		}
 		s.flushMu.Lock()
+		var flushGen uint64
+		if o.rcache != nil {
+			// Captured BEFORE TakeBatch: a write staged after the batch
+			// was taken moves the generation and FlushAdmit refuses the
+			// (then-stale) batch data.
+			flushGen = o.rcache.FlushGen(s.pg)
+		}
 		batch := s.log.TakeBatch(0)
 		if len(batch) == 0 {
 			s.flushMu.Unlock()
 			continue
 		}
 		if batchHasRead(batch) {
-			err := o.applyAndComplete(s, batch)
+			err := o.applyAndComplete(s, batch, flushGen)
 			s.flushMu.Unlock()
 			if err != nil {
 				o.noteFlushErr(s, err)
@@ -291,6 +295,8 @@ func (o *OSD) drainBatch(owned []*pgState) {
 		combined = append(combined, s)
 		batches = append(batches, batch)
 		opCounts = append(opCounts, len(txn.Ops)-before)
+		merges = append(merges, merged)
+		gens = append(gens, flushGen)
 	}
 	if len(combined) == 0 {
 		return
@@ -308,6 +314,19 @@ func (o *OSD) drainBatch(owned []*pgState) {
 				// Entries are applied; only the log trim failed. Surface
 				// it without requeueing already-durable ops.
 				o.noteFlushErr(s, cerr)
+			} else if o.rcache != nil {
+				// Flush admission: the drain just made these extents
+				// durable and they were hot enough to be written — keep
+				// them readable at cache latency instead of letting the
+				// flush turn them cold. The merged slices stay valid
+				// until the PG's next coalesce Reset, which flushMu still
+				// excludes.
+				for mi := range merges[i] {
+					m := &merges[i][mi]
+					if !m.Delete {
+						o.rcache.FlushAdmit(s.pg, gens[i], m.OID, m.Off, m.Data)
+					}
+				}
 			}
 		}
 		s.flushMu.Unlock()
@@ -343,17 +362,21 @@ func (o *OSD) flushPG(s *pgState) error {
 	}
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
+	var flushGen uint64
+	if o.rcache != nil {
+		flushGen = o.rcache.FlushGen(s.pg)
+	}
 	batch := s.log.TakeBatch(0)
 	if len(batch) == 0 {
 		return nil
 	}
-	return o.applyAndComplete(s, batch)
+	return o.applyAndComplete(s, batch, flushGen)
 }
 
 // applyAndComplete applies one PG's taken batch and completes (or, on
 // failure, requeues) its entries. Caller holds s.flushMu.
-func (o *OSD) applyAndComplete(s *pgState, batch []*oplog.Entry) error {
-	if err := o.applyEntries(s, batch); err != nil {
+func (o *OSD) applyAndComplete(s *pgState, batch []*oplog.Entry, flushGen uint64) error {
+	if err := o.applyEntries(s, batch, flushGen); err != nil {
 		s.log.Requeue(batch)
 		return err
 	}
@@ -367,7 +390,7 @@ func (o *OSD) applyAndComplete(s *pgState, batch []*oplog.Entry) error {
 // N overwrites of one hot block reach the store as one write. A logged
 // read is an ordering barrier: the merged ops before it must land so the
 // read observes every write ordered ahead of it.
-func (o *OSD) applyEntries(s *pgState, batch []*oplog.Entry) error {
+func (o *OSD) applyEntries(s *pgState, batch []*oplog.Entry, flushGen uint64) error {
 	c := &s.coal
 	c.Reset()
 	submit := func() error {
@@ -388,6 +411,17 @@ func (o *OSD) applyEntries(s *pgState, batch []*oplog.Entry) error {
 			return err
 		}
 		o.FlushStoreOps.Add(int64(len(merged)))
+		if o.rcache != nil {
+			// Flush admission (see drainBatch): the extents are durable
+			// now, and the gen captured before TakeBatch refuses them if
+			// a newer write staged since.
+			for i := range merged {
+				m := &merged[i]
+				if !m.Delete {
+					o.rcache.FlushAdmit(s.pg, flushGen, m.OID, m.Off, m.Data)
+				}
+			}
+		}
 		return nil
 	}
 	for _, e := range batch {
@@ -526,6 +560,52 @@ func encodePGLogEntry(pg uint32, op wire.Op) []byte {
 func (o *OSD) storeRead(pg uint32, oid wire.ObjectID, off uint64, length uint32) ([]byte, error) {
 	return o.st.Read(pg, oid, off, length)
 }
+
+// serveColdRead answers an R4 cold miss on a non-priority thread. With the
+// read cache enabled the read widens to cache-slot boundaries — one
+// vectored backend submission fills the requested range plus its adjacent
+// cache-worthy blocks — is served from a pooled buffer (no per-read
+// allocation), and the filled blocks are admitted. If the PG's fill
+// generation moved while the backend read was in flight (a write staged or
+// a flush completed) the bytes are still correct to return — the read
+// linearizes before the racing write — but AdmitFill refuses them.
+func (o *OSD) serveColdRead(pg uint32, msg *readTask) {
+	rc := o.rcache
+	if rc == nil || o.cosStore == nil {
+		data, err := o.storeRead(pg, msg.oid, msg.off, msg.length)
+		if err != nil {
+			msg.reply(storeStatus(err), nil)
+			return
+		}
+		msg.reply(wire.StatusOK, data)
+		return
+	}
+	gen := rc.FillGen(pg)
+	off, n := rc.AlignFill(msg.off, msg.length, o.cfg.ObjectBytes)
+	buf := o.getReadBuf(int(n))
+	if err := o.cosStore.ReadInto(pg, msg.oid, off, *buf); err != nil {
+		o.putReadBuf(buf)
+		msg.reply(storeStatus(err), nil)
+		return
+	}
+	lo := msg.off - off
+	msg.reply(wire.StatusOK, (*buf)[lo:lo+uint64(msg.length)])
+	// reply has encoded the frame; the buffer is ours again. Admission
+	// copies into the NVM slots, so recycling after it is safe.
+	rc.AdmitFill(pg, gen, msg.oid, off, *buf)
+	o.putReadBuf(buf)
+}
+
+func (o *OSD) getReadBuf(n int) *[]byte {
+	if v, ok := o.readBufs.Get().(*[]byte); ok && cap(*v) >= n {
+		*v = (*v)[:n]
+		return v
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+func (o *OSD) putReadBuf(b *[]byte) { o.readBufs.Put(b) }
 
 // storeStatus maps store errors onto wire statuses.
 func storeStatus(err error) wire.Status {

@@ -1,0 +1,305 @@
+package readcache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rebloc/internal/nvm"
+	"rebloc/internal/wire"
+)
+
+func newCache(t *testing.T, bytes int64, opts Options) *Cache {
+	t.Helper()
+	bank := nvm.NewBank(bytes + 4096)
+	region, err := bank.Carve("rcache", bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(region, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func oid(name string) wire.ObjectID { return wire.ObjectID{Pool: 1, Name: name} }
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func mustHit(t *testing.T, c *Cache, pg uint32, o wire.ObjectID, off uint64, length uint32, want []byte) {
+	t.Helper()
+	v, ok := c.Lookup(pg, o, off, length)
+	if !ok {
+		t.Fatalf("Lookup(%d, %d): miss, want hit", off, length)
+	}
+	out := make([]byte, length)
+	v.CopyTo(out)
+	v.Release()
+	if !bytes.Equal(out, want) {
+		t.Fatalf("Lookup(%d, %d): wrong bytes", off, length)
+	}
+}
+
+func TestAdmitFillAndLookup(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 1})
+	o := oid("obj")
+	data := pattern(8192, 7) // two full blocks at offset 4096
+	g := c.FillGen(3)
+	c.AdmitFill(3, g, o, 4096, data)
+
+	mustHit(t, c, 3, o, 4096, 8192, data)
+	// Unaligned sub-range spanning the block boundary: two scatter segs.
+	v, ok := c.Lookup(3, o, 5000, 4000)
+	if !ok {
+		t.Fatal("unaligned spanning lookup missed")
+	}
+	if len(v.Segs()) != 2 {
+		t.Fatalf("segs = %d, want 2 (one per block)", len(v.Segs()))
+	}
+	out := make([]byte, 4000)
+	v.CopyTo(out)
+	v.Release()
+	if !bytes.Equal(out, data[5000-4096:5000-4096+4000]) {
+		t.Fatal("spanning lookup returned wrong bytes")
+	}
+	// Uncached block: miss.
+	if _, ok := c.Lookup(3, o, 0, 4096); ok {
+		t.Fatal("uncached block must miss")
+	}
+	// Different object, same blocks: miss.
+	if _, ok := c.Lookup(3, oid("other"), 4096, 4096); ok {
+		t.Fatal("different object must miss")
+	}
+	st := c.Stats()
+	if st.Hits.Load() != 2 || st.Misses.Load() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", st.Hits.Load(), st.Misses.Load())
+	}
+	if c.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2", c.Occupancy())
+	}
+}
+
+func TestPartialTailBlock(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 1})
+	o := oid("obj")
+	data := pattern(4096+1000, 3) // one full block + 1000-byte tail
+	c.AdmitFill(5, c.FillGen(5), o, 0, data)
+	mustHit(t, c, 5, o, 0, 5096, data)
+	// Bytes past the cached tail must miss, not read garbage.
+	if _, ok := c.Lookup(5, o, 4096, 2000); ok {
+		t.Fatal("read past the cached tail must miss")
+	}
+}
+
+func TestInvalidateDropsObject(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 1})
+	o := oid("obj")
+	c.AdmitFill(2, c.FillGen(2), o, 0, pattern(8192, 1))
+	c.Invalidate(2, o)
+	if _, ok := c.Lookup(2, o, 0, 4096); ok {
+		t.Fatal("invalidated block served")
+	}
+	if c.Occupancy() != 0 {
+		t.Fatalf("occupancy = %d after invalidate, want 0", c.Occupancy())
+	}
+	if c.Stats().Invalidations.Load() != 2 {
+		t.Fatalf("invalidations = %d, want 2", c.Stats().Invalidations.Load())
+	}
+}
+
+func TestFillGenAbortsStaleAdmission(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 1})
+	o := oid("obj")
+	g := c.FillGen(9)
+	// A write staged (or a flush completed) after the gen was captured:
+	// the fill's data may predate it and must be refused.
+	c.Invalidate(9, o)
+	c.AdmitFill(9, g, o, 0, pattern(4096, 1))
+	if _, ok := c.Lookup(9, o, 0, 4096); ok {
+		t.Fatal("stale fill admitted after invalidation")
+	}
+	if c.Stats().FillAborts.Load() != 1 {
+		t.Fatalf("fill aborts = %d, want 1", c.Stats().FillAborts.Load())
+	}
+	// BumpFill alone (flush completion) must also abort.
+	g = c.FillGen(9)
+	c.BumpFill(9)
+	c.AdmitFill(9, g, o, 0, pattern(4096, 1))
+	if _, ok := c.Lookup(9, o, 0, 4096); ok {
+		t.Fatal("stale fill admitted after flush-complete bump")
+	}
+}
+
+func TestFlushAdmit(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 1})
+	o := oid("obj")
+	// A stale fill slipped in before the flush landed.
+	c.AdmitFill(4, c.FillGen(4), o, 0, pattern(4096, 0xAA))
+	g := c.FlushGen(4)
+	fresh := pattern(8192, 0x55) // extent [0, 8192) just made durable
+	c.FlushAdmit(4, g, o, 0, fresh)
+	mustHit(t, c, 4, o, 0, 8192, fresh)
+
+	// A moved flush gen (write staged after TakeBatch) must drop the
+	// overlap but admit nothing.
+	c.Invalidate(4, o) // bumps both gens
+	c.AdmitFill(4, c.FillGen(4), o, 0, pattern(4096, 0xAA))
+	c.FlushAdmit(4, g, o, 0, fresh) // g is stale now
+	if _, ok := c.Lookup(4, o, 0, 4096); ok {
+		t.Fatal("flush admission with a stale gen must only invalidate")
+	}
+
+	// Unaligned extents admit only fully-covered blocks.
+	c2 := newCache(t, 64<<10, Options{Shards: 1})
+	ext := pattern(4096+2048, 1)
+	c2.FlushAdmit(7, c2.FlushGen(7), o, 2048, ext) // covers [2048, 8192)
+	mustHit(t, c2, 7, o, 4096, 4096, ext[2048:2048+4096])
+	if _, ok := c2.Lookup(7, o, 0, 2048); ok {
+		t.Fatal("partially-covered head block must not be admitted")
+	}
+}
+
+func TestPinnedBlockSurvivesInvalidation(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 1})
+	o := oid("obj")
+	data := pattern(4096, 9)
+	c.AdmitFill(1, c.FillGen(1), o, 0, data)
+	v, ok := c.Lookup(1, o, 0, 4096)
+	if !ok {
+		t.Fatal("miss")
+	}
+	c.Invalidate(1, o)
+	// New lookups must miss immediately...
+	if _, ok := c.Lookup(1, o, 0, 4096); ok {
+		t.Fatal("invalidated block served to a new reader")
+	}
+	// ...but the pinned view's bytes stay intact: re-admitting the same
+	// block must take a fresh slot, not scribble over the reader.
+	c.AdmitFill(1, c.FillGen(1), o, 0, pattern(4096, 200))
+	out := make([]byte, 4096)
+	v.CopyTo(out)
+	if !bytes.Equal(out, data) {
+		t.Fatal("pinned view's bytes changed under the reader")
+	}
+	v.Release()
+	mustHit(t, c, 1, o, 0, 4096, pattern(4096, 200))
+}
+
+func TestScanResistance(t *testing.T) {
+	// 16-slot cache, one shard. A hot object is read (promoting its
+	// blocks to the protected level), then a one-touch scan of 4x the
+	// cache size flows through. The hot blocks must survive.
+	c := newCache(t, 16*4096, Options{Shards: 1})
+	hot := oid("hot")
+	hotData := pattern(2*4096, 42)
+	c.AdmitFill(0, c.FillGen(0), hot, 0, hotData)
+	mustHit(t, c, 0, hot, 0, 8192, hotData) // promote
+
+	for i := 0; i < 64; i++ {
+		o := oid(fmt.Sprintf("scan%d", i))
+		c.AdmitFill(0, c.FillGen(0), o, 0, pattern(4096, byte(i)))
+	}
+	if c.Stats().Evictions.Load() == 0 {
+		t.Fatal("scan should have forced evictions")
+	}
+	mustHit(t, c, 0, hot, 0, 8192, hotData)
+}
+
+func TestEvictionReclaimsSlots(t *testing.T) {
+	c := newCache(t, 8*4096, Options{Shards: 1})
+	for i := 0; i < 32; i++ {
+		o := oid(fmt.Sprintf("o%d", i))
+		c.AdmitFill(0, c.FillGen(0), o, 0, pattern(4096, byte(i)))
+	}
+	if got := c.Occupancy(); got != 8 {
+		t.Fatalf("occupancy = %d, want 8 (cache full)", got)
+	}
+	// The newest admissions are still resident.
+	mustHit(t, c, 0, oid("o31"), 0, 4096, pattern(4096, 31))
+}
+
+func TestInvalidatePG(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 2})
+	for i := 0; i < 4; i++ {
+		c.AdmitFill(1, c.FillGen(1), oid(fmt.Sprintf("a%d", i)), 0, pattern(4096, byte(i)))
+		c.AdmitFill(2, c.FillGen(2), oid(fmt.Sprintf("b%d", i)), 0, pattern(4096, byte(i)))
+	}
+	c.InvalidatePG(1)
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Lookup(1, oid(fmt.Sprintf("a%d", i)), 0, 4096); ok {
+			t.Fatal("pg 1 block survived InvalidatePG")
+		}
+		mustHit(t, c, 2, oid(fmt.Sprintf("b%d", i)), 0, 4096, pattern(4096, byte(i)))
+	}
+}
+
+func TestAlignFill(t *testing.T) {
+	c := newCache(t, 64<<10, Options{})
+	cases := []struct {
+		off     uint64
+		length  uint32
+		limit   uint64
+		wantOff uint64
+		wantLen uint32
+	}{
+		{5000, 1000, 1 << 20, 4096, 4096},
+		{0, 4096, 1 << 20, 0, 4096},
+		{4000, 200, 1 << 20, 0, 8192},
+		{1 << 19, 1000, (1 << 19) + 1000, 1 << 19, 1000}, // clamped at object end
+	}
+	for _, tc := range cases {
+		off, n := c.AlignFill(tc.off, tc.length, tc.limit)
+		if off != tc.wantOff || n != tc.wantLen {
+			t.Fatalf("AlignFill(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.off, tc.length, tc.limit, off, n, tc.wantOff, tc.wantLen)
+		}
+		if off > tc.off || off+uint64(n) < tc.off+uint64(tc.length) && off+uint64(n) != tc.limit {
+			t.Fatalf("AlignFill(%d, %d, %d) does not cover the request", tc.off, tc.length, tc.limit)
+		}
+	}
+}
+
+// TestLookupZeroAlloc is the hit-path allocation gate: a warm cache hit
+// (lookup, segment gather, release) must not allocate.
+func TestLookupZeroAlloc(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 1})
+	o := oid("bench-obj")
+	c.AdmitFill(0, c.FillGen(0), o, 0, pattern(8192, 5))
+	allocs := testing.AllocsPerRun(1000, func() {
+		v, ok := c.Lookup(0, o, 1000, 4096)
+		if !ok {
+			t.Fatal("miss")
+		}
+		v.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	bank := nvm.NewBank(1 << 20)
+	region, _ := bank.Carve("rcache", 512<<10)
+	c, err := New(region, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := oid("bench-obj")
+	c.AdmitFill(0, c.FillGen(0), o, 0, pattern(8192, 5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, ok := c.Lookup(0, o, 1000, 4096)
+		if !ok {
+			b.Fatal("miss")
+		}
+		v.Release()
+	}
+}

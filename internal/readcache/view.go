@@ -1,0 +1,140 @@
+package readcache
+
+import (
+	"sync"
+
+	"rebloc/internal/wire"
+)
+
+// View is a pinned, zero-copy resolution of one cache hit, mirroring
+// oplog.ReadView: the scatter segments alias the NVM slot bytes directly
+// and the pins keep every referenced block from being evicted, refreshed
+// in place, or reused while the frame encoder still reads them.
+//
+// Contract: Release exactly once, after the segments are no longer
+// referenced (for replies: after Conn.Send returns, since Send completes
+// encoding before returning). Views are pooled; a released view must not
+// be touched again.
+type View struct {
+	sh   *cshard
+	ents []*centry
+	segs []wire.DataSeg
+}
+
+var viewPool = sync.Pool{New: func() any {
+	return &View{
+		ents: make([]*centry, 0, maxReadBlocks),
+		segs: make([]wire.DataSeg, 0, maxReadBlocks),
+	}
+}}
+
+// Lookup resolves [off, off+length) of the object from cached blocks.
+// On a hit every covered block is pinned and promoted (probation →
+// protected), and the returned view carries payload-relative scatter
+// segments — the caller owns it and must Release it. ok is false on any
+// coverage gap; the read then takes the backend path.
+func (c *Cache) Lookup(pg uint32, oid wire.ObjectID, off uint64, length uint32) (*View, bool) {
+	if length == 0 {
+		return nil, false
+	}
+	slot := uint64(c.slotBytes)
+	end := off + uint64(length)
+	blk0 := off / slot
+	blkN := (end - 1) / slot
+	if blkN-blk0+1 > maxReadBlocks {
+		c.stats.Misses.Inc()
+		return nil, false
+	}
+	h := objHash(pg, oid)
+	sh := c.shardFor(h)
+	sh.mu.Lock()
+	n := sh.findNode(h, pg, oid)
+	if n == nil {
+		sh.mu.Unlock()
+		c.stats.Misses.Inc()
+		return nil, false
+	}
+	v := viewPool.Get().(*View)
+	for b := blk0; b <= blkN; b++ {
+		e := n.findBlock(b)
+		if e == nil {
+			sh.mu.Unlock()
+			v.reset()
+			viewPool.Put(v)
+			c.stats.Misses.Inc()
+			return nil, false
+		}
+		lo := off
+		if bs := b * slot; bs > lo {
+			lo = bs
+		}
+		hi := end
+		if be := (b + 1) * slot; be < hi {
+			hi = be
+		}
+		if hi > b*slot+uint64(e.size) {
+			// The block is cached short of the requested bytes.
+			sh.mu.Unlock()
+			v.reset()
+			viewPool.Put(v)
+			c.stats.Misses.Inc()
+			return nil, false
+		}
+		v.ents = append(v.ents, e)
+		v.segs = append(v.segs, wire.DataSeg{
+			Off: uint32(lo - off),
+			B:   e.data[lo-b*slot : hi-b*slot],
+		})
+	}
+	// Full coverage: commit the pins and the 2Q promotion.
+	for _, e := range v.ents {
+		e.pins++
+		e.ref = true
+		e.prot = true
+	}
+	v.sh = sh
+	sh.mu.Unlock()
+	c.stats.Hits.Inc()
+	return v, true
+}
+
+// Segs returns the payload-relative scatter segments. Valid until Release.
+func (v *View) Segs() []wire.DataSeg { return v.segs }
+
+// CopyTo composes the view into out (len = read length).
+func (v *View) CopyTo(out []byte) {
+	for _, s := range v.segs {
+		copy(out[s.Off:], s.B)
+	}
+}
+
+// Release unpins every referenced block, completing any slot reclaim that
+// was deferred while the view was live, and returns the view to its pool.
+func (v *View) Release() {
+	if v == nil {
+		return
+	}
+	sh := v.sh
+	sh.mu.Lock()
+	for _, e := range v.ents {
+		e.pins--
+		if e.pins == 0 && e.dead {
+			sh.freeSlot(e)
+		}
+	}
+	sh.mu.Unlock()
+	v.reset()
+	viewPool.Put(v)
+}
+
+func (v *View) reset() {
+	for i := range v.ents {
+		v.ents[i] = nil
+	}
+	for i := range v.segs {
+		v.segs[i] = wire.DataSeg{}
+	}
+	v.ents = v.ents[:0]
+	v.segs = v.segs[:0] // keep capacity across reuse: steady state is 0 allocs
+	v.sh = nil
+}

@@ -348,6 +348,22 @@ func (s *Store) Read(pg uint32, oid wire.ObjectID, off uint64, length uint32) ([
 	return p.read(uint64(store.MakeKey(pg, oid)), oid.Name, off, length)
 }
 
+// ReadInto reads len(out) bytes at off into a caller-owned buffer (holes
+// are zeroed), so a pooled reply buffer replaces the per-read allocation
+// of Read. Not part of store.ObjectStore; callers type-assert for it.
+func (s *Store) ReadInto(pg uint32, oid wire.ObjectID, off uint64, out []byte) error {
+	if s.closed.Load() {
+		return store.ErrClosed
+	}
+	var tm metrics.Timer
+	if s.cfg.Account != nil {
+		tm = s.cfg.Account.Start(metrics.CatOS)
+		defer tm.Stop()
+	}
+	p := s.partFor(pg)
+	return p.readInto(uint64(store.MakeKey(pg, oid)), oid.Name, off, out)
+}
+
 // GetAttr implements store.ObjectStore.
 func (s *Store) GetAttr(pg uint32, oid wire.ObjectID, name string) ([]byte, error) {
 	if s.closed.Load() {

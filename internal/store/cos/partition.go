@@ -657,52 +657,83 @@ func (p *partition) applyWrites(ops []store.TxnOp) error {
 	return nil
 }
 
-// read returns length bytes at off; holes read as zeros. The device reads
-// run outside p.mu, so the object is claimed against writers first: a
-// batch's vectored write to the same extents is also unlocked, and the
-// Device contract only admits concurrent NON-overlapping I/O. Readers
-// don't exclude each other — waitIdle makes writers wait out the readers.
+// readScratch pools a read's resolve segments and I/O vectors together.
+// Reads run outside p.mu (and outside each other), so the under-lock
+// planning scratch cannot back them; before this pool every read paid two
+// slice allocations.
+type readScratch struct {
+	segs []segment
+	vecs []device.IOVec
+}
+
+var readScratchPool = sync.Pool{New: func() any {
+	return &readScratch{segs: make([]segment, 0, 8), vecs: make([]device.IOVec, 0, 8)}
+}}
+
+// read returns length bytes at off; holes read as zeros.
 func (p *partition) read(key uint64, name string, off uint64, length uint32) ([]byte, error) {
+	out := make([]byte, length)
+	if err := p.readInto(key, name, off, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readInto reads len(out) bytes at off into out (which may be recycled:
+// holes are explicitly zeroed). The device reads run outside p.mu, so the
+// object is claimed against writers first: a batch's vectored write to the
+// same extents is also unlocked, and the Device contract only admits
+// concurrent NON-overlapping I/O. Readers don't exclude each other —
+// waitIdle makes writers wait out the readers. All data segments are
+// issued as ONE vectored device submission.
+func (p *partition) readInto(key uint64, name string, off uint64, out []byte) error {
 	p.mu.Lock()
 	on, err := p.lookup(key, name)
 	if err != nil {
 		p.mu.Unlock()
-		return nil, err
+		return err
 	}
 	for on.inflight {
 		p.cond.Wait()
 	}
 	if on.deleted { // deleted (and possibly reclaimed) while we waited
 		p.mu.Unlock()
-		return nil, store.ErrNotFound
+		return store.ErrNotFound
 	}
 	on.readers++
-	// Local segment slice: it outlives the lock (the data reads below run
-	// unlocked), so the shared planning scratch cannot back it.
-	segs := p.resolveInto(make([]segment, 0, 4), on, off, uint64(length))
+	sc := readScratchPool.Get().(*readScratch)
+	sc.segs = p.resolveInto(sc.segs[:0], on, off, uint64(len(out)))
 	p.mu.Unlock()
 
-	out := make([]byte, length)
+	sc.vecs = sc.vecs[:0]
 	pos := uint64(0)
-	var rerr error
-	for _, seg := range segs {
-		if !seg.hole {
-			if _, err := p.dev.ReadAt(out[pos:pos+seg.length], int64(seg.devOff)); err != nil {
-				rerr = fmt.Errorf("cos: data read: %w", err)
-				break
+	for _, seg := range sc.segs {
+		if seg.hole {
+			b := out[pos : pos+seg.length]
+			for i := range b {
+				b[i] = 0
 			}
+		} else {
+			sc.vecs = append(sc.vecs, device.IOVec{Off: int64(seg.devOff), Data: out[pos : pos+seg.length]})
 		}
 		pos += seg.length
 	}
+	var rerr error
+	if len(sc.vecs) > 0 {
+		if _, err := p.dev.ReadAtv(sc.vecs); err != nil {
+			rerr = fmt.Errorf("cos: data read: %w", err)
+		}
+	}
+	for i := range sc.vecs {
+		sc.vecs[i].Data = nil
+	}
+	readScratchPool.Put(sc)
 
 	p.mu.Lock()
 	on.readers--
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	if rerr != nil {
-		return nil, rerr
-	}
-	return out, nil
+	return rerr
 }
 
 // markDeleted implements delayed deallocation (paper §IV-C.5): the onode
