@@ -6,9 +6,9 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/messenger/... ./internal/oplog/... ./internal/osd/... ./internal/sched/... ./internal/store/... ./internal/device/... ./internal/readcache/...
+RACE_PKGS = ./internal/messenger/... ./internal/oplog/... ./internal/osd/... ./internal/sched/... ./internal/store/... ./internal/device/... ./internal/readcache/... ./internal/qos/...
 
-.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos bench-scale bench-scale-smoke bench-ycsb bench-mixed bench-ycsb-smoke
+.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos bench-scale bench-scale-smoke bench-ycsb bench-mixed bench-ycsb-smoke bench-overload bench-overload-smoke
 
 check: vet race
 	$(GO) test ./...
@@ -80,6 +80,20 @@ bench-mixed:
 bench-ycsb-smoke:
 	$(GO) run ./cmd/rebloc-bench -scale 0.1 -osds 2 -image-mb 8 -jobs 2 ycsb-cache
 	$(GO) run ./cmd/rebloc-bench -scale 0.1 -osds 2 -image-mb 8 -jobs 2 mixed
+
+# Backpressure/QoS bench (internal/figures overload.go): N greedy
+# tenants drive the cluster past saturation while one latency-sensitive
+# tenant issues a trickle, QoS off vs on. With QoS on the occupancy
+# ladder plus token-bucket admission must hold wrap stalls at zero while
+# the weighted-fair bucket protects the light tenant's latency. Results
+# belong in EXPERIMENTS.md.
+bench-overload:
+	$(GO) run ./cmd/rebloc-bench -jobs 3 -qd 8 -image-mb 24 overload
+
+# CI smoke: a short pass so the admission ladder, the per-tenant
+# accounting and the QoS-on/off comparison stay wired on every PR.
+bench-overload-smoke:
+	$(GO) run ./cmd/rebloc-bench -scale 0.15 -osds 2 -jobs 2 -qd 4 -image-mb 8 overload
 
 # COS submit-path microbenchmarks: serial per-op Submit vs one batched
 # Submit per 128 ops across 1..16 partitions, plus prealloc and NVM

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|ycsb-cache|mixed|scale|all
+//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|ycsb-cache|mixed|overload|scale|all
 //
 // Flags scale the experiments; see -h. Paper-vs-measured notes live in
 // EXPERIMENTS.md.
@@ -70,6 +70,7 @@ func run(args []string) error {
 		{"fig10", func() error { return figures.Fig10(os.Stdout, p) }},
 		{"ycsb-cache", func() error { return figures.YCSBCache(os.Stdout, p) }},
 		{"mixed", func() error { return figures.MixedSweep(os.Stdout, p) }},
+		{"overload", func() error { return figures.Overload(os.Stdout, p) }},
 		{"fig11", func() error { return figures.Fig11(os.Stdout, p) }},
 		{"fig12", func() error { return figures.Fig12(os.Stdout, p) }},
 		{"scale", func() error { return figures.ScaleSweep(os.Stdout, p) }},
@@ -89,6 +90,9 @@ func run(args []string) error {
 		for _, e := range experiments {
 			if e.name == "scale" {
 				continue // the sweep re-runs clusters per core count; run it explicitly
+			}
+			if e.name == "overload" {
+				continue // drives clusters past saturation for minutes; run it explicitly
 			}
 			if err := e.run(); err != nil {
 				return fmt.Errorf("%s: %w", e.name, err)

@@ -56,7 +56,16 @@ type FioOptions struct {
 	// distribution (0: uniform). 0.99 concentrates most traffic on a
 	// small hot set, the shape that makes a read cache earn its keep.
 	ZipfianTheta float64
-	Seed         int64 // workload reproducibility
+	// RateLimit caps the job set's aggregate issue rate (ops/s; 0 keeps
+	// the throttle open — fio's rate_iops). Pacing is open-loop: each
+	// worker follows a fixed schedule that does not stretch when the
+	// cluster stalls, so a stall backs ops up behind it and surfaces in
+	// the measured latencies instead of silently shrinking the offered
+	// load (coordinated omission). This is the fixture for a
+	// latency-sensitive tenant: a trickle whose p99 probes the queues
+	// the heavy tenants build.
+	RateLimit float64
+	Seed      int64 // workload reproducibility
 }
 
 func (o *FioOptions) fill() {
@@ -179,7 +188,21 @@ func RunFioMulti(imgs []*rbd.Image, opts FioOptions) Result {
 			}
 			buf := make([]byte, opts.BlockBytes)
 			rng.Read(buf)
+			var interval time.Duration
+			if opts.RateLimit > 0 {
+				interval = time.Duration(float64(workers) * float64(time.Second) / opts.RateLimit)
+			}
+			next := time.Now()
 			for {
+				if interval > 0 {
+					// Fixed schedule, advanced by the interval rather than
+					// from completion: sleeps shrink to zero while the
+					// worker catches up after a slow op.
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
 				opIdx, ok := takeOp()
 				if !ok {
 					return

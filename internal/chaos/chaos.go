@@ -390,6 +390,25 @@ func (h *Harness) SetFaults(f *messenger.Faults) {
 	h.faulty.SetFaults(f)
 }
 
+// SlowOSD arms a delay-only fault policy scoped to OSD i's address: every
+// frame received on its connections — the mutations it ingests and the
+// acks its peers read back from it — is delayed with probability prob by
+// up to max. The rest of the cluster is untouched. This models one slow
+// replica, the case the per-peer credit/EWMA isolation must absorb
+// without dragging the primary's commit path down with it.
+func (h *Harness) SlowOSD(i int, prob float64, max time.Duration) {
+	addr := h.cluster.OSDAddr(i)
+	if addr == "" {
+		return
+	}
+	h.SetFaults(&messenger.Faults{
+		DelayProb: prob,
+		DelayMax:  max,
+		Only:      []string{addr},
+	})
+	h.t.Logf("chaos[%s]: slowed osd %d (delay %.0f%% up to %s)", h.name, i, prob*100, max)
+}
+
 // Sever closes every connection of OSD i (peers, clients) at its current
 // address. Reconnects are allowed — a sever is a network blip, not a
 // partition.

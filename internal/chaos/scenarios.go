@@ -149,6 +149,29 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			// One replica turns slow (every frame it receives or acks is
+			// delayed tens of ms) for the middle half of the run, R=3. The
+			// per-peer credit/EWMA isolation must clamp its credit window
+			// so writes touching it fail fast (retryable StatusAgain)
+			// instead of queueing unboundedly — the primaries' shard
+			// goroutines keep moving, and crucially no write is ever
+			// ACKed around the slow peer. Once the delay lifts, acks
+			// decay the EWMA and the full credit line returns. The
+			// end-of-run convergence check proves nacked fan-outs were
+			// repaired — no acknowledged write may be missing anywhere.
+			Name:        "slow-replica",
+			DefaultSeed: 909,
+			Opts:        Options{Replicas: 3, OpsPerWriter: 100},
+			Schedule: func(h *Harness) []Event {
+				return []Event{
+					{At: 0.20, Name: "slow osd2 (100% delay up to 40ms)", Do: func(h *Harness) {
+						h.SlowOSD(2, 1.0, 40*time.Millisecond)
+					}},
+					{At: 0.70, Name: "heal osd2", Do: func(h *Harness) { h.SetFaults(nil) }},
+				}
+			},
+		},
+		{
 			// Lossy, laggy network: 5% of frames dropped, 10% delayed up to
 			// 5ms, for most of the run. Client and replication retries must
 			// mask all of it; no crash involved.

@@ -209,9 +209,26 @@ func (c *Client) do(oid wire.ObjectID, build func(reqID uint64, epoch uint32) wi
 	timer := time.NewTimer(c.opts.RequestTimeout)
 	defer timer.Stop()
 	var lastStatus wire.Status
+	againStreak := 0
 	for attempt := 0; attempt < c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.opts.RetryBackoff)
+			// Retry-after semantics: StatusAgain doubles as the cluster's
+			// graded backpressure reject. Consecutive Agains back off
+			// exponentially (capped at 16× the base) so rejected producers
+			// retry at a pace the bottom-half drain can absorb instead of
+			// hammering the ingress while it sheds load.
+			backoff := c.opts.RetryBackoff
+			if lastStatus == wire.StatusAgain {
+				againStreak++
+				shift := againStreak - 1
+				if shift > 4 {
+					shift = 4
+				}
+				backoff *= time.Duration(1 << shift)
+			} else {
+				againStreak = 0
+			}
+			time.Sleep(backoff)
 			if lastStatus == wire.StatusStaleEpoch || lastStatus == wire.StatusNotPrimary || lastStatus == wire.StatusAgain {
 				if err := c.refreshMap(); err != nil {
 					continue

@@ -71,9 +71,24 @@ type Options struct {
 	// GroupCommitMax caps the oplog group-commit batch per PG (zero =
 	// oplog default).
 	GroupCommitMax int
+	// OplogRegionBytes sizes each PG's NVM op-log region (zero = OSD
+	// default 2 MiB). Smaller regions spread a fixed NVM budget over
+	// more PGs and bring the occupancy ladder's watermarks closer.
+	OplogRegionBytes int64
 	// ReadCacheBytes sizes each OSD's NVM block read cache (zero =
 	// default 8 MiB, negative = disabled).
 	ReadCacheBytes int64
+	// QoSRate enables per-tenant token-bucket admission at each OSD's
+	// ingress: a client-write budget in ops/sec, weighted-fair shared
+	// across tenants (volumes). 0 disables admission (the default).
+	QoSRate float64
+	// QoSBurst is the per-unit-weight token bucket depth in ops (zero =
+	// OSD default 64).
+	QoSBurst float64
+	// ThrottleHigh/ThrottleLow are the op-log occupancy watermarks of the
+	// graded backpressure ladder (zero = OSD defaults 0.85/0.68).
+	ThrottleHigh float64
+	ThrottleLow  float64
 	// PinCPUs pins priority/non-priority workers to disjoint core pools.
 	PinCPUs bool
 	// COS overrides the CPU-efficient store options (ablations); COSSet
@@ -202,25 +217,30 @@ func (c *Cluster) startOSD(id uint32, addr string, dev device.Device, bank *nvm.
 	}
 	acct := metrics.NewCPUAccount()
 	cfg := osd.Config{
-		ID:             id,
-		Mode:           c.opts.Mode,
-		Transport:      c.tr,
-		ListenAddr:     addr,
-		MonAddr:        c.mon.Addr(),
-		Dev:            dev,
-		Bank:           bank,
-		ObjectBytes:    c.opts.ObjectBytes,
-		PGWorkers:      c.opts.PGWorkers,
-		NonPriority:    c.opts.NonPriority,
-		Partitions:     c.opts.Partitions,
-		FlushThreshold: c.opts.FlushThreshold,
-		FlushInterval:  c.opts.FlushInterval,
-		GroupCommitMax: c.opts.GroupCommitMax,
-		ReadCacheBytes: c.opts.ReadCacheBytes,
-		Shards:         c.opts.Shards,
-		Account:        acct,
-		COS:            c.opts.COS,
-		COSSet:         c.opts.COSSet,
+		ID:               id,
+		Mode:             c.opts.Mode,
+		Transport:        c.tr,
+		ListenAddr:       addr,
+		MonAddr:          c.mon.Addr(),
+		Dev:              dev,
+		Bank:             bank,
+		ObjectBytes:      c.opts.ObjectBytes,
+		PGWorkers:        c.opts.PGWorkers,
+		NonPriority:      c.opts.NonPriority,
+		Partitions:       c.opts.Partitions,
+		FlushThreshold:   c.opts.FlushThreshold,
+		FlushInterval:    c.opts.FlushInterval,
+		GroupCommitMax:   c.opts.GroupCommitMax,
+		OplogRegionBytes: c.opts.OplogRegionBytes,
+		ReadCacheBytes:   c.opts.ReadCacheBytes,
+		QoSRate:          c.opts.QoSRate,
+		QoSBurst:         c.opts.QoSBurst,
+		ThrottleHigh:     c.opts.ThrottleHigh,
+		ThrottleLow:      c.opts.ThrottleLow,
+		Shards:           c.opts.Shards,
+		Account:          acct,
+		COS:              c.opts.COS,
+		COSSet:           c.opts.COSSet,
 	}
 	if c.opts.PinCPUs {
 		cfg.Pools = sched.SplitCores(2, 6)

@@ -233,6 +233,35 @@ func msgrRow(u *cut) string {
 	return fmt.Sprintf("%.1ff/fl %.1fop/rb", u.c.MessengerStats().FramesPerFlush(), opsPerBatch)
 }
 
+// qosRow summarises the backpressure signals for one cluster-under-test:
+// the op-log occupancy high-water mark (worst OSD) and the slowest
+// per-peer replication-ack EWMA — the two inputs the throttle ladder and
+// the slow-replica isolation act on. Modes without an op log render "-".
+func qosRow(u *cut) string {
+	var occHW float64
+	var ack time.Duration
+	seen := false
+	for i := 0; i < u.c.OSDs(); i++ {
+		o := u.c.OSD(i)
+		if o == nil {
+			continue
+		}
+		if hw := float64(o.OplogOccHW.Load()) / 10000; hw > occHW {
+			occHW = hw
+			seen = true
+		}
+		for _, d := range o.PeerAckLatencies() {
+			if d > ack {
+				ack = d
+			}
+		}
+	}
+	if !seen {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%% %s", occHW*100, us(ack))
+}
+
 // oplogRow summarises the NVM op-log for one cluster-under-test: the
 // group-commit factor (appends per header persist), the bottom-half
 // batching factor (entries per flush pass) and the coalesce ratio

@@ -35,6 +35,13 @@ type Faults struct {
 	// faulted (e.g. the monitor address: dropping boot replies wedges
 	// daemons in ways no recovery protocol is expected to handle).
 	Exclude []string
+
+	// Only, when non-empty, restricts faulting to connections whose label
+	// contains one of the substrings — everything else passes through
+	// untouched. Exclude still wins on overlap. This is how a scenario
+	// targets one daemon (e.g. delay only one OSD's ingress to model a
+	// slow replica) without perturbing the rest of the cluster.
+	Only []string
 }
 
 func (f *Faults) excluded(label string) bool {
@@ -43,7 +50,15 @@ func (f *Faults) excluded(label string) bool {
 			return true
 		}
 	}
-	return false
+	if len(f.Only) == 0 {
+		return false
+	}
+	for _, o := range f.Only {
+		if o != "" && strings.Contains(label, o) {
+			return false
+		}
+	}
+	return true
 }
 
 // Faulty wraps a Transport with seed-driven fault injection. With no

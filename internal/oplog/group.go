@@ -204,6 +204,14 @@ func (l *Log) commitGroup(ws []*groupWaiter) {
 			l.frameHint = len(frame.B)
 		}
 		need := uint64(len(frame.B))
+		if need > capy-1 {
+			// Wider than the whole region: flushing can never help.
+			// Repair pushes carry full objects, so a region sized below
+			// the object size would otherwise wedge the append path in
+			// an endless flush-retry spin.
+			w.err = ErrTooLarge
+			break
+		}
 		// Keep one byte free so head==tail always means empty.
 		if l.used+groupBytes+need > capy-1 {
 			w.err = ErrFull

@@ -39,6 +39,11 @@ var (
 	// needs to be synchronously done before handling I/O operations").
 	ErrFull   = errors.New("oplog: log full")
 	ErrClosed = errors.New("oplog: closed")
+	// ErrTooLarge means the entry exceeds the region's total capacity, so
+	// no amount of flushing can ever make it fit. Callers must fail the op
+	// instead of flushing and retrying: treating this as ErrFull turns the
+	// flush-retry loop into a livelock.
+	ErrTooLarge = errors.New("oplog: entry exceeds region capacity")
 )
 
 const (
@@ -712,4 +717,17 @@ func (l *Log) Used() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.used
+}
+
+// Capacity reports the region's usable byte capacity (size less header).
+func (l *Log) Capacity() uint64 { return l.capacity() }
+
+// Occupancy reports the staged fraction of the region in [0, 1] — the
+// backpressure signal: the throttle ladder escalates on this before the
+// append path can ever hit ErrFull and wrap-stall.
+func (l *Log) Occupancy() float64 {
+	l.mu.Lock()
+	used := l.used
+	l.mu.Unlock()
+	return float64(used) / float64(l.capacity())
 }

@@ -577,3 +577,30 @@ func TestServedEpochResetOnCorruptHeader(t *testing.T) {
 		t.Fatalf("reformatted log ServedEpoch = %d, want 0", l2.ServedEpoch())
 	}
 }
+
+// TestAppendTooLarge verifies that an entry wider than the whole region
+// fails with the permanent ErrTooLarge, not ErrFull: callers flush and
+// retry on ErrFull, and an entry that can never fit would turn that loop
+// into a livelock (repair pushes carry full objects, so a region sized
+// below the object size hits exactly this). The log must stay usable and
+// the oversized attempt must not count as a wrap stall.
+func TestAppendTooLarge(t *testing.T) {
+	l, _, _ := newTestLog(t, 64<<10, 1<<20)
+	huge := make([]byte, 64<<10) // frame overhead pushes past capacity
+	_, err := l.Append(writeOp("big", 0, huge, 1))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: err = %v, want ErrTooLarge", err)
+	}
+	if errors.Is(err, ErrFull) {
+		t.Fatal("ErrTooLarge must not match ErrFull")
+	}
+	if got := l.Stats().FullStalls.Load(); got != 0 {
+		t.Fatalf("oversized append counted %d wrap stalls, want 0", got)
+	}
+	if _, err := l.Append(writeOp("o", 0, []byte("ok"), 2)); err != nil {
+		t.Fatalf("log unusable after oversized append: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}

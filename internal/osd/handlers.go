@@ -2,11 +2,14 @@ package osd
 
 import (
 	"errors"
+	"strings"
+	"time"
 
 	"rebloc/internal/crush"
 	"rebloc/internal/messenger"
 	"rebloc/internal/metrics"
 	"rebloc/internal/oplog"
+	"rebloc/internal/qos"
 	"rebloc/internal/sched"
 	"rebloc/internal/store"
 	"rebloc/internal/wire"
@@ -130,6 +133,149 @@ func (o *OSD) dispatch(conn messenger.Conn, m wire.Message) {
 	}
 }
 
+// tenantOf derives the admission tenant from an object id: the volume
+// (RBD image) it backs. Data objects are named "rbd_data.<image>.<idx>"
+// and headers "rbd_header.<image>", so stripping the prefix and stripe
+// index folds a volume's whole address space onto one token bucket;
+// anything else meters under its full object name.
+func tenantOf(oid wire.ObjectID) string {
+	n := oid.Name
+	for _, p := range []string{"rbd_data.", "rbd_header."} {
+		if strings.HasPrefix(n, p) {
+			n = n[len(p):]
+			if p == "rbd_data." {
+				if i := strings.LastIndexByte(n, '.'); i > 0 {
+					n = n[:i]
+				}
+			}
+			return n
+		}
+	}
+	return n
+}
+
+// admitMutation runs the ingress admission ladder for one client
+// mutation on its connection goroutine (proposed mode), before the op is
+// handed to its shard. First the per-tenant token bucket: a tenant past
+// its fair share queues here, at the edge, instead of inside the commit
+// path. Then the PG's occupancy throttle: delay paces the producer for a
+// sub-millisecond beat while the bottom half drains; reject bounces the
+// op with StatusAgain (the retry-after signal — clients back off and
+// retry) so the NVM log never wraps. Returns false when the op was
+// rejected (a reply has been sent).
+//
+// The no-pressure fast path is two atomic loads — no pgMu, no per-PG
+// lookup — so an unconfigured or unloaded OSD pays nothing here.
+func (o *OSD) admitMutation(conn messenger.Conn, reqID uint64, pg uint32, oid wire.ObjectID) bool {
+	// Reserve's return doubles as the fairness verdict: a zero wait means
+	// the tenant had a token banked — it is consuming below its share —
+	// while a positive wait means it is in debt. The ladder's delay band
+	// below spares in-credit tenants, so backpressure lands on the
+	// producers actually driving the overload and a well-behaved trickle
+	// keeps its unloaded latency through a saturated cluster.
+	var inCredit bool
+	if lim := o.qosLim; lim.Enabled() {
+		if w := lim.Reserve(tenantOf(oid), 1); w == 0 {
+			inCredit = true
+		} else if w >= qos.PaceQuantum {
+			// Sub-quantum waits coalesce into future debt instead of
+			// sleeping: the scheduler can't honor them accurately and
+			// the debt model keeps the paced rate exact either way.
+			time.Sleep(w)
+		}
+	}
+	if o.drainPressure.Load() == 0 {
+		return true
+	}
+	o.pgMu.Lock()
+	pgs := o.pgs[pg]
+	o.pgMu.Unlock()
+	if pgs == nil || pgs.throttle == nil {
+		return true
+	}
+	switch pgs.throttle.State() {
+	case qos.StateDelay:
+		o.wakeNPT(pg)
+		occ := pgs.log.Occupancy()
+		if inCredit && occ < throttleMid(pgs.throttle) {
+			// Differentiated backpressure, lower half of the delay band
+			// only: past the midpoint the log is losing the race and
+			// protection outranks fairness — everyone paces. Without the
+			// occupancy guard an over-provisioned bucket (every tenant
+			// in credit) would disarm the delay band entirely and ride
+			// the reject band straight into wrap stalls.
+			break
+		}
+		o.ThrottleDelays.Inc()
+		time.Sleep(pgs.throttle.DelayFor(occ))
+	case qos.StateReject:
+		o.ThrottleRejects.Inc()
+		o.wakeNPT(pg)
+		_ = conn.Send(&wire.Reply{ReqID: reqID, Status: wire.StatusAgain})
+		return false
+	}
+	return true
+}
+
+// replDelay returns the delay-band pacing for an inbound replicated
+// mutation, consulted on the peer-connection goroutine before the op is
+// routed to its shard. Replicated appends land in the same per-PG NVM
+// logs as client ops but bypass admitMutation (admission happens once,
+// at the primary), so without this the secondary's logs are the ones
+// that wrap under overload while every ingress counter stays flat.
+// Sleeping on the peer conn goroutine slows the whole link — which is
+// the point: it is the producer. The reject band is enforced at append
+// time on the shard (processRun), where the occupancy sample is freshest.
+//
+// The op's tenant (recoverable from the OID on any OSD) gets the same
+// differentiated treatment as at admission: an in-credit tenant's
+// replicated writes pass undelayed, so a trickle's commit latency — which
+// waits on every secondary's ack — is not taxed for pressure the heavy
+// tenants built. This OSD's own limiter holds the tenant's share state:
+// primaries are spread across OSDs, so every OSD accumulates bucket
+// state for every tenant it serves in either role.
+func (o *OSD) replDelay(pg uint32, oid wire.ObjectID) time.Duration {
+	if o.drainPressure.Load() == 0 {
+		return 0
+	}
+	o.pgMu.Lock()
+	pgs := o.pgs[pg]
+	o.pgMu.Unlock()
+	if pgs == nil || pgs.throttle == nil || pgs.throttle.State() == qos.StateClear {
+		return 0
+	}
+	o.wakeNPT(pg)
+	occ := pgs.log.Occupancy()
+	if occ < throttleMid(pgs.throttle) && o.qosLim.InCredit(tenantOf(oid)) {
+		return 0
+	}
+	return pgs.throttle.DelayFor(occ)
+}
+
+// throttleMid is the occupancy above which the delay band stops sparing
+// in-credit tenants: the midpoint between the delay and reject
+// thresholds. Below it, backpressure is a fairness tool aimed at
+// above-share producers; above it, the log is losing the drain race and
+// pacing applies to all comers.
+func throttleMid(th *qos.Throttle) float64 {
+	return th.High + (th.RejectAt-th.High)/2
+}
+
+// observeOccupancy feeds the PG's throttle one occupancy sample after an
+// append or drain moved the log's fill level, tracking the OSD-wide
+// high-water mark along the way. Escalations nudge the PG's non-priority
+// worker so the drain that relieves the pressure is already running.
+func (o *OSD) observeOccupancy(pgs *pgState) {
+	if pgs.throttle == nil {
+		return
+	}
+	occ := pgs.log.Occupancy()
+	o.OplogOccHW.SetMax(int64(occ * 10000))
+	if pgs.throttle.Observe(occ) != qos.StateClear {
+		o.wakeNPT(pgs.pg)
+	}
+}
+
 // checkClientOp validates epoch and primaryship; on failure it replies and
 // returns false. Returns the PG on success.
 func (o *OSD) checkClientOp(conn messenger.Conn, reqID uint64, epoch uint32, oid wire.ObjectID) (uint32, bool) {
@@ -174,6 +320,7 @@ func (o *OSD) handleClientMutation(conn messenger.Conn, reqID uint64, epoch uint
 	}
 	op.Seq = pgs.nextSeq()
 	op.Version = op.Seq
+	pgs.muts.Add(1) // repair fence: a push read-back predating this is stale
 
 	m := o.Map()
 	acting, err := m.MapPG(pg)
@@ -233,6 +380,7 @@ func (o *OSD) appendWithFlush(pgs *pgState, op wire.Op) error {
 		_, err := pgs.log.Append(op)
 		if err == nil {
 			o.markDirty(pgs)
+			o.observeOccupancy(pgs)
 			return nil
 		}
 		if !errors.Is(err, oplog.ErrFull) {
@@ -257,6 +405,7 @@ func (o *OSD) appendBatchWithFlush(pgs *pgState, ops []wire.Op) (int, error) {
 		if n > 0 {
 			done += n
 			o.markDirty(pgs)
+			o.observeOccupancy(pgs)
 		}
 		if err == nil {
 			return done, nil
@@ -336,6 +485,7 @@ func (o *OSD) handleRepl(conn messenger.Conn, msg *wire.Repl) {
 		return
 	}
 	pgs.bumpSeq(msg.Op.Seq)
+	pgs.muts.Add(1) // repair fence (see handleClientMutation)
 	ack := func(status wire.Status) {
 		_ = conn.Send(&wire.ReplAck{ReqID: msg.ReqID, PG: msg.PG, Seq: msg.Op.Seq, From: o.cfg.ID, Status: status})
 	}

@@ -30,6 +30,7 @@ import (
 	"rebloc/internal/metrics"
 	"rebloc/internal/nvm"
 	"rebloc/internal/oplog"
+	"rebloc/internal/qos"
 	"rebloc/internal/readcache"
 	"rebloc/internal/sched"
 	"rebloc/internal/store"
@@ -128,6 +129,21 @@ type Config struct {
 	// op is waiting (idle peers see plain Repl frames, unchanged
 	// latency); 1 disables batching entirely. Default 32.
 	ReplBatchMax int
+	// QoSRate enables per-tenant token-bucket admission at the messenger
+	// ingress: a global client-write budget in ops/sec, weighted-fair
+	// shared across tenants (one tenant per volume/image). 0 disables
+	// admission entirely — the default-off posture.
+	QoSRate float64
+	// QoSBurst is the per-unit-weight token bucket depth in ops
+	// (default 64): how far a tenant may burst above its sustained share.
+	QoSBurst float64
+	// ThrottleHigh/ThrottleLow are the op-log occupancy watermarks (staged
+	// bytes / capacity) of the graded backpressure ladder: at High the
+	// ingress starts pacing producers, halfway between High and a full
+	// log it rejects with retry-after, and it clears only once occupancy
+	// falls back to Low. Defaults 0.85 / 0.68; ThrottleHigh >= 1 disables.
+	ThrottleHigh float64
+	ThrottleLow  float64
 	// Account receives the CPU breakdown; a fresh one is created if nil.
 	Account *metrics.CPUAccount
 	// Pools optionally pins priority/non-priority workers to CPU pools.
@@ -195,6 +211,15 @@ func (c *Config) fill() error {
 	if c.ReplBatchMax <= 0 {
 		c.ReplBatchMax = 32
 	}
+	if c.QoSBurst <= 0 {
+		c.QoSBurst = 64
+	}
+	if c.ThrottleHigh <= 0 {
+		c.ThrottleHigh = 0.85
+	}
+	if c.ThrottleLow <= 0 || c.ThrottleLow >= c.ThrottleHigh {
+		c.ThrottleLow = c.ThrottleHigh * 0.8
+	}
 	if c.Account == nil {
 		c.Account = metrics.NewCPUAccount()
 	}
@@ -208,6 +233,11 @@ type pgState struct {
 
 	mu    sync.Mutex
 	seq   uint64
+	// muts counts staged mutations (writes/deletes) only. The repair
+	// loop fences its read-modify-write pushes on it; fencing on seq
+	// would livelock against logged reads (which also consume sequence
+	// numbers), e.g. a reader polling for convergence.
+	muts  atomic.Uint64
 	clean bool // false while backfilling
 	// backfilling guards against concurrent syncPG goroutines for the
 	// same PG when map changes arrive faster than a sync completes.
@@ -232,6 +262,10 @@ type pgState struct {
 	// read only by the consumer after it swapped the stack head — the
 	// atomics on dirty and dirtyQueue.head order both sides.
 	dirtyNext *pgState
+	// throttle is this PG's graded backpressure ladder (proposed mode),
+	// fed occupancy samples by the append path and consulted lock-free
+	// at the ingress before a write is forwarded to its shard.
+	throttle *qos.Throttle
 	// coal is the bottom half's coalescing scratch, used under flushMu.
 	coal oplog.Coalescer
 	// flushErrs counts store-submit failures for this PG (satellite:
@@ -246,7 +280,6 @@ func (s *pgState) nextSeq() uint64 {
 	s.seq++
 	return s.seq
 }
-
 // bumpSeq raises the local counter to at least seq (secondary side).
 func (s *pgState) bumpSeq(seq uint64) {
 	s.mu.Lock()
@@ -292,6 +325,11 @@ type OSD struct {
 	peers    sync.Map // osd id -> *peer
 	pending  *pendingSet
 	accepted messenger.ConnSet
+	// ackFloor1/2 are the two smallest peer ack-latency EWMAs (ns, 0 =
+	// unset), refreshed by pendingSweepLoop; the laggy outlier test in
+	// creditWindowFor compares a peer against its fastest sibling.
+	ackFloor1 atomic.Int64
+	ackFloor2 atomic.Int64
 	// aux tracks dialled side connections (backfill pulls) whose recv
 	// would otherwise block a stop forever when the peer never answers.
 	aux messenger.ConnSet
@@ -323,6 +361,13 @@ type OSD struct {
 	repairMu sync.Mutex
 	repairs  map[store.Key]*repairItem
 
+	// qosLim is the ingress token-bucket admission controller (nil or
+	// disabled unless QoSRate > 0).
+	qosLim *qos.Limiter
+	// drainPressure counts PGs whose throttle sits at delay-or-worse;
+	// the bottom half widens its drain bursts while it is non-zero.
+	drainPressure atomic.Int32
+
 	// Stats visible to the harness.
 	ClientOps   metrics.Counter
 	ReplOps     metrics.Counter
@@ -348,6 +393,17 @@ type OSD struct {
 	FlushedEntries metrics.Counter
 	FlushStoreOps  metrics.Counter
 	FlushErrors    metrics.Counter
+	// Backpressure stats: ThrottleDelays counts paced ingress admissions,
+	// ThrottleRejects counts appends bounced with retry-after, and
+	// OplogOccHW tracks the high-water op-log occupancy in basis points
+	// (x10000) — the "never wrapped" acceptance signal next to FullStalls.
+	ThrottleDelays  metrics.Counter
+	ThrottleRejects metrics.Counter
+	OplogOccHW      metrics.Gauge
+	// LaggyNacks counts replication fan-outs fast-nacked with StatusAgain
+	// because the target peer's clamped credit window was full
+	// (slow-replica isolation).
+	LaggyNacks metrics.Counter
 }
 
 // task is a unit of work handed between threads; replies travel inside
@@ -370,6 +426,9 @@ func New(cfg Config) (*OSD, error) {
 		pgs:     make(map[uint32]*pgState),
 		pending: newPendingSet(),
 		repairs: make(map[store.Key]*repairItem),
+	}
+	if cfg.QoSRate > 0 {
+		o.qosLim = qos.NewLimiter(cfg.QoSRate, cfg.QoSBurst)
 	}
 
 	var err error
@@ -580,6 +639,17 @@ func (o *OSD) pgStateFor(pg uint32) (*pgState, error) {
 		s.log = log
 		s.seq = log.LastSeq()
 		s.servedEpoch = log.ServedEpoch()
+		th := qos.NewThrottle(o.cfg.ThrottleHigh, o.cfg.ThrottleLow)
+		th.OnChange = func(from, to qos.State) {
+			// drainPressure counts PGs at delay-or-worse; the edges in and
+			// out of StateClear are the only membership changes.
+			if from == qos.StateClear {
+				o.drainPressure.Add(1)
+			} else if to == qos.StateClear {
+				o.drainPressure.Add(-1)
+			}
+		}
+		s.throttle = th
 		if len(staged) > 0 {
 			// Entries that survived a crash REDO into the store now.
 			if err := o.applyBatchToStore(pg, staged); err != nil {
@@ -714,6 +784,22 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry, prefix string) {
 	r.RegisterFunc(prefix+".oplog.read_hits", snap(func(s oplog.StatsSnapshot) int64 { return s.ReadHits }))
 	r.RegisterFunc(prefix+".oplog.read_misses", snap(func(s oplog.StatsSnapshot) int64 { return s.ReadMisses }))
 	r.RegisterFunc(prefix+".oplog.full_stalls", snap(func(s oplog.StatsSnapshot) int64 { return s.FullStalls }))
+	r.RegisterCounter(prefix+".qos.delays", &o.ThrottleDelays)
+	r.RegisterCounter(prefix+".qos.rejects", &o.ThrottleRejects)
+	r.RegisterGauge(prefix+".oplog.occupancy_hw_x10000", &o.OplogOccHW)
+	r.RegisterFunc(prefix+".oplog.occupancy_x10000", func() int64 {
+		return int64(o.MaxOccupancy() * 10000)
+	})
+	r.RegisterCounter(prefix+".repl.laggy_nacks", &o.LaggyNacks)
+	r.RegisterFunc(prefix+".repl.ack_ewma_us_max", func() int64 {
+		var max int64
+		for _, d := range o.PeerAckLatencies() {
+			if us := d.Microseconds(); us > max {
+				max = us
+			}
+		}
+		return max
+	})
 	r.RegisterFunc(prefix+".flush.coalesce_x100", func() int64 {
 		ops := o.FlushStoreOps.Load()
 		if ops == 0 {
@@ -729,6 +815,7 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry, prefix string) {
 		r.RegisterCounter(prefix+".rcache.evictions", &st.Evictions)
 		r.RegisterCounter(prefix+".rcache.invalidations", &st.Invalidations)
 		r.RegisterCounter(prefix+".rcache.fill_aborts", &st.FillAborts)
+		r.RegisterCounter(prefix+".rcache.patches", &st.Patches)
 		r.RegisterFunc(prefix+".rcache.occupancy", rc.Occupancy)
 		r.RegisterFunc(prefix+".rcache.hit_rate_x100", func() int64 {
 			h, m := st.Hits.Load(), st.Misses.Load()
@@ -738,6 +825,35 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry, prefix string) {
 			return h * 100 / (h + m)
 		})
 	}
+}
+
+// MaxOccupancy returns the fullest PG log's staged fraction — the same
+// signal the throttle ladder escalates on, exposed for reports.
+func (o *OSD) MaxOccupancy() float64 {
+	var max float64
+	o.pgMu.Lock()
+	for _, s := range o.pgs {
+		if s.log != nil {
+			if occ := s.log.Occupancy(); occ > max {
+				max = occ
+			}
+		}
+	}
+	o.pgMu.Unlock()
+	return max
+}
+
+// PeerAckLatencies returns the EWMA replication ack latency observed per
+// peer (slow-replica isolation's laggy signal), keyed by OSD id.
+func (o *OSD) PeerAckLatencies() map[uint32]time.Duration {
+	out := make(map[uint32]time.Duration)
+	o.peers.Range(func(k, v any) bool {
+		if ns := v.(*peer).ackEWMA.Load(); ns > 0 {
+			out[k.(uint32)] = time.Duration(ns)
+		}
+		return true
+	})
+	return out
 }
 
 // FlushAll synchronously drains every op log into the store (admin,

@@ -18,9 +18,15 @@ import (
 // CURRENT content (a fresh full-object write with a fresh sequence
 // number) to every secondary until one round is acknowledged by all of
 // them. Pushing current state rather than replaying the failed op makes
-// the repair idempotent and immune to reordering against newer writes:
-// the push travels the ordinary replication path, so it serialises with
-// concurrent client ops on the per-peer send queue.
+// the repair idempotent — but only if the push cannot race a concurrent
+// client write: reading the object back and pushing it with a fresh seq
+// is a read-modify-write, and un-fenced it can overwrite a newer
+// acknowledged write on the replicas with the stale read-back. The loop
+// therefore snapshots the PG's sequence before the read-back and hands
+// the final fence-check + seq assignment + enqueue to the PG's owning
+// shard goroutine, which is where client writes stage and fan out: the
+// push either provably contains every acknowledged write (seq unmoved)
+// or aborts and retries next tick.
 
 // repairItem is one object awaiting re-replication.
 type repairItem struct {
@@ -97,28 +103,56 @@ func (o *OSD) runRepairs() {
 		if !clean {
 			continue // our copy isn't authoritative yet
 		}
+		// Snapshot the PG's mutation counter BEFORE flushing and reading
+		// the object back: the content is only pushable while no write
+		// has staged since, or the push (which takes a fresh seq and
+		// travels the ordinary per-peer queues) could overwrite a newer,
+		// already-acknowledged write on the replicas with stale bytes.
+		// The fence is the mutation counter, not the seq counter: logged
+		// reads consume seqs too, and a reader polling for convergence
+		// would livelock a seq-based fence.
+		mutSnap := pgs.muts.Load()
 		op, ok := o.repairOp(it.pg, it.oid, pgs)
 		if !ok {
 			continue
 		}
 		it.inflight = true
-		o.RepairPushes.Inc()
 		item := it
 		key := k
-		id := o.pending.register(len(acting)-1, func(status wire.Status) {
-			o.repairMu.Lock()
-			item.inflight = false
-			if status == wire.StatusOK {
-				delete(o.repairs, key)
+		pg, epoch, secondaries := it.pg, m.Epoch, acting[1:]
+		// The fence check, seq assignment and fan-out enqueue run on the
+		// PG's owning shard goroutine — the same goroutine that stages
+		// client writes and enqueues their fan-outs — so the push is
+		// atomic against them: any concurrent write either moved the seq
+		// (push aborts, retries next tick) or is ordered wholly after
+		// the push on every per-peer queue and wins at the replicas.
+		o.toShard(shardReq{pg: pg, fn: func() {
+			if pgs.muts.Load() != mutSnap {
+				o.repairMu.Lock()
+				item.inflight = false
+				o.repairMu.Unlock()
+				return // a write staged since the read-back; retry
 			}
-			o.repairMu.Unlock()
-		})
-		o.replicate(id, it.pg, m.Epoch, acting[1:], op)
+			op.Seq = pgs.nextSeq()
+			op.Version = op.Seq
+			o.RepairPushes.Inc()
+			id := o.pending.register(len(secondaries), func(status wire.Status) {
+				o.repairMu.Lock()
+				item.inflight = false
+				if status == wire.StatusOK {
+					delete(o.repairs, key)
+				}
+				o.repairMu.Unlock()
+			})
+			o.replicate(id, pg, epoch, secondaries, op)
+		}})
 	}
 }
 
 // repairOp builds the push op carrying the object's current state: a
-// full-object write, or a delete when the object no longer exists.
+// full-object write, or a delete when the object no longer exists. The
+// sequence number is NOT assigned here — the caller assigns it on the
+// owning shard goroutine, after fencing against concurrent writes.
 func (o *OSD) repairOp(pg uint32, oid wire.ObjectID, pgs *pgState) (wire.Op, bool) {
 	if o.cfg.Mode.usesOplog() && pgs.log != nil {
 		// The store must reflect the staged tail before we read it back.
@@ -141,7 +175,5 @@ func (o *OSD) repairOp(pg uint32, oid wire.ObjectID, pgs *pgState) (wire.Op, boo
 		op.Kind = wire.OpWrite
 		op.Data = data
 	}
-	op.Seq = pgs.nextSeq()
-	op.Version = op.Seq
 	return op, true
 }

@@ -157,6 +157,35 @@ type replItem struct {
 	op        wire.Op
 }
 
+// Slow-replica isolation thresholds. Every peer carries a credit line
+// bounding its unacknowledged backlog; a peer whose queue-to-ack latency
+// EWMA reads laggy has its line clamped to laggyCredits, so new
+// fan-outs touching it fail fast with a retryable StatusAgain instead of
+// queueing behind a slow disk or link. The ACK quorum is never trimmed —
+// recovery promotes any clean surviving member, so acknowledging around
+// a live replica would let a later promotion un-write acknowledged data.
+// Isolation here means bounding the damage: the shard goroutines never
+// block, healthy PGs keep their latency, and the slow peer's backlog
+// (hence its recovery debt and the repair queue behind it) stays small.
+// Acks — including those drawn by repair pushes — decay the EWMA until
+// the peer earns its full credit line back.
+//
+// "Laggy" is an OUTLIER judgement, not an absolute one: the EWMA must
+// cross lagAckEWMA AND sit lagOutlierRatio× above the fastest sibling
+// peer's. Under uniform saturation every peer's ack latency rises
+// together — clamping then would nack healthy fan-outs wholesale and
+// mask the occupancy ladder, which owns uniform overload. Only a peer
+// well behind its healthiest sibling is sick in the slow-replica sense.
+// With no sibling to compare against (R=2) the absolute threshold
+// governs alone: bounding the lone secondary's backlog still caps
+// recovery debt even though there is no healthy alternative.
+const (
+	peerCredits     = 512
+	laggyCredits    = 32
+	lagAckEWMA      = 20 * time.Millisecond
+	lagOutlierRatio = 4
+)
+
 // peer is a cached outbound connection to another OSD, used for
 // replication requests; acknowledgements flow back on the same conn. Ops
 // pass through q to a dedicated sender goroutine that coalesces queued
@@ -167,6 +196,76 @@ type peer struct {
 	q    chan replItem
 	down chan struct{}
 	once sync.Once
+
+	// inflight counts ops queued/shipped and not yet acknowledged (the
+	// replication credit balance); sent maps pending id → enqueue time
+	// so the receive loop can sample queue-to-ack latency into ackEWMA
+	// (nanoseconds; 0 = no samples yet).
+	inflight atomic.Int64
+	ackEWMA  atomic.Int64
+	sent     sync.Map // uint64 -> time.Time
+}
+
+// creditWindowFor is pr's allowed unacknowledged backlog right now: the
+// full credit line while healthy, clamped hard once its ack-latency
+// EWMA reads laggy relative to its fastest sibling (see the threshold
+// block above). The sibling floors are refreshed by the pending sweep
+// every 500ms — staleness on that order is fine for a health judgement.
+func (o *OSD) creditWindowFor(pr *peer) int64 {
+	e := pr.ackEWMA.Load()
+	if e < int64(lagAckEWMA) {
+		return peerCredits
+	}
+	// Fastest OTHER peer: if pr itself plausibly holds the global floor
+	// (its EWMA matches it), compare against the runner-up instead. A
+	// zero floor means no sibling has samples — absolute threshold rules.
+	floor := o.ackFloor1.Load()
+	if e <= floor {
+		floor = o.ackFloor2.Load()
+	}
+	if e >= lagOutlierRatio*floor {
+		return laggyCredits
+	}
+	return peerCredits
+}
+
+// noteAck folds one queue-to-ack latency sample into the EWMA (α = 1/5).
+func (pr *peer) noteAck(sample time.Duration) {
+	for {
+		old := pr.ackEWMA.Load()
+		next := int64(sample)
+		if old != 0 {
+			next = old + (int64(sample)-old)/5
+		}
+		if pr.ackEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// settle clears the in-flight accounting for one pending id, returning
+// its enqueue time when it was still tracked.
+func (pr *peer) settle(id uint64) (time.Time, bool) {
+	v, ok := pr.sent.LoadAndDelete(id)
+	if !ok {
+		return time.Time{}, false
+	}
+	pr.inflight.Add(-1)
+	return v.(time.Time), true
+}
+
+// sweepSent expires tracking for ops the pending sweep already failed
+// (their acks may never come). Each expiry counts as a worst-case
+// latency sample: a peer that swallows ops silently must read as laggy.
+func (pr *peer) sweepSent(cutoff time.Time) {
+	pr.sent.Range(func(k, v any) bool {
+		if t := v.(time.Time); t.Before(cutoff) {
+			if _, ok := pr.settle(k.(uint64)); ok {
+				pr.noteAck(time.Since(t))
+			}
+		}
+		return true
+	})
 }
 
 func (pr *peer) close() {
@@ -240,6 +339,9 @@ func (o *OSD) peerRecvLoop(pr *peer, stop <-chan struct{}) {
 			return
 		}
 		if ack, ok := m.(*wire.ReplAck); ok {
+			if t, ok := pr.settle(ack.ReqID); ok {
+				pr.noteAck(time.Since(t))
+			}
 			o.pending.complete(ack.ReqID, ack.From, ack.Status)
 		}
 		select {
@@ -270,6 +372,7 @@ func (o *OSD) peerSendLoop(pr *peer, stop <-chan struct{}) {
 			for {
 				select {
 				case it := <-pr.q:
+					pr.settle(it.pendingID)
 					o.pending.complete(it.pendingID, pr.id, wire.StatusAgain)
 				default:
 					return
@@ -299,6 +402,7 @@ func (o *OSD) peerSendLoop(pr *peer, stop <-chan struct{}) {
 		if err != nil {
 			o.dropPeer(pr)
 			for i := range batch {
+				pr.settle(batch[i].ReqID)
 				o.pending.complete(batch[i].ReqID, pr.id, wire.StatusAgain)
 			}
 		}
@@ -308,7 +412,13 @@ func (o *OSD) peerSendLoop(pr *peer, stop <-chan struct{}) {
 // replicate queues op for every secondary in the acting set, completing
 // the pending op entry per ack. The actual shipment happens on the
 // per-peer sender goroutines, keeping encode/flush cost off this
-// latency-critical top half.
+// latency-critical top half. The enqueue never blocks: a peer whose
+// credit window is exhausted — immediately for a laggy peer's clamped
+// window — fails fast with StatusAgain, and stalling the calling shard
+// goroutine would freeze every PG of that shard, exactly the coupling
+// slow-replica isolation removes. The nacked op errors back to the
+// client (retryable) and the object rides the repair loop, so the
+// replicas reconverge even if the client never retries.
 func (o *OSD) replicate(pendingID uint64, pg, epoch uint32, secondaries []uint32, op wire.Op) {
 	for _, id := range secondaries {
 		pr, err := o.peerFor(id)
@@ -316,17 +426,26 @@ func (o *OSD) replicate(pendingID uint64, pg, epoch uint32, secondaries []uint32
 			o.pending.complete(pendingID, id, wire.StatusAgain)
 			continue
 		}
+		if pr.inflight.Load() >= o.creditWindowFor(pr) {
+			o.LaggyNacks.Inc()
+			o.pending.complete(pendingID, id, wire.StatusAgain)
+			continue
+		}
+		// Stamp before the enqueue: the in-proc transport can round-trip
+		// an ack faster than a post-enqueue store would land.
+		pr.sent.Store(pendingID, time.Now())
+		pr.inflight.Add(1)
 		select {
 		case pr.q <- replItem{pendingID: pendingID, pg: pg, epoch: epoch, op: op}:
-		case <-pr.down:
-			o.pending.complete(pendingID, id, wire.StatusAgain)
-		case <-o.group.Stopping():
+		default:
+			pr.settle(pendingID)
 			o.pending.complete(pendingID, id, wire.StatusAgain)
 		}
 	}
 }
 
-// pendingSweepLoop ages out stalled operations.
+// pendingSweepLoop ages out stalled operations and refreshes the
+// sibling ack-latency floors the laggy outlier test compares against.
 func (o *OSD) pendingSweepLoop(stop <-chan struct{}) {
 	ticker := time.NewTicker(500 * time.Millisecond)
 	defer ticker.Stop()
@@ -336,6 +455,23 @@ func (o *OSD) pendingSweepLoop(stop <-chan struct{}) {
 			return
 		case <-ticker.C:
 			o.pending.sweep(2 * time.Second)
+			cutoff := time.Now().Add(-2 * time.Second)
+			var f1, f2 int64 // two smallest peer EWMAs (0 = unset)
+			o.peers.Range(func(_, v any) bool {
+				pr := v.(*peer)
+				pr.sweepSent(cutoff)
+				if e := pr.ackEWMA.Load(); e > 0 {
+					switch {
+					case f1 == 0 || e < f1:
+						f1, f2 = e, f1
+					case f2 == 0 || e < f2:
+						f2 = e
+					}
+				}
+				return true
+			})
+			o.ackFloor1.Store(f1)
+			o.ackFloor2.Store(f2)
 		}
 	}
 }

@@ -2,9 +2,11 @@ package osd
 
 import (
 	"log"
+	"time"
 
 	"rebloc/internal/messenger"
 	"rebloc/internal/metrics"
+	"rebloc/internal/qos"
 	"rebloc/internal/sched"
 	"rebloc/internal/wire"
 )
@@ -43,11 +45,14 @@ func shardOf(pg uint32, nshards int) int {
 
 // shardReq is one routed request: the originating connection and the
 // decoded message, already validated by the conn goroutine (epoch and
-// primaryship for client ops).
+// primaryship for client ops). Alternatively fn, a closure executed on
+// the shard goroutine at its arrival position — how the repair loop
+// serialises its pushes with the client writes of the same PG.
 type shardReq struct {
 	conn messenger.Conn
 	msg  wire.Message
 	pg   uint32
+	fn   func()
 }
 
 // runOp is one mutation of a burst's current append run, carried through
@@ -114,10 +119,16 @@ func (o *OSD) routeProposed(conn messenger.Conn, m wire.Message) {
 	switch msg := m.(type) {
 	case *wire.ClientWrite:
 		if pg, ok := o.checkClientOp(conn, msg.ReqID, msg.Epoch, msg.OID); ok {
+			if !o.admitMutation(conn, msg.ReqID, pg, msg.OID) {
+				return
+			}
 			o.toShard(shardReq{conn: conn, msg: msg, pg: pg})
 		}
 	case *wire.ClientDelete:
 		if pg, ok := o.checkClientOp(conn, msg.ReqID, msg.Epoch, msg.OID); ok {
+			if !o.admitMutation(conn, msg.ReqID, pg, msg.OID) {
+				return
+			}
 			o.toShard(shardReq{conn: conn, msg: msg, pg: pg})
 		}
 	case *wire.ClientRead:
@@ -125,8 +136,24 @@ func (o *OSD) routeProposed(conn messenger.Conn, m wire.Message) {
 			o.toShard(shardReq{conn: conn, msg: msg, pg: pg})
 		}
 	case *wire.Repl:
+		if d := o.replDelay(msg.PG, msg.Op.OID); d > 0 {
+			o.ThrottleDelays.Inc()
+			time.Sleep(d)
+		}
 		o.toShard(shardReq{conn: conn, msg: msg, pg: msg.PG})
 	case *wire.ReplBatch:
+		// One paced sleep per frame (the worst pressured PG wins), not
+		// per item — the link slows without stacking delays.
+		var d time.Duration
+		for i := range msg.Items {
+			if dd := o.replDelay(msg.Items[i].PG, msg.Items[i].Op.OID); dd > d {
+				d = dd
+			}
+		}
+		if d > 0 {
+			o.ThrottleDelays.Inc()
+			time.Sleep(d)
+		}
 		// Items route individually: one frame's items may span shards.
 		// The slice is heap-decoded and GC-owned, so element pointers
 		// stay valid after this frame's goroutine moves on.
@@ -179,6 +206,14 @@ func (sh *shard) processBurst(burst []shardReq) {
 	run := sh.run[:0]
 	for i := range burst {
 		r := &burst[i]
+		if r.fn != nil {
+			// Injected closure (repair push). Runs before the pending run
+			// stages, which is safe: those mutations take later sequence
+			// numbers and enqueue their fan-outs after the closure's, so
+			// they win at every replica — the push can never shadow them.
+			r.fn()
+			continue
+		}
 		switch msg := r.msg.(type) {
 		case *wire.ClientWrite:
 			run = append(run, runOp{
@@ -232,6 +267,9 @@ func (sh *shard) processRun(run []runOp) {
 			continue
 		}
 		t.pgs = pgs
+		// Every run op is a mutation (reads bypass processRun): move the
+		// repair fence so an in-flight push read-back goes stale.
+		pgs.muts.Add(1)
 		if !t.client {
 			o.ReplOps.Inc()
 			pgs.bumpSeq(t.op.Seq)
@@ -240,6 +278,19 @@ func (sh *shard) processRun(run []runOp) {
 		clean := pgs.clean
 		pgs.mu.Unlock()
 		if !clean {
+			sh.finishStatus(t, wire.StatusAgain)
+			continue
+		}
+		if !t.client && pgs.throttle != nil &&
+			pgs.throttle.Observe(pgs.log.Occupancy()) == qos.StateReject {
+			// Reject band at the secondary: nack instead of appending into
+			// a nearly-full log. The primary's pending set turns the Again
+			// into noteRepair (the replicas reconverge via the repair loop)
+			// plus a retry-after to the client — end-to-end backpressure.
+			// Observe, not State: in the reject band no append samples the
+			// log, so this is the append path's only fresh sample.
+			o.ThrottleRejects.Inc()
+			o.wakeNPT(t.pg)
 			sh.finishStatus(t, wire.StatusAgain)
 			continue
 		}
@@ -308,6 +359,14 @@ func (sh *shard) processRun(run []runOp) {
 			continue
 		}
 		conn, reqID, pg, oid, version := t.conn, t.reqID, t.pg, t.op.OID, t.op.Version
+		// The ACK waits on EVERY acting member, always: recovery's
+		// authority ranking promotes any clean surviving member after a
+		// primary death, so an ACK a clean member missed is an ACK a
+		// promotion can silently un-write. Slow-replica isolation
+		// therefore never trims this fan-out — it lives in replicate(),
+		// which fast-nacks (StatusAgain) ops to a peer whose clamped
+		// credit window is full, bounding how far a slow replica can
+		// stall the pipeline without ever acknowledging around it.
 		// A failed fan-out leaves this primary ahead of a replica with no
 		// guarantee the client retries: queue the object for repair so
 		// the replicas reconverge even if this was its last write.

@@ -1,0 +1,240 @@
+// Package qos implements the admission-control and backpressure
+// primitives of the overload plan (ROADMAP item 3): a weighted-fair
+// multi-tenant token bucket gating the messenger ingress, and a graded
+// occupancy throttle (clear → delay → reject) driven by NVM op-log
+// fullness. Both are deliberately tiny, allocation-free on the admit
+// path, and safe to consult from the sharded top half.
+package qos
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a weighted-fair token bucket shared by every tenant of one
+// OSD. A single global refill rate (ops/sec) is distributed across
+// tenants in proportion to their weights, max-min fair: tokens a capped
+// (full-burst) tenant cannot absorb spill over to backlogged tenants in
+// the same pass, so the configured rate is never wasted while anyone
+// queues. Greedy tenants therefore queue at the edge — in their own
+// connection goroutines — instead of inside the commit path.
+//
+// Rate <= 0 disables admission entirely (every Take admits immediately):
+// that is the default-off posture, QoS costs nothing until configured.
+type Limiter struct {
+	rate  float64 // tokens/sec, shared across tenants
+	burst float64 // per-unit-weight bucket capacity
+
+	mu      sync.Mutex
+	last    time.Time
+	tenants map[string]*bucket
+
+	now func() time.Time // injectable clock for deterministic tests
+}
+
+type bucket struct {
+	weight float64
+	tokens float64
+}
+
+func (b *bucket) cap(burst float64) float64 { return burst * b.weight }
+
+// NewLimiter returns a limiter distributing rate tokens/sec with a
+// per-unit-weight burst capacity. rate <= 0 means "off".
+func NewLimiter(rate, burst float64) *Limiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   burst,
+		tenants: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Enabled reports whether the limiter actually meters anything.
+func (l *Limiter) Enabled() bool { return l != nil && l.rate > 0 }
+
+// SetWeight fixes a tenant's fair-share weight (default 1). A higher
+// weight buys a proportionally larger slice of the global rate and a
+// proportionally deeper burst bucket.
+func (l *Limiter) SetWeight(tenant string, w float64) {
+	if !l.Enabled() || w <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.bucketLocked(tenant).weight = w
+	l.mu.Unlock()
+}
+
+// bucketLocked returns (creating if needed) the tenant's bucket. New
+// tenants start with a full burst so the first burst of a well-behaved
+// tenant is never queued.
+func (l *Limiter) bucketLocked(tenant string) *bucket {
+	b, ok := l.tenants[tenant]
+	if !ok {
+		b = &bucket{weight: 1}
+		b.tokens = b.cap(l.burst)
+		l.tenants[tenant] = b
+	}
+	return b
+}
+
+// refillLocked distributes rate*dt tokens across tenants, weighted
+// max-min fair: each pass splits the budget by weight among tenants with
+// bucket headroom, and whatever a capped bucket can't take is re-split
+// among the rest (bounded passes — the loop converges fast because every
+// pass either exhausts the budget or caps at least one bucket).
+func (l *Limiter) refillLocked(now time.Time) {
+	dt := now.Sub(l.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	l.last = now
+	remaining := l.rate * dt
+	for pass := 0; pass < 8 && remaining > 1e-9; pass++ {
+		var tw float64
+		for _, b := range l.tenants {
+			if b.tokens < b.cap(l.burst) {
+				tw += b.weight
+			}
+		}
+		if tw == 0 {
+			return
+		}
+		dist := remaining
+		remaining = 0
+		for _, b := range l.tenants {
+			room := b.cap(l.burst) - b.tokens
+			if room <= 0 {
+				continue
+			}
+			give := dist * b.weight / tw
+			if give > room {
+				remaining += give - room
+				give = room
+			}
+			b.tokens += give
+		}
+	}
+}
+
+// Take attempts to admit n tokens for tenant. It returns 0 when
+// admitted, or an estimate of how long the caller should wait before
+// retrying. The estimate uses the tenant's share of the global rate at
+// current membership, so it shortens as competitors go idle.
+func (l *Limiter) Take(tenant string, n float64) time.Duration {
+	if !l.Enabled() {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	if l.last.IsZero() {
+		l.last = now
+	}
+	l.refillLocked(now)
+	b := l.bucketLocked(tenant)
+	if b.tokens >= n {
+		b.tokens -= n
+		return 0
+	}
+	var tw float64
+	for _, t := range l.tenants {
+		tw += t.weight
+	}
+	share := l.rate * b.weight / tw
+	if share <= 0 {
+		share = l.rate
+	}
+	wait := time.Duration((n - b.tokens) / share * float64(time.Second))
+	if wait < 100*time.Microsecond {
+		wait = 100 * time.Microsecond
+	}
+	return wait
+}
+
+// Reserve admits n tokens unconditionally and returns how long the
+// caller must pace before forwarding the work. The bucket may go
+// negative (debt) — future refills repay it at the tenant's share rate.
+// Reserving instead of poll-sleeping keeps the paced rate exact: sleep
+// overshoot costs only latency jitter, never tokens, because the
+// accounting lives in the bucket rather than in wall-clock polling.
+func (l *Limiter) Reserve(tenant string, n float64) time.Duration {
+	if !l.Enabled() {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	if l.last.IsZero() {
+		l.last = now
+	}
+	l.refillLocked(now)
+	b := l.bucketLocked(tenant)
+	b.tokens -= n
+	if b.tokens >= 0 {
+		return 0
+	}
+	// Pace against the share among backlogged tenants only: idle tenants'
+	// buckets are full, so their slice of the refill spills to the
+	// backlogged ones — the effective rate a lone aggressor sees is the
+	// whole budget, not 1/N of it.
+	var tw float64
+	for _, t := range l.tenants {
+		if t.tokens < t.cap(l.burst) {
+			tw += t.weight
+		}
+	}
+	if tw <= 0 {
+		tw = b.weight
+	}
+	share := l.rate * b.weight / tw
+	if share <= 0 {
+		share = l.rate
+	}
+	return time.Duration(-b.tokens / share * float64(time.Second))
+}
+
+// PaceQuantum is the shortest pacing sleep worth taking. time.Sleep on a
+// loaded machine overshoots by scheduler quanta — milliseconds against a
+// sub-millisecond request — and a per-op sleep serialized on a
+// connection goroutine turns that overshoot into the admission rate
+// limit. Callers pacing against Reserve's debt model should skip sleeps
+// shorter than this and let the debt deepen: the model keeps the
+// long-run rate exact, so coalescing trades a small admission burst
+// (bounded by PaceQuantum times the tenant's share) for an overshoot
+// paid once per quantum instead of once per op.
+const PaceQuantum = 2 * time.Millisecond
+
+// Wait blocks until n tokens are admitted for tenant. It is intended to
+// run on a per-connection goroutine: blocking here is precisely "queue
+// at the edge". Sub-quantum waits are coalesced (see PaceQuantum).
+func (l *Limiter) Wait(tenant string, n float64) {
+	if w := l.Reserve(tenant, n); w >= PaceQuantum {
+		time.Sleep(w)
+	}
+}
+
+// InCredit reports whether the tenant has at least a whole token banked
+// — it is consuming below its fair share. The occupancy ladder's delay
+// band uses this to aim backpressure at the tenants actually driving the
+// overload: an in-credit trickle passes undelayed while above-share
+// producers are paced. (The reject band stays tenant-blind — protecting
+// the log from wrapping is absolute.) Read-only: no tokens are consumed.
+// A disabled limiter reports false — with no share accounting there is
+// no basis to exempt anyone.
+func (l *Limiter) InCredit(tenant string) bool {
+	if !l.Enabled() {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	if l.last.IsZero() {
+		l.last = now
+	}
+	l.refillLocked(now)
+	return l.bucketLocked(tenant).tokens >= 1
+}

@@ -1,0 +1,336 @@
+package qos
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the limiter deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestLimiter(rate, burst float64) (*Limiter, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	l := NewLimiter(rate, burst)
+	l.now = c.now
+	return l, c
+}
+
+// drain consumes every token the tenant can take right now and returns
+// the count.
+func drain(l *Limiter, tenant string) int {
+	n := 0
+	for l.Take(tenant, 1) == 0 {
+		n++
+		if n > 1_000_000 {
+			panic("drain never terminated")
+		}
+	}
+	return n
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	var l *Limiter
+	if l.Enabled() {
+		t.Fatal("nil limiter must be disabled")
+	}
+	l = NewLimiter(0, 10)
+	if l.Enabled() {
+		t.Fatal("rate 0 must disable the limiter")
+	}
+	for i := 0; i < 1000; i++ {
+		if w := l.Take("a", 1); w != 0 {
+			t.Fatalf("disabled limiter delayed an op by %v", w)
+		}
+	}
+}
+
+// TestWeightedFairRefill verifies that a refill window splits the global
+// rate across backlogged tenants by weight: A (weight 1) vs B (weight 3)
+// should land at a 1:3 token split.
+func TestWeightedFairRefill(t *testing.T) {
+	l, c := newTestLimiter(1000, 8)
+	l.SetWeight("a", 1)
+	l.SetWeight("b", 3)
+	// Empty both burst buckets so the window measures pure refill.
+	drain(l, "a")
+	drain(l, "b")
+
+	c.advance(time.Second) // 1000 tokens to distribute
+	gotA := drain(l, "a")
+	gotB := drain(l, "b")
+	// Burst caps bound what one drain can observe (8 and 24), so advance
+	// in small steps instead to measure the sustained split.
+	totalA, totalB := gotA, gotB
+	for i := 0; i < 100; i++ {
+		c.advance(10 * time.Millisecond)
+		totalA += drain(l, "a")
+		totalB += drain(l, "b")
+	}
+	ratio := float64(totalB) / float64(totalA)
+	if math.Abs(ratio-3) > 0.5 {
+		t.Fatalf("weighted split off: A=%d B=%d ratio=%.2f want ~3", totalA, totalB, ratio)
+	}
+}
+
+// TestFairSpillover verifies max-min fairness: when one tenant is idle
+// (bucket capped), its share spills to the backlogged tenant instead of
+// evaporating.
+func TestFairSpillover(t *testing.T) {
+	l, c := newTestLimiter(1000, 4)
+	l.SetWeight("idle", 1)
+	l.SetWeight("busy", 1)
+	drain(l, "busy")
+	// "idle" keeps its full burst bucket (4 tokens) and never takes, so
+	// nearly the whole 1000/s should flow to "busy". Steps stay finer
+	// than the burst depth so no refill is lost to a capped bucket.
+	got := 0
+	for i := 0; i < 500; i++ {
+		c.advance(2 * time.Millisecond)
+		got += drain(l, "busy")
+	}
+	if got < 900 {
+		t.Fatalf("spillover lost tokens: busy tenant got %d of ~1000", got)
+	}
+}
+
+// TestBurstThenSustained verifies conformance: a fresh tenant may burst
+// its bucket depth at once, but over a long window admissions converge
+// to the configured rate.
+func TestBurstThenSustained(t *testing.T) {
+	l, c := newTestLimiter(100, 50)
+	burst := drain(l, "a")
+	if burst != 50 {
+		t.Fatalf("initial burst = %d, want bucket depth 50", burst)
+	}
+	// 10 simulated seconds → ~1000 tokens at rate 100/s.
+	got := 0
+	for i := 0; i < 1000; i++ {
+		c.advance(10 * time.Millisecond)
+		got += drain(l, "a")
+	}
+	if got < 950 || got > 1050 {
+		t.Fatalf("sustained admissions = %d over 10s, want ~1000", got)
+	}
+}
+
+// TestTakeWaitEstimate verifies a rejected Take returns a usable,
+// positive wait hint that shrinks once tokens accrue.
+func TestTakeWaitEstimate(t *testing.T) {
+	l, c := newTestLimiter(100, 1)
+	drain(l, "a")
+	w1 := l.Take("a", 1)
+	if w1 <= 0 {
+		t.Fatal("empty bucket must return a positive wait")
+	}
+	c.advance(5 * time.Millisecond)
+	w2 := l.Take("a", 1)
+	if w2 <= 0 || w2 >= w1 {
+		t.Fatalf("wait must shrink as tokens accrue: first %v then %v", w1, w2)
+	}
+}
+
+// TestThrottleEscalation walks the ladder: clear → delay at High,
+// delay → reject at RejectAt, and back down with hysteresis (reject →
+// delay below High, delay → clear only at/below Low).
+func TestThrottleEscalation(t *testing.T) {
+	th := NewThrottle(0.80, 0.60)
+	if th.RejectAt <= th.High || th.RejectAt > 1 {
+		t.Fatalf("reject threshold %v outside (High, 1]", th.RejectAt)
+	}
+	var transitions []string
+	th.OnChange = func(from, to State) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	}
+
+	steps := []struct {
+		occ  float64
+		want State
+	}{
+		{0.10, StateClear},
+		{0.79, StateClear}, // below High: stays clear
+		{0.80, StateDelay}, // at High: delay
+		{0.70, StateDelay}, // hysteresis: above Low stays delayed
+		{0.60, StateClear}, // at Low: clears
+		{0.85, StateDelay}, // back up
+		{th.RejectAt, StateReject},
+		{0.82, StateReject}, // still >= High: keep rejecting
+		{0.79, StateDelay},  // below High: relax one rung
+		{0.50, StateClear},
+	}
+	for i, s := range steps {
+		if got := th.Observe(s.occ); got != s.want {
+			t.Fatalf("step %d: Observe(%.2f) = %v, want %v", i, s.occ, got, s.want)
+		}
+	}
+	want := []string{
+		"clear->delay", "delay->clear", "clear->delay",
+		"delay->reject", "reject->delay", "delay->clear",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestThrottleCallbackOncePerEdge hammers Observe from many goroutines
+// around one threshold crossing and counts callback firings: the CAS
+// must collapse them to exactly one per transition.
+func TestThrottleCallbackOncePerEdge(t *testing.T) {
+	th := NewThrottle(0.80, 0.60)
+	var fired sync.Map
+	var count int32
+	var mu sync.Mutex
+	th.OnChange = func(from, to State) {
+		mu.Lock()
+		count++
+		fired.Store(from.String()+"->"+to.String(), true)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				th.Observe(0.90) // all goroutines push toward delay
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("one crossing fired %d callbacks, want exactly 1", count)
+	}
+}
+
+func TestDelayForScaling(t *testing.T) {
+	th := NewThrottle(0.80, 0.60)
+	if d := th.DelayFor(0.70); d != 0 {
+		t.Fatalf("below High must not delay, got %v", d)
+	}
+	mid := th.High + (th.RejectAt-th.High)/2
+	d1 := th.DelayFor(mid)
+	d2 := th.DelayFor(th.RejectAt)
+	if d1 <= 0 || d2 <= d1 {
+		t.Fatalf("delay must grow with occupancy: %v then %v", d1, d2)
+	}
+	if d3 := th.DelayFor(1.5); d3 != th.MaxDelay {
+		t.Fatalf("delay must clamp at MaxDelay, got %v", d3)
+	}
+}
+
+// TestReserveDebtPacing verifies the debt-model invariant that makes the
+// paced rate exact under sleep overshoot: Reserve admits unconditionally
+// (the bucket goes negative) and returns a wait sized so that the
+// tenant's refill share repays exactly the debt during the sleep. A
+// serial reserver therefore converges on its share rate no matter how
+// late its sleeps actually end — oversleeping earns tokens back.
+func TestReserveDebtPacing(t *testing.T) {
+	l, c := newTestLimiter(1000, 4) // 1000 ops/s, burst 4
+	drain(l, "a")                   // start from an empty bucket
+
+	// Serial steady state: each Reserve takes the bucket to -1, and the
+	// advertised wait at 1000 ops/s with one backlogged tenant is 1ms.
+	// Sleeping exactly the advertised wait repays exactly the debt.
+	for i := 0; i < 5; i++ {
+		w := l.Reserve("a", 1)
+		if w <= 0 {
+			t.Fatalf("reserve %d on an empty bucket returned no wait", i)
+		}
+		if got, want := w, time.Millisecond; got < want/2 || got > 2*want {
+			t.Fatalf("reserve %d wait = %v, want ~%v", i, got, want)
+		}
+		c.advance(w)
+	}
+	// Oversleeping banks the surplus instead of losing it: after a 4ms
+	// nap at 1000 ops/s the next reserves ride the banked tokens free.
+	if w := l.Reserve("a", 1); w <= 0 {
+		t.Fatal("reserve before the oversleep should still wait")
+	}
+	c.advance(4 * time.Millisecond)
+	if w := l.Reserve("a", 1); w != 0 {
+		t.Fatalf("banked surplus not honoured: wait %v", w)
+	}
+
+	// Debt accumulates across back-to-back reserves with no time passing,
+	// and the waits grow linearly with the depth of the debt.
+	l2, _ := newTestLimiter(1000, 1)
+	drain(l2, "b")
+	var waits []time.Duration
+	for i := 0; i < 4; i++ {
+		waits = append(waits, l2.Reserve("b", 1))
+	}
+	for i := 1; i < len(waits); i++ {
+		if waits[i] <= waits[i-1] {
+			t.Fatalf("debt wait must deepen: %v", waits)
+		}
+	}
+
+	// An idle competitor's full bucket spills its share: the backlogged
+	// tenant's advertised wait prices in the whole rate, not half of it.
+	l3, c3 := newTestLimiter(1000, 4)
+	l3.Take("idle", 1)                // register the tenant…
+	c3.advance(10 * time.Millisecond) // …and let its bucket refill to cap
+	drain(l3, "busy")
+	if w := l3.Reserve("busy", 1); w > 3*time.Millisecond/2 {
+		t.Fatalf("idle competitor halved the share: wait %v, want ~1ms", w)
+	}
+}
+
+// TestInCredit verifies the fairness verdict the occupancy ladder keys
+// off: a tenant consuming below its share has a token banked and is in
+// credit; a tenant in debt is not; and the check itself never consumes
+// tokens. A disabled limiter vouches for no one — without share
+// accounting the ladder must stay tenant-blind.
+func TestInCredit(t *testing.T) {
+	var nilL *Limiter
+	if nilL.InCredit("a") {
+		t.Fatal("nil limiter must not vouch for a tenant")
+	}
+	if NewLimiter(0, 10).InCredit("a") {
+		t.Fatal("disabled limiter must not vouch for a tenant")
+	}
+
+	l, c := newTestLimiter(1000, 4)
+	if !l.InCredit("trickle") {
+		t.Fatal("fresh tenant starts with a full bucket: in credit")
+	}
+	// Read-only: repeated checks must not erode the bucket.
+	for i := 0; i < 100; i++ {
+		l.InCredit("trickle")
+	}
+	if got := drain(l, "trickle"); got != 4 {
+		t.Fatalf("InCredit consumed tokens: bucket holds %d, want 4", got)
+	}
+	// Now in debt: the verdict flips until the share repays it.
+	l.Reserve("trickle", 1)
+	if l.InCredit("trickle") {
+		t.Fatal("tenant in debt must not be in credit")
+	}
+	c.advance(5 * time.Millisecond) // 5 tokens at 1000/s repay debt 2
+	if !l.InCredit("trickle") {
+		t.Fatal("repaid tenant must be back in credit")
+	}
+}

@@ -1,0 +1,134 @@
+package qos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// State is the throttle ladder position. Escalation is graded: producers
+// are first delayed (paced at the ingress), then rejected with a
+// retry-after hint, and only if both fail does the op-log's own ErrFull
+// wrap machinery engage — which the throttle exists to make unreachable.
+type State int32
+
+const (
+	// StateClear admits appends untouched.
+	StateClear State = iota
+	// StateDelay paces producers: the ingress sleeps DelayFor(occ)
+	// before forwarding, giving the bottom half time to drain.
+	StateDelay
+	// StateReject bounces new appends with a retry-after status; only
+	// already-admitted work may still land.
+	StateReject
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClear:
+		return "clear"
+	case StateDelay:
+		return "delay"
+	default:
+		return "reject"
+	}
+}
+
+// Throttle is a graded occupancy state machine with hysteresis, one per
+// PG op log. Observations are occupancy fractions (bytes staged /
+// capacity). The ladder escalates at High (→ delay) and RejectAt
+// (→ reject) and de-escalates one rung at a time — reject relaxes to
+// delay below RejectAt−margin, delay clears only once occupancy falls
+// back under Low — so a log hovering at a boundary doesn't flap.
+//
+// Transitions fire the OnChange callback exactly once per edge (the
+// NoKV throttle-callback pattern): the CAS on state is the publication
+// point, so concurrent observers race to a single callback invocation.
+type Throttle struct {
+	High     float64 // enter delay at/above this occupancy
+	Low      float64 // leave delay at/below this occupancy
+	RejectAt float64 // enter reject at/above this occupancy
+	MaxDelay time.Duration
+
+	// OnChange, when set, runs once per state transition (from the
+	// goroutine whose Observe won the CAS). It must not block.
+	OnChange func(from, to State)
+
+	state atomic.Int32
+}
+
+// NewThrottle builds a throttle with the given delay watermarks; the
+// reject threshold sits halfway between High and a full log, and the
+// maximum ingress delay defaults to 2ms (a handful of NPT drain passes).
+func NewThrottle(high, low float64) *Throttle {
+	if high <= 0 || high > 1 {
+		high = 0.85
+	}
+	if low <= 0 || low >= high {
+		low = high * 0.8
+	}
+	return &Throttle{
+		High:     high,
+		Low:      low,
+		RejectAt: high + (1-high)/2,
+		MaxDelay: 2 * time.Millisecond,
+	}
+}
+
+// State returns the current ladder position without observing.
+func (t *Throttle) State() State { return State(t.state.Load()) }
+
+// Observe feeds one occupancy sample and returns the resulting state.
+func (t *Throttle) Observe(occ float64) State {
+	for {
+		cur := State(t.state.Load())
+		next := t.next(cur, occ)
+		if next == cur {
+			return cur
+		}
+		if t.state.CompareAndSwap(int32(cur), int32(next)) {
+			if t.OnChange != nil {
+				t.OnChange(cur, next)
+			}
+			return next
+		}
+	}
+}
+
+func (t *Throttle) next(cur State, occ float64) State {
+	switch cur {
+	case StateClear:
+		switch {
+		case occ >= t.RejectAt:
+			return StateReject
+		case occ >= t.High:
+			return StateDelay
+		}
+		return StateClear
+	case StateDelay:
+		switch {
+		case occ >= t.RejectAt:
+			return StateReject
+		case occ <= t.Low:
+			return StateClear
+		}
+		return StateDelay
+	default: // StateReject
+		if occ < t.High {
+			return StateDelay
+		}
+		return StateReject
+	}
+}
+
+// DelayFor maps an occupancy inside the delay band to a pacing sleep,
+// linear from 0 at High to MaxDelay at RejectAt.
+func (t *Throttle) DelayFor(occ float64) time.Duration {
+	if occ <= t.High {
+		return 0
+	}
+	f := (occ - t.High) / (t.RejectAt - t.High)
+	if f > 1 {
+		f = 1
+	}
+	return time.Duration(f * float64(t.MaxDelay))
+}

@@ -75,6 +75,7 @@ type Stats struct {
 	Evictions     metrics.Counter
 	Invalidations metrics.Counter // blocks dropped by strict invalidation
 	FillAborts    metrics.Counter // admissions refused by a moved generation
+	Patches       metrics.Counter // partially-covered resident blocks patched in place
 }
 
 // Cache is the NVM-resident read cache of one OSD.
@@ -126,6 +127,12 @@ type centry struct {
 	ref  bool
 	prot bool // protected (2Q upper) level
 	dead bool // invalidated while pinned; slot frees on last unpin
+	// flushed marks a block whose bytes came from flush admission, not a
+	// miss fill. Only these may be patched in place by a later flush: a
+	// fill racing the drain's store-apply window can slip pre-flush bytes
+	// in with a passing generation check, so fill-admitted blocks are
+	// strictly dropped on overlap instead (see FlushAdmit).
+	flushed bool
 }
 
 // centry structs are pooled; objNodes are not — invalidation walks a
@@ -431,9 +438,11 @@ func (c *Cache) InvalidatePG(pg uint32) {
 }
 
 // admitLocked installs one block. data covers [blk*SlotBytes,
-// blk*SlotBytes+len(data)) of the object; len(data) <= SlotBytes. Caller
-// holds sh.mu.
-func (sh *cshard) admitLocked(h uint64, pg uint32, oid wire.ObjectID, blk uint64, data []byte) {
+// blk*SlotBytes+len(data)) of the object; len(data) <= SlotBytes. The
+// installed entry is returned (nil when every slot is pinned) and is
+// always marked un-flushed — flush admission upgrades it afterwards.
+// Caller holds sh.mu.
+func (sh *cshard) admitLocked(h uint64, pg uint32, oid wire.ObjectID, blk uint64, data []byte) *centry {
 	c := sh.c
 	n := sh.findNode(h, pg, oid)
 	if n != nil {
@@ -444,8 +453,9 @@ func (sh *cshard) admitLocked(h uint64, pg uint32, oid wire.ObjectID, blk uint64
 				e.size = uint32(len(data))
 				e.data = sh.slotData(e.slot)[:len(data):len(data)]
 				e.ref = true
+				e.flushed = false
 				c.stats.Admits.Inc()
-				return
+				return e
 			}
 			// A pinned reader aliases the old bytes: retire the old entry
 			// and install the fresh data in a new slot.
@@ -455,7 +465,7 @@ func (sh *cshard) admitLocked(h uint64, pg uint32, oid wire.ObjectID, blk uint64
 	}
 	slot := sh.takeSlot()
 	if slot < 0 {
-		return // every slot pinned; skip the admission
+		return nil // every slot pinned; skip the admission
 	}
 	if n == nil {
 		n = &objNode{pg: pg, oid: oid, next: sh.index[h]}
@@ -472,10 +482,12 @@ func (sh *cshard) admitLocked(h uint64, pg uint32, oid wire.ObjectID, blk uint64
 	e.ref = false
 	e.prot = false // probation: a scan's one-touch blocks evict first
 	e.dead = false
+	e.flushed = false
 	sh.ents[slot] = e
 	n.insertBlock(e)
 	c.occupied.Add(1)
 	c.stats.Admits.Inc()
+	return e
 }
 
 // AdmitFill admits the result of a cold-miss fill: data covers [off,
@@ -507,11 +519,20 @@ func (c *Cache) AdmitFill(pg uint32, gen uint64, oid wire.ObjectID, off uint64, 
 }
 
 // FlushAdmit is the bottom half's admission: the drain promotes extents it
-// just made durable, so a freshly-flushed hot block never goes cold. The
-// overlap is always dropped (strictness: a concurrent fill may have slipped
-// a pre-flush block in); fresh data is installed only when the PG's flush
-// generation still matches the one captured before TakeBatch, and only for
-// slot-aligned fully-covered blocks.
+// just made durable, so a freshly-flushed hot block never goes cold. When
+// the PG's flush generation still matches the one captured before
+// TakeBatch, fully-covered blocks are (re)admitted and partially-covered
+// flush-admitted resident blocks are patched in place — the flush's bytes
+// are authoritative for the covered sub-range, and a flush-admitted
+// remainder is current because every write staged since its admission is
+// in this very batch (the generation would have moved otherwise). A
+// fill-admitted resident block gets no such guarantee: a miss fill that
+// read the store before this batch's apply can admit with a passing fill
+// generation until the flush completion bumps it, so its remainder may
+// predate the flush — those blocks are strictly dropped on partial
+// overlap, exactly the pre-patch behavior. When the generation moved, a
+// newer write staged since TakeBatch: every overlapped resident block is
+// strictly dropped and nothing is admitted.
 func (c *Cache) FlushAdmit(pg uint32, gen uint64, oid wire.ObjectID, off uint64, data []byte) {
 	slot := uint64(c.slotBytes)
 	end := off + uint64(len(data))
@@ -519,26 +540,116 @@ func (c *Cache) FlushAdmit(pg uint32, gen uint64, oid wire.ObjectID, off uint64,
 	sh := c.shardFor(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if n := sh.findNode(h, pg, oid); n != nil {
-		for b := off / slot; b*slot < end; b++ {
-			if e := n.findBlock(b); e != nil {
-				c.stats.Invalidations.Inc()
-				sh.dropEntry(e)
-			}
-			if len(n.blocks) == 0 {
-				break
+	if c.flushGens[genIdx(pg)].Load() != gen {
+		if n := sh.findNode(h, pg, oid); n != nil {
+			for b := off / slot; b*slot < end; b++ {
+				if e := n.findBlock(b); e != nil {
+					c.stats.Invalidations.Inc()
+					sh.dropEntry(e)
+				}
+				if len(n.blocks) == 0 {
+					break
+				}
 			}
 		}
-	}
-	if c.flushGens[genIdx(pg)].Load() != gen {
 		c.stats.FillAborts.Inc()
 		return
 	}
-	first := (off + slot - 1) / slot // first fully-covered block
-	for b := first; (b+1)*slot <= end; b++ {
-		lo := b*slot - off
-		sh.admitLocked(h, pg, oid, b, data[lo:lo+slot])
+	for b := off / slot; b*slot < end; b++ {
+		blkStart := b * slot
+		lo := uint64(0)
+		if off > blkStart {
+			lo = off - blkStart
+		}
+		hi := slot
+		if end < blkStart+slot {
+			hi = end - blkStart
+		}
+		seg := data[blkStart+lo-off : blkStart+hi-off]
+		if lo == 0 && hi == slot {
+			if e := sh.admitLocked(h, pg, oid, b, seg); e != nil {
+				e.flushed = true
+			}
+			continue
+		}
+		sh.patchLocked(h, pg, oid, b, lo, seg)
 	}
+}
+
+// patchLocked patches a partially-covered resident block: seg covers
+// [lo, lo+len(seg)) within block blk. A patch starting past the entry's
+// valid prefix would leave a hole of undefined bytes, so that case drops
+// the block instead. Pinned readers alias the slot bytes zero-copy, so a
+// pinned entry is rebuilt in a fresh slot (old bytes copied, then
+// patched) and the old entry retired, mirroring admitLocked. Absent
+// blocks are not admitted — a partial segment cannot seed a full block.
+// Caller holds sh.mu.
+func (sh *cshard) patchLocked(h uint64, pg uint32, oid wire.ObjectID, blk, lo uint64, seg []byte) {
+	c := sh.c
+	n := sh.findNode(h, pg, oid)
+	if n == nil {
+		return
+	}
+	e := n.findBlock(blk)
+	if e == nil {
+		return
+	}
+	if !e.flushed || lo > uint64(e.size) {
+		// Not flush-admitted: the resident bytes may be a miss fill that
+		// raced the drain's store apply and carries pre-flush data outside
+		// the patched range — only a strict drop is safe. (Same for a
+		// patch past the valid prefix, which would leave undefined bytes.)
+		c.stats.Invalidations.Inc()
+		sh.dropEntry(e)
+		return
+	}
+	hi := lo + uint64(len(seg))
+	if e.pins == 0 {
+		copy(sh.slotData(e.slot)[lo:], seg)
+		if hi > uint64(e.size) {
+			e.size = uint32(hi)
+			e.data = sh.slotData(e.slot)[:hi:hi]
+		}
+		e.ref = true
+		c.stats.Patches.Inc()
+		return
+	}
+	slotIdx := sh.takeSlot()
+	if slotIdx < 0 {
+		// Every slot pinned: can't rebuild, fall back to the strict drop.
+		c.stats.Invalidations.Inc()
+		sh.dropEntry(e)
+		return
+	}
+	dst := sh.slotData(slotIdx)
+	copy(dst, e.data)
+	copy(dst[lo:], seg)
+	size := uint64(e.size)
+	if hi > size {
+		size = hi
+	}
+	prot := e.prot
+	sh.dropEntry(e)
+	n = sh.findNode(h, pg, oid) // dropEntry may unlink an emptied node
+	if n == nil {
+		n = &objNode{pg: pg, oid: oid, next: sh.index[h]}
+		sh.index[h] = n
+	}
+	ne := centryPool.Get().(*centry)
+	ne.obj = n
+	ne.blk = blk
+	ne.slot = slotIdx
+	ne.size = uint32(size)
+	ne.data = dst[:size:size]
+	ne.pins = 0
+	ne.ref = true
+	ne.prot = prot
+	ne.dead = false
+	ne.flushed = true
+	sh.ents[slotIdx] = ne
+	n.insertBlock(ne)
+	c.occupied.Add(1)
+	c.stats.Patches.Inc()
 }
 
 // AlignFill widens a read to slot boundaries (clamped to limit, the

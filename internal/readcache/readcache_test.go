@@ -166,6 +166,90 @@ func TestFlushAdmit(t *testing.T) {
 	}
 }
 
+// TestFlushAdmitPatchInPlace covers the sub-block patch path: a flush
+// extent that only partially covers a resident flush-admitted 4 KiB block
+// must patch the covered sub-range into the resident copy instead of
+// dropping it. Fill-admitted blocks get no such treatment — a miss fill
+// racing the drain's store apply can carry pre-flush bytes, so partial
+// overlap strictly drops them.
+func TestFlushAdmitPatchInPlace(t *testing.T) {
+	c := newCache(t, 64<<10, Options{Shards: 1})
+	o := oid("obj")
+	base := pattern(4096, 0x11)
+	// Seed block 0 via flush admission: only flush-authoritative residents
+	// are patchable.
+	c.FlushAdmit(6, c.FlushGen(6), o, 0, base)
+
+	// Interior patch: [1024, 3072) of block 0.
+	sub := pattern(2048, 0x77)
+	c.FlushAdmit(6, c.FlushGen(6), o, 1024, sub)
+	want := append([]byte(nil), base...)
+	copy(want[1024:], sub)
+	mustHit(t, c, 6, o, 0, 4096, want)
+	st := c.Stats()
+	if st.Patches.Load() != 1 {
+		t.Fatalf("patches = %d, want 1", st.Patches.Load())
+	}
+	if st.Invalidations.Load() != 0 {
+		t.Fatalf("invalidations = %d, want 0 (block must be patched, not dropped)", st.Invalidations.Load())
+	}
+
+	// A fill-admitted resident block partially overlapped by a flush must
+	// be strictly dropped, not patched: its un-covered remainder may
+	// predate the flush (pre-apply store read with a passing fill gen).
+	o2 := oid("filled")
+	c.AdmitFill(6, c.FillGen(6), o2, 0, pattern(4096, 0x22))
+	c.FlushAdmit(6, c.FlushGen(6), o2, 1024, pattern(512, 0x99))
+	if _, ok := c.Lookup(6, o2, 0, 4096); ok {
+		t.Fatal("partial flush over a fill-admitted block must drop it")
+	}
+	if got := c.Stats().Invalidations.Load(); got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+
+	// A fully-covered flush over a fill-admitted block refreshes it and
+	// upgrades it to flush-authoritative: a later partial flush patches.
+	o3 := oid("upgraded")
+	c.AdmitFill(6, c.FillGen(6), o3, 0, pattern(4096, 0x33))
+	base3 := pattern(4096, 0x44)
+	c.FlushAdmit(6, c.FlushGen(6), o3, 0, base3)
+	c.FlushAdmit(6, c.FlushGen(6), o3, 2048, pattern(1024, 0x55))
+	want3 := append([]byte(nil), base3...)
+	copy(want3[2048:], pattern(1024, 0x55))
+	mustHit(t, c, 6, o3, 0, 4096, want3)
+
+	// A pinned reader must keep its pre-patch view; the patch lands in a
+	// fresh slot and new lookups see it.
+	o4 := oid("pinned")
+	base4 := pattern(4096, 0x55)
+	c.FlushAdmit(6, c.FlushGen(6), o4, 0, base4)
+	v, ok := c.Lookup(6, o4, 0, 4096)
+	if !ok {
+		t.Fatal("miss")
+	}
+	c.FlushAdmit(6, c.FlushGen(6), o4, 512, pattern(1024, 0xEE))
+	out := make([]byte, 4096)
+	v.CopyTo(out)
+	v.Release()
+	if !bytes.Equal(out, base4) {
+		t.Fatal("pinned view changed under the reader during a patch")
+	}
+	want4 := append([]byte(nil), base4...)
+	copy(want4[512:], pattern(1024, 0xEE))
+	mustHit(t, c, 6, o4, 0, 4096, want4)
+
+	// A moved flush gen still means strict drop, even for partial overlap.
+	o5 := oid("stale")
+	c.AdmitFill(6, c.FillGen(6), o5, 0, pattern(4096, 0x66))
+	g := c.FlushGen(6)
+	c.Invalidate(6, o5)
+	c.AdmitFill(6, c.FillGen(6), o5, 0, pattern(4096, 0x66))
+	c.FlushAdmit(6, g, o5, 1024, pattern(512, 0x77))
+	if _, ok := c.Lookup(6, o5, 0, 4096); ok {
+		t.Fatal("stale-gen partial flush must drop, not patch")
+	}
+}
+
 func TestPinnedBlockSurvivesInvalidation(t *testing.T) {
 	c := newCache(t, 64<<10, Options{Shards: 1})
 	o := oid("obj")
