@@ -8,7 +8,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/messenger/... ./internal/oplog/... ./internal/osd/... ./internal/sched/... ./internal/store/... ./internal/device/... ./internal/readcache/... ./internal/qos/...
 
-.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos bench-scale bench-scale-smoke bench-ycsb bench-mixed bench-ycsb-smoke bench-overload bench-overload-smoke
+.PHONY: check vet test race chaos bench-msgr bench-oplog bench-cos bench-scale bench-scale-smoke bench-ycsb bench-mixed bench-ycsb-smoke bench-overload bench-overload-smoke bench-scrub bench-scrub-smoke
 
 check: vet race
 	$(GO) test ./...
@@ -36,6 +36,9 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	@# internal/core is too slow to race wholesale; race just the
+	@# integrity paths (scrub daemon, read-repair, checksum plumbing).
+	$(GO) test -race -count=1 -run 'Scrub|Cksum|ReadRepair|Integrity' ./internal/core/
 
 # Messenger microbenchmarks: pipelined 4 KiB echo at queue depth 1/16/64
 # plus the send-path allocation floor (expect ~0 allocs/op).
@@ -94,6 +97,19 @@ bench-overload:
 # accounting and the QoS-on/off comparison stay wired on every PR.
 bench-overload-smoke:
 	$(GO) run ./cmd/rebloc-bench -scale 0.15 -osds 2 -jobs 2 -qd 4 -image-mb 8 overload
+
+# Data-integrity bench (internal/figures scrub.go): a 4 KiB 70/30
+# zipfian workload with the scrub machinery idle vs full deep scrubs
+# sweeping concurrently. The deep rows must complete whole-cluster
+# passes inside the window while the foreground tail holds — scrub I/O
+# is paced by its own token bucket. Results belong in EXPERIMENTS.md.
+bench-scrub:
+	$(GO) run ./cmd/rebloc-bench -image-mb 16 -jobs 4 scrub
+
+# CI smoke: a short pass so the scrub pacing, the verified read path and
+# the integrity counters stay wired on every PR.
+bench-scrub-smoke:
+	$(GO) run ./cmd/rebloc-bench -scale 0.15 -osds 2 -jobs 2 -image-mb 8 scrub
 
 # COS submit-path microbenchmarks: serial per-op Submit vs one batched
 # Submit per 128 ops across 1..16 partitions, plus prealloc and NVM

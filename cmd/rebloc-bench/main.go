@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|ycsb-cache|mixed|overload|scale|all
+//	rebloc-bench [flags] fig1|table1|fig7|fig7b|fig8|fig9|fig10|fig11|fig12|table2|ycsb-cache|mixed|scrub|overload|scale|all
 //
 // Flags scale the experiments; see -h. Paper-vs-measured notes live in
 // EXPERIMENTS.md.
@@ -46,6 +46,7 @@ func run(args []string) error {
 	fs.IntVar(&p.QueueDepth, "qd", 8, "outstanding ops per job")
 	fs.BoolVar(&p.UseTCP, "tcp", false, "use loopback TCP instead of the in-process transport")
 	fs.IntVar(&p.MaxCores, "cores", 0, "cap the per-core scaling sweeps (0 = host CPUs)")
+	fs.BoolVar(&p.NoChecksums, "no-checksums", false, "disable at-rest block CRCs (checksum-overhead A/B)")
 	profDir := fs.String("bench.pprof", "", "write cpu/mutex/block profiles for the run into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +71,7 @@ func run(args []string) error {
 		{"fig10", func() error { return figures.Fig10(os.Stdout, p) }},
 		{"ycsb-cache", func() error { return figures.YCSBCache(os.Stdout, p) }},
 		{"mixed", func() error { return figures.MixedSweep(os.Stdout, p) }},
+		{"scrub", func() error { return figures.ScrubBench(os.Stdout, p) }},
 		{"overload", func() error { return figures.Overload(os.Stdout, p) }},
 		{"fig11", func() error { return figures.Fig11(os.Stdout, p) }},
 		{"fig12", func() error { return figures.Fig12(os.Stdout, p) }},

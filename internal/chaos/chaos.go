@@ -177,6 +177,10 @@ func Run(t *testing.T, sc Scenario, seed int64) {
 		FlushThreshold:   8,
 		FlushInterval:    2 * time.Millisecond,
 		HeartbeatTimeout: opts.HeartbeatTimeout,
+		// Schedules that force scrubs (bit-rot) must not be paced like a
+		// production background daemon — a throttled scrub would still be
+		// crawling when the checker runs.
+		ScrubRate: 4096,
 		WrapTransport: func(tr messenger.Transport) messenger.Transport {
 			h.faulty = messenger.NewFaulty(tr)
 			return h.faulty
@@ -267,6 +271,7 @@ func (h *Harness) heal() {
 	for _, f := range h.devFaults {
 		if f != nil {
 			f.Disarm()
+			f.DisarmCorruptReads()
 		}
 	}
 	for i := range h.dead {
@@ -430,4 +435,41 @@ func (h *Harness) ArmDevice(i int, after int64, err error) {
 // DisarmDevice stops OSD i's device faults.
 func (h *Harness) DisarmDevice(i int) {
 	h.devFaults[i].Disarm()
+}
+
+// ArmCorruptReads turns OSD i's device into silently rotting media: after
+// the first after reads, every everyK-th read returns a payload with one
+// bit flipped. Data at rest is untouched — only the read path lies, which
+// is exactly what the block-checksum + read-repair machinery must catch
+// before a single corrupt byte reaches a client.
+func (h *Harness) ArmCorruptReads(i int, after, everyK int64) {
+	h.devFaults[i].ArmCorruptReads(after, everyK)
+}
+
+// DisarmCorruptReads stops OSD i's read corruption (heal also disarms it
+// as a backstop, but schedules disarm explicitly so post-rot events run
+// against honest media).
+func (h *Harness) DisarmCorruptReads(i int) {
+	h.devFaults[i].DisarmCorruptReads()
+}
+
+// CorruptedReads reports how many reads OSD i's device actually corrupted.
+func (h *Harness) CorruptedReads(i int) int64 {
+	return h.devFaults[i].CorruptedReads()
+}
+
+// DeepScrubAll forces a synchronous deep scrub pass on every live OSD and
+// returns the total divergences found. Each OSD scrubs only the PGs it
+// leads, so the union covers every PG exactly once.
+func (h *Harness) DeepScrubAll() int {
+	found := 0
+	for i := 0; i < h.opts.OSDs; i++ {
+		if h.dead[i] {
+			continue
+		}
+		if o := h.cluster.OSD(i); o != nil {
+			found += o.ScrubNow(true)
+		}
+	}
+	return found
 }

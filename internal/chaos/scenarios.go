@@ -172,6 +172,49 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			// Silent bit rot: OSD 1's device starts lying on the read path —
+			// every other read comes back with a bit flipped while the data
+			// at rest stays intact. The at-rest block checksums must catch
+			// every rotten read (served reads answer from a clean replica
+			// via read-repair, never with the corrupt bytes), a deep scrub
+			// under fire must detect and repair the rot, and after the
+			// disarm a final deep scrub plus the end-of-run checker prove
+			// the replicas converged with zero corrupt bytes ever ACKed —
+			// the workload's stamped blocks make any escape visible.
+			Name:        "bit-rot",
+			DefaultSeed: 1010,
+			Opts:        Options{ReadEvery: 3, OpsPerWriter: 100},
+			Schedule: func(h *Harness) []Event {
+				return []Event{
+					{At: 0.30, Name: "arm corrupt reads on osd1 (every 2nd read)", Do: func(h *Harness) {
+						h.ArmCorruptReads(1, 0, 2)
+					}},
+					{At: 0.55, Name: "deep scrub under rot", Do: func(h *Harness) {
+						// Forces device reads of every object on OSD 1 (its
+						// own primaries locally, the rest via its peers'
+						// scrub pulls), so detection never depends on the
+						// workload's cache-miss luck.
+						h.DeepScrubAll()
+					}},
+					{At: 0.75, Name: "disarm corrupt reads", Do: func(h *Harness) {
+						h.DisarmCorruptReads(1)
+					}},
+					{At: 0.90, Name: "verify detection + final deep scrub", Do: func(h *Harness) {
+						if h.CorruptedReads(1) == 0 {
+							h.fail("bit-rot: the fault never corrupted a read — nothing was exercised")
+						}
+						if o := h.cluster.OSD(1); o == nil || o.CksumReadErrors.Load() == 0 {
+							h.fail("bit-rot: corrupt reads were never caught by a block checksum")
+						}
+						// Against honest media now: one more pass lets scrub
+						// repair any rot-era divergence before the checker's
+						// byte-level convergence pass.
+						h.DeepScrubAll()
+					}},
+				}
+			},
+		},
+		{
 			// Lossy, laggy network: 5% of frames dropped, 10% delayed up to
 			// 5ms, for most of the run. Client and replication retries must
 			// mask all of it; no crash involved.

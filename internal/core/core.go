@@ -85,6 +85,11 @@ type Options struct {
 	// QoSBurst is the per-unit-weight token bucket depth in ops (zero =
 	// OSD default 64).
 	QoSBurst float64
+	// ScrubInterval enables each OSD's background scrub daemon (zero =
+	// disabled; ScrubNow still works on demand).
+	ScrubInterval time.Duration
+	// ScrubRate paces scrub work in objects/sec (zero = OSD default 64).
+	ScrubRate float64
 	// ThrottleHigh/ThrottleLow are the op-log occupancy watermarks of the
 	// graded backpressure ladder (zero = OSD defaults 0.85/0.68).
 	ThrottleHigh float64
@@ -235,6 +240,8 @@ func (c *Cluster) startOSD(id uint32, addr string, dev device.Device, bank *nvm.
 		ReadCacheBytes:   c.opts.ReadCacheBytes,
 		QoSRate:          c.opts.QoSRate,
 		QoSBurst:         c.opts.QoSBurst,
+		ScrubInterval:    c.opts.ScrubInterval,
+		ScrubRate:        c.opts.ScrubRate,
 		ThrottleHigh:     c.opts.ThrottleHigh,
 		ThrottleLow:      c.opts.ThrottleLow,
 		Shards:           c.opts.Shards,

@@ -1,0 +1,119 @@
+package device
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// corruptReadsOnce checks the silent-corruption contract on one device
+// stacked under a Fault wrapper: reads succeed, but once the afterN
+// credits are consumed every everyK-th read comes back with a flipped
+// byte, deterministically, and DisarmCorruptReads restores clean reads.
+func testCorruptReads(t *testing.T, inner Device) {
+	t.Helper()
+	f := NewFault(inner)
+	want := bytes.Repeat([]byte{0x5A}, 4096)
+	if _, err := f.WriteAt(want, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+
+	// Not armed: reads are clean.
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("unarmed read corrupted")
+	}
+
+	// Arm after 1 read, corrupting every 2nd: reads 1 and 3 are clean,
+	// reads 2 and 4 are silently corrupted — with no error either way.
+	f.ArmCorruptReads(1, 2)
+	for i := 1; i <= 4; i++ {
+		buf := make([]byte, len(want))
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatalf("read %d: unexpected error %v", i, err)
+		}
+		clean := bytes.Equal(buf, want)
+		wantClean := i%2 == 1
+		if clean != wantClean {
+			t.Fatalf("read %d: clean=%v, want clean=%v", i, clean, wantClean)
+		}
+	}
+	if n := f.CorruptedReads(); n != 2 {
+		t.Fatalf("CorruptedReads = %d, want 2", n)
+	}
+
+	// Vectored reads consume one credit per vector.
+	f.ArmCorruptReads(0, 1) // corrupt every read
+	vecs := []IOVec{
+		{Off: 0, Data: make([]byte, 2048)},
+		{Off: 2048, Data: make([]byte, 2048)},
+	}
+	if _, err := f.ReadAtv(vecs); err != nil {
+		t.Fatalf("ReadAtv: %v", err)
+	}
+	for i, v := range vecs {
+		if bytes.Equal(v.Data, want[:2048]) {
+			t.Fatalf("vector %d not corrupted", i)
+		}
+	}
+
+	f.DisarmCorruptReads()
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after disarm: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read corrupted after DisarmCorruptReads")
+	}
+}
+
+func TestCorruptReadsMem(t *testing.T) {
+	d := NewMem(1 << 20)
+	defer d.Close()
+	testCorruptReads(t, d)
+}
+
+func TestCorruptReadsFile(t *testing.T) {
+	d, err := OpenFile(filepath.Join(t.TempDir(), "dev"), 1<<20)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer d.Close()
+	testCorruptReads(t, d)
+}
+
+func TestCorruptReadsSim(t *testing.T) {
+	d := NewSim(NewMem(1<<20), Profile{})
+	defer d.Close()
+	testCorruptReads(t, d)
+}
+
+func TestCorruptReadsFault(t *testing.T) {
+	// Fault-on-fault: the outer wrapper corrupts what the (disarmed)
+	// inner wrapper passes through.
+	d := NewFault(NewMem(1 << 20))
+	defer d.Close()
+	testCorruptReads(t, d)
+}
+
+// TestCorruptReadsNoErrorUnderWriteFaults checks the two fault modes are
+// independent: silent read corruption never turns into a read error, and
+// write-fault arming does not disturb the corruption schedule.
+func TestCorruptReadsNoErrorUnderWriteFaults(t *testing.T) {
+	f := NewFault(NewMem(1 << 20))
+	defer f.Close()
+	data := bytes.Repeat([]byte{7}, 512)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.ArmCorruptReads(0, 1)
+	buf := make([]byte, 512)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("corrupt read must not error: %v", err)
+	}
+	if bytes.Equal(buf, data) {
+		t.Fatal("read not corrupted")
+	}
+}

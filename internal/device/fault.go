@@ -6,7 +6,9 @@ import (
 
 // Fault wraps a device and injects errors for failure testing: after Arm(n)
 // is called, the n-th subsequent write (1-based) and all writes after it
-// fail with the armed error until Disarm.
+// fail with the armed error until Disarm. Independently, ArmCorruptReads
+// makes the device silently flip bytes in read results — the bit-rot
+// fault class, where the device returns success and garbage.
 type Fault struct {
 	inner Device
 
@@ -15,6 +17,12 @@ type Fault struct {
 	err        atomic.Value // error
 	readsFail  atomic.Bool
 	writeCount atomic.Int64
+
+	corruptArmed atomic.Bool
+	corruptAfter atomic.Int64 // reads consumed before corruption begins
+	corruptEvery atomic.Int64 // corrupt every k-th read after that
+	readCount    atomic.Int64 // reads seen while corruption armed
+	corrupted    atomic.Int64 // reads actually corrupted
 }
 
 var _ Device = (*Fault)(nil)
@@ -34,6 +42,28 @@ func (f *Fault) Arm(n int64, err error) {
 
 // ArmReads additionally makes reads fail once writes start failing.
 func (f *Fault) ArmReads() { f.readsFail.Store(true) }
+
+// ArmCorruptReads makes reads silently return corrupted bytes: after the
+// first afterN reads (each ReadAt call and each ReadAtv vector counts as
+// one read), every everyK-th read has one byte of its result flipped. No
+// error is returned — the caller sees a successful read of garbage, which
+// is exactly the silent bit-rot fault class checksums exist to catch.
+// everyK <= 1 corrupts every read once the afterN credits are consumed.
+func (f *Fault) ArmCorruptReads(afterN, everyK int64) {
+	if everyK < 1 {
+		everyK = 1
+	}
+	f.corruptAfter.Store(afterN)
+	f.corruptEvery.Store(everyK)
+	f.readCount.Store(0)
+	f.corruptArmed.Store(true)
+}
+
+// DisarmCorruptReads stops silent read corruption.
+func (f *Fault) DisarmCorruptReads() { f.corruptArmed.Store(false) }
+
+// CorruptedReads reports how many reads had bytes flipped.
+func (f *Fault) CorruptedReads() int64 { return f.corrupted.Load() }
 
 // Disarm stops injecting errors.
 func (f *Fault) Disarm() {
@@ -55,6 +85,31 @@ func (f *Fault) failing() error {
 	return err
 }
 
+// maybeCorrupt flips one byte of a successfully read buffer when this
+// read lands on a corruption tick. Each call consumes one read credit, so
+// the corruption pattern is deterministic given the arming parameters and
+// the device's read order.
+func (f *Fault) maybeCorrupt(p []byte) {
+	if !f.corruptArmed.Load() || len(p) == 0 {
+		return
+	}
+	n := f.readCount.Add(1)
+	after := f.corruptAfter.Load()
+	if n <= after {
+		return
+	}
+	every := f.corruptEvery.Load()
+	if every < 1 {
+		every = 1
+	}
+	// Reads afterN+1, afterN+1+everyK, ... are the corrupted ones.
+	if (n-after-1)%every != 0 {
+		return
+	}
+	p[len(p)/2] ^= 0xFF
+	f.corrupted.Add(1)
+}
+
 // ReadAt implements Device.
 func (f *Fault) ReadAt(p []byte, off int64) (int, error) {
 	if f.readsFail.Load() {
@@ -62,7 +117,11 @@ func (f *Fault) ReadAt(p []byte, off int64) (int, error) {
 			return 0, err
 		}
 	}
-	return f.inner.ReadAt(p, off)
+	n, err := f.inner.ReadAt(p, off)
+	if err == nil {
+		f.maybeCorrupt(p[:n])
+	}
+	return n, err
 }
 
 // WriteAt implements Device.
@@ -107,10 +166,17 @@ func (f *Fault) WriteAtv(vecs []IOVec) (int, error) {
 // ReadAtv implements Device. When reads are armed each vector consumes one
 // credit, so Arm(n)+ArmReads can tear a vectored read mid-batch: the
 // surviving prefix is filled from the inner device (as one smaller vectored
-// call) and the rest is left untouched.
+// call) and the rest is left untouched. Each filled vector also consumes
+// one silent-corruption credit when ArmCorruptReads is active.
 func (f *Fault) ReadAtv(vecs []IOVec) (int, error) {
 	if !f.armed.Load() || !f.readsFail.Load() {
-		return f.inner.ReadAtv(vecs)
+		n, err := f.inner.ReadAtv(vecs)
+		if err == nil {
+			for _, v := range vecs {
+				f.maybeCorrupt(v.Data)
+			}
+		}
+		return n, err
 	}
 	ok := 0
 	for range vecs {
@@ -120,7 +186,13 @@ func (f *Fault) ReadAtv(vecs []IOVec) (int, error) {
 		ok++
 	}
 	if ok == len(vecs) {
-		return f.inner.ReadAtv(vecs)
+		n, err := f.inner.ReadAtv(vecs)
+		if err == nil {
+			for _, v := range vecs {
+				f.maybeCorrupt(v.Data)
+			}
+		}
+		return n, err
 	}
 	n := 0
 	if ok > 0 {

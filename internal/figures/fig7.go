@@ -21,7 +21,7 @@ func Fig7(w io.Writer, p Params, pattern bench.Pattern) error {
 	fmt.Fprintf(w, "Figure 7 — 4KB %s, Original vs Proposed vs Ideal\n", pattern)
 	fmt.Fprintln(w, "(paper writes: Original 181K@4.3ms, Proposed 820K@1.11ms, Ideal above Proposed)")
 	tw := newTable(w)
-	fmt.Fprintln(tw, "config\tKIOPS\tmean\tp95\tmsgr\toplog\trcache\tocc/ack\tCPU")
+	fmt.Fprintln(tw, "config\tKIOPS\tmean\tp95\tmsgr\toplog\trcache\tscrub\tocc/ack\tCPU")
 
 	for _, mode := range []osd.Mode{osd.ModeOriginal, osd.ModeProposed, osd.ModeIdeal} {
 		u, err := setup(mode, p, nil)
@@ -46,9 +46,9 @@ func Fig7(w io.Writer, p Params, pattern bench.Pattern) error {
 		before := snapCache(u)
 		res, usage, _ := u.measureFio(opts, warm)
 		window := snapCache(u).sub(before)
-		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			mode, res.IOPS()/1000, ms(res.Lat.Mean()), ms(res.Lat.Quantile(0.95)),
-			msgrRow(u), oplogRow(u), rcacheRow(window), qosRow(u), cpuRow(usage))
+			msgrRow(u), oplogRow(u), rcacheRow(window), scrubRow(u), qosRow(u), cpuRow(usage))
 		u.close()
 	}
 	return tw.Flush()

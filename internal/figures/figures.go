@@ -21,6 +21,7 @@ import (
 	"rebloc/internal/oplog"
 	"rebloc/internal/osd"
 	"rebloc/internal/rbd"
+	"rebloc/internal/store/cos"
 )
 
 // Params scales the experiments. The defaults finish each figure in a few
@@ -50,6 +51,9 @@ type Params struct {
 	// are honored (GOMAXPROCS may oversubscribe) so the sweep shape can
 	// be exercised anywhere, but speedups then reflect time-slicing.
 	MaxCores int
+	// NoChecksums disables the COS at-rest block CRCs, for measuring the
+	// verified read path's overhead (EXPERIMENTS.md scrub record).
+	NoChecksums bool
 }
 
 func (p *Params) fill() {
@@ -115,6 +119,16 @@ func (p Params) coreOptions(mode osd.Mode) core.Options {
 	}
 	if p.UseTCP {
 		opts.Transport = core.TransportTCP
+	}
+	if p.NoChecksums {
+		// Explicit COS options suppress the !COSSet defaulting in the OSD;
+		// MDCache stays on (the OSD backfills the bank) so the only delta
+		// against the stock configuration is the checksum layer.
+		co := cos.DefaultOptions()
+		co.Checksums = false
+		co.MDCache = true
+		opts.COS = co
+		opts.COSSet = true
 	}
 	return opts
 }
@@ -296,6 +310,30 @@ func oplogRow(u *cut) string {
 		coalesce = float64(entries) / float64(storeOps)
 	}
 	return fmt.Sprintf("%.1fop/gc %.1fe/fl %.1fx", opsPerGroup, entriesPerBatch, coalesce)
+}
+
+// scrubRow summarises the data-integrity machinery for one
+// cluster-under-test: block-checksum read errors, read-repair installs
+// and staged-payload heals (DRAM copies restored from their NVM frames).
+// Healthy hardware reads 0e/0r/0h — the column proves verification is on
+// and free of false positives, not that rot occurred.
+func scrubRow(u *cut) string {
+	var errs, repairs, heals int64
+	seen := false
+	for i := 0; i < u.c.OSDs(); i++ {
+		o := u.c.OSD(i)
+		if o == nil {
+			continue
+		}
+		seen = true
+		errs += o.CksumReadErrors.Load()
+		repairs += o.ScrubRepairs.Load()
+		heals += o.OplogHeals.Load()
+	}
+	if !seen {
+		return "-"
+	}
+	return fmt.Sprintf("%de/%dr/%dh", errs, repairs, heals)
 }
 
 // cpuRow renders the usage breakdown like the paper's stacked bars.

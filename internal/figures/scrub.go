@@ -1,0 +1,152 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rebloc/internal/bench"
+	"rebloc/internal/osd"
+)
+
+// ScrubBench measures what end-to-end data integrity costs under load.
+// Two workloads run with the scrub machinery idle and again with full
+// deep scrubs (every PG walked, objects read back through the verified
+// path and CRC-compared across replicas) sweeping concurrently:
+//
+//   - a closed-loop 4 KiB 70/30 zipfian load — the throughput cost;
+//   - an open-loop 500 ops/s read trickle at QD 1 — the
+//     latency-sensitive-tenant fixture from the overload bench, whose
+//     p99 probes whatever queues the scrub builds. The acceptance claim
+//     is that it doesn't move: scrub I/O draws from its own token
+//     bucket (ScrubRate) instead of competing at full speed.
+//
+// The sweeps column proves complete passes ran inside the measured
+// window. Errors must read 0 on healthy media — the cross-replica
+// compare is fenced against in-flight writes, so load is not allowed to
+// produce false positives.
+func ScrubBench(w io.Writer, p Params) error {
+	p.fill()
+	fmt.Fprintln(w, "Scrub/checksum overhead — 4KB zipfian 70/30 and a 500 ops/s read trickle, scrub idle vs concurrent deep scrub (proposed)")
+	u, err := setup(osd.ModeProposed, p, func(o *coreOptions) {
+		// Paced like a background daemon with enough budget that sweeps
+		// finish inside the measured window on bench-sized object counts.
+		o.ScrubRate = 512
+	})
+	if err != nil {
+		return err
+	}
+	defer u.close()
+	u.prefill()
+
+	dur := time.Duration(float64(2*time.Second) * p.Scale)
+	if dur < 300*time.Millisecond {
+		dur = 300 * time.Millisecond
+	}
+	mixed := bench.FioOptions{
+		Pattern:      bench.RandRW,
+		ReadPercent:  70,
+		ZipfianTheta: 0.99,
+		Ops:          p.ops(4000),
+		Jobs:         p.Jobs,
+		QueueDepth:   p.QueueDepth,
+	}
+	// The trickle mirrors the overload bench's latency tenant: open-loop
+	// and far below capacity, so its p99 is pure queueing delay — here
+	// behind scrub reads, if pacing ever let them pile up.
+	trickle := bench.FioOptions{
+		Pattern:    bench.RandRead,
+		Jobs:       1,
+		QueueDepth: 1,
+		Duration:   dur,
+		RateLimit:  500,
+		Seed:       7,
+	}
+
+	tw := newTable(w)
+	fmt.Fprintln(tw, "workload\tscrub\tKIOPS\tmean\tp95\tp99\tscrubbed\terrors\tsweeps")
+	for _, row := range []struct {
+		name  string
+		opts  bench.FioOptions
+		scrub bool
+	}{
+		{"randrw 70/30", mixed, false},
+		{"randrw 70/30", mixed, true},
+		{"trickle 500/s", trickle, false},
+		{"trickle 500/s", trickle, true},
+	} {
+		res, s := scrubPhase(u, row.opts, row.scrub)
+		detail := "-\t-\t-"
+		if row.scrub {
+			detail = fmt.Sprintf("%d\t%d\t%d in %s",
+				s.objects, s.errors, s.rounds, s.wall.Round(time.Millisecond))
+		}
+		onoff := "idle"
+		if row.scrub {
+			onoff = "deep"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%s\t%s\t%s\t%s\n",
+			row.name, onoff, res.IOPS()/1000,
+			ms(res.Lat.Mean()), ms(res.Lat.Quantile(0.95)), ms(res.Lat.Quantile(0.99)), detail)
+	}
+	return tw.Flush()
+}
+
+type sweepStats struct {
+	rounds          int
+	wall            time.Duration
+	objects, errors int64
+}
+
+// scrubPhase runs one measured fio pass, optionally with deep scrubs
+// sweeping in a loop alongside it: every OSD scrubs the PGs it leads, so
+// one round is one full-cluster pass. The in-flight round always
+// completes before the loop exits — the workload cannot end the bench
+// with a sweep half-done.
+func scrubPhase(u *cut, opts bench.FioOptions, withScrub bool) (bench.Result, sweepStats) {
+	if !withScrub {
+		res, _, _ := u.measureFio(opts, opts.Ops/8)
+		return res, sweepStats{}
+	}
+	objBefore, errBefore := scrubTotals(u)
+	stop := make(chan struct{})
+	done := make(chan sweepStats, 1)
+	go func() {
+		var s sweepStats
+		start := time.Now()
+		for {
+			for i := 0; i < u.c.OSDs(); i++ {
+				if o := u.c.OSD(i); o != nil {
+					o.ScrubNow(true)
+				}
+			}
+			s.rounds++
+			select {
+			case <-stop:
+				s.wall = time.Since(start)
+				done <- s
+				return
+			default:
+			}
+		}
+	}()
+	res, _, _ := u.measureFio(opts, 0)
+	close(stop)
+	s := <-done
+	objAfter, errAfter := scrubTotals(u)
+	s.objects, s.errors = objAfter-objBefore, errAfter-errBefore
+	return res, s
+}
+
+// scrubTotals sums the scrub progress counters across the cluster.
+func scrubTotals(u *cut) (objects, errs int64) {
+	for i := 0; i < u.c.OSDs(); i++ {
+		o := u.c.OSD(i)
+		if o == nil {
+			continue
+		}
+		objects += o.ScrubObjects.Load()
+		errs += o.ScrubErrors.Load()
+	}
+	return objects, errs
+}

@@ -226,6 +226,7 @@ func (l *Log) commitGroup(ws []*groupWaiter) {
 		e.Op = w.op
 		e.LogPos = pos
 		e.State = StateStaged
+		e.DataCRC = dataCRC(&w.op)
 		w.ent = e
 		groupBytes += need
 		committed++

@@ -75,14 +75,31 @@ type Entry struct {
 	Op     wire.Op
 	LogPos uint64 // byte offset of the frame in the region
 	State  EntryState
+
+	// DataCRC is the Castagnoli CRC of Op.Data, recorded when the entry was
+	// staged (0 for dataless ops). The NVM frame already carries its own
+	// CRC, so this guards the only unprotected window: the DRAM copy of the
+	// payload between append and flush. See VerifyStagedData.
+	DataCRC uint32
 }
 
 var entryPool = sync.Pool{New: func() any { return new(Entry) }}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// dataCRC computes the staged-payload checksum for op (0 when dataless).
+func dataCRC(op *wire.Op) uint32 {
+	if len(op.Data) == 0 {
+		return 0
+	}
+	return crc32.Checksum(op.Data, castagnoli)
+}
 
 func releaseEntry(e *Entry) {
 	e.Op = wire.Op{}
 	e.LogPos = 0
 	e.State = 0
+	e.DataCRC = 0
 	entryPool.Put(e)
 }
 
@@ -473,8 +490,42 @@ func (l *Log) readEntryAt(pos uint64) (*Entry, uint64, error) {
 	e.Op = op
 	e.LogPos = pos
 	e.State = StateStaged
+	e.DataCRC = dataCRC(&op)
 	next := (pos + entryHeader + uint64(plen)) % capy
 	return e, next, nil
+}
+
+// VerifyStagedData checks each batch entry's in-DRAM payload against the
+// checksum recorded when it was staged. The NVM frames carry their own CRC
+// (verified on every replay read), so the only unguarded window for silent
+// corruption is the DRAM copy handed from append to flush — exactly the
+// bytes about to be written to the object store. A mismatching entry
+// self-heals: its frame is re-read from NVM (frame CRC verified there) and
+// the clean payload is copied over the corrupt one in place, so index-cache
+// views aliasing the same backing array heal with it. Returns how many
+// entries were healed; an entry whose NVM frame is also unreadable is a
+// hard error and the batch must not be applied.
+func (l *Log) VerifyStagedData(batch []*Entry) (healed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range batch {
+		if len(e.Op.Data) == 0 || dataCRC(&e.Op) == e.DataCRC {
+			continue
+		}
+		fresh, _, rerr := l.readEntryAt(e.LogPos)
+		if rerr != nil {
+			return healed, fmt.Errorf("oplog: staged payload corrupt and NVM frame unreadable at %d: %w", e.LogPos, rerr)
+		}
+		if len(fresh.Op.Data) == len(e.Op.Data) {
+			copy(e.Op.Data, fresh.Op.Data)
+		} else {
+			e.Op.Data = fresh.Op.Data
+		}
+		e.DataCRC = fresh.DataCRC
+		releaseEntry(fresh)
+		healed++
+	}
+	return healed, nil
 }
 
 // LookupRead attempts to serve a read from the staged operations (paper

@@ -1,0 +1,96 @@
+package oplog
+
+import (
+	"bytes"
+	"testing"
+
+	"rebloc/internal/wire"
+)
+
+// TestVerifyStagedDataCleanBatch checks the fast path: untouched entries
+// verify with zero heals and zero payload mutation.
+func TestVerifyStagedDataCleanBatch(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(writeOp("v", uint64(i)*4096, append([]byte(nil), data...), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := l.TakeBatch(0)
+	healed, err := l.VerifyStagedData(batch)
+	if err != nil || healed != 0 {
+		t.Fatalf("clean batch: healed=%d err=%v", healed, err)
+	}
+	for _, e := range batch {
+		if !bytes.Equal(e.Op.Data, data) {
+			t.Fatal("clean payload mutated")
+		}
+	}
+}
+
+// TestVerifyStagedDataHealsDRAMCorruption flips bytes in a staged entry's
+// DRAM payload after the append persisted the frame: the verifier must
+// detect the mismatch against the recorded CRC and restore the clean bytes
+// from the NVM frame, in place.
+func TestVerifyStagedDataHealsDRAMCorruption(t *testing.T) {
+	l, _, _ := newTestLog(t, 1<<20, 16)
+	data := bytes.Repeat([]byte{0x5C}, 4096)
+	ent, err := l.Append(writeOp("heal", 0, append([]byte(nil), data...), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Silent DRAM corruption between append and flush.
+	ent.Op.Data[100] ^= 0xFF
+	ent.Op.Data[4000] ^= 0x01
+
+	batch := l.TakeBatch(0)
+	healed, err := l.VerifyStagedData(batch)
+	if err != nil {
+		t.Fatalf("VerifyStagedData: %v", err)
+	}
+	if healed != 1 {
+		t.Fatalf("healed = %d, want 1", healed)
+	}
+	if !bytes.Equal(ent.Op.Data, data) {
+		t.Fatal("payload not restored from NVM")
+	}
+	// The heal is in place, so a read through the index cache sees the
+	// restored bytes too (the staged view aliases the same array).
+	got, ok, _ := l.LookupRead(wire.ObjectID{Pool: 1, Name: "heal"}, 0, 4096)
+	if ok && !bytes.Equal(got, data) {
+		t.Fatal("index cache still serves the corrupt copy")
+	}
+	// Second pass: nothing left to heal.
+	healed, err = l.VerifyStagedData(batch)
+	if err != nil || healed != 0 {
+		t.Fatalf("second pass: healed=%d err=%v", healed, err)
+	}
+}
+
+// TestVerifyStagedDataSurvivesRecovery checks the CRC is rebuilt on replay:
+// entries recovered from a crashed region carry a DataCRC consistent with
+// their payload.
+func TestVerifyStagedDataSurvivesRecovery(t *testing.T) {
+	l, _, region := newTestLog(t, 1<<20, 16)
+	data := bytes.Repeat([]byte{7}, 1024)
+	if _, err := l.Append(writeOp("r", 0, append([]byte(nil), data...), 1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Freeze()
+
+	l2, staged, err := Recover(1, region, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged) != 1 {
+		t.Fatalf("staged = %d", len(staged))
+	}
+	if staged[0].DataCRC == 0 {
+		t.Fatal("recovered entry has no DataCRC")
+	}
+	healed, err := l2.VerifyStagedData(staged)
+	if err != nil || healed != 0 {
+		t.Fatalf("recovered batch: healed=%d err=%v", healed, err)
+	}
+}

@@ -124,6 +124,8 @@ func (o *OSD) dispatch(conn messenger.Conn, m wire.Message) {
 		o.serveOplogPull(conn, msg)
 	case *wire.BackfillPull:
 		o.serveBackfillPull(conn, msg)
+	case *wire.ScrubPull:
+		o.serveScrubPull(conn, msg)
 	case *wire.MonMap:
 		if m2, err := crush.Decode(msg.MapBytes); err == nil {
 			o.SetMap(m2)

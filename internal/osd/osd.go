@@ -144,6 +144,15 @@ type Config struct {
 	// falls back to Low. Defaults 0.85 / 0.68; ThrottleHigh >= 1 disables.
 	ThrottleHigh float64
 	ThrottleLow  float64
+	// ScrubInterval is the background scrub cadence (proposed mode): every
+	// interval the scrub daemon walks the PGs this OSD leads and cross-
+	// checks object sets against the replicas; every fourth pass is a deep
+	// scrub that also compares data checksums. 0 (the default) disables
+	// background scrubbing — ScrubNow still works for on-demand passes.
+	ScrubInterval time.Duration
+	// ScrubRate paces the scrubber in objects/sec so a deep scrub's reads
+	// never contend with client traffic at full speed. Default 64.
+	ScrubRate float64
 	// Account receives the CPU breakdown; a fresh one is created if nil.
 	Account *metrics.CPUAccount
 	// Pools optionally pins priority/non-priority workers to CPU pools.
@@ -220,6 +229,9 @@ func (c *Config) fill() error {
 	if c.ThrottleLow <= 0 || c.ThrottleLow >= c.ThrottleHigh {
 		c.ThrottleLow = c.ThrottleHigh * 0.8
 	}
+	if c.ScrubRate <= 0 {
+		c.ScrubRate = 64
+	}
 	if c.Account == nil {
 		c.Account = metrics.NewCPUAccount()
 	}
@@ -238,7 +250,18 @@ type pgState struct {
 	// would livelock against logged reads (which also consume sequence
 	// numbers), e.g. a reader polling for convergence.
 	muts  atomic.Uint64
-	clean bool // false while backfilling
+	// replPend counts mutations staged on this PG whose replication
+	// fan-out (or failure handling) has not completed yet. Read-repair's
+	// quiescence fence: the muts fence proves no mutation staged AFTER
+	// its snapshot, but a mutation staged BEFORE it may still be in
+	// flight to a peer — an image fetched from that peer would predate
+	// an acknowledged write, and installing it over the local copy
+	// would serve stale bytes on the next clean read. Incremented next
+	// to the muts bump (same shard goroutine, so a muts snapshot that
+	// counts an op always observes its pending fan-out), decremented
+	// exactly once per op when its fan-out completes or fails.
+	replPend atomic.Int64
+	clean    bool // false while backfilling
 	// backfilling guards against concurrent syncPG goroutines for the
 	// same PG when map changes arrive faster than a sync completes.
 	backfilling bool
@@ -364,6 +387,12 @@ type OSD struct {
 	// qosLim is the ingress token-bucket admission controller (nil or
 	// disabled unless QoSRate > 0).
 	qosLim *qos.Limiter
+	// scrubLim paces the scrub daemon's per-object work (proposed mode).
+	scrubLim *qos.Limiter
+	// scrubMu serializes scrub passes (the ticker loop vs ScrubNow).
+	scrubMu sync.Mutex
+	// lastScrub is the UnixNano completion time of the latest scrub pass.
+	lastScrub atomic.Int64
 	// drainPressure counts PGs whose throttle sits at delay-or-worse;
 	// the bottom half widens its drain bursts while it is non-zero.
 	drainPressure atomic.Int32
@@ -404,6 +433,20 @@ type OSD struct {
 	// because the target peer's clamped credit window was full
 	// (slow-replica isolation).
 	LaggyNacks metrics.Counter
+	// Integrity stats: CksumReadErrors counts reads that tripped a block
+	// checksum (store.ErrChecksum), on any path — client read, deep scrub,
+	// or staged-data verification. ScrubPasses/ScrubObjects count completed
+	// scrub passes and the local objects they examined; ScrubErrors counts
+	// divergences found (checksum failures, missing/stale replicas);
+	// ScrubRepairs counts clean copies re-installed locally by read-repair
+	// or scrub. OplogHeals counts staged DRAM payloads restored from their
+	// NVM frames before flush.
+	CksumReadErrors metrics.Counter
+	ScrubPasses     metrics.Counter
+	ScrubObjects    metrics.Counter
+	ScrubErrors     metrics.Counter
+	ScrubRepairs    metrics.Counter
+	OplogHeals      metrics.Counter
 }
 
 // task is a unit of work handed between threads; replies travel inside
@@ -429,6 +472,9 @@ func New(cfg Config) (*OSD, error) {
 	}
 	if cfg.QoSRate > 0 {
 		o.qosLim = qos.NewLimiter(cfg.QoSRate, cfg.QoSBurst)
+	}
+	if cfg.Mode.usesOplog() {
+		o.scrubLim = qos.NewLimiter(cfg.ScrubRate, cfg.ScrubRate)
 	}
 
 	var err error
@@ -485,10 +531,17 @@ func New(cfg Config) (*OSD, error) {
 			region, rerr = cfg.Bank.Carve(name, size)
 		}
 		if rerr == nil {
+			var ro readcache.Options
+			if o.cosStore != nil {
+				// Integrity gate: no bytes enter a cache slot without
+				// passing the store's block-checksum table first — a
+				// corrupt fill must never be served at cache latency.
+				ro.Verify = o.cosStore.VerifyData
+			}
 			// The region's contents are treated as garbage, so a restart
 			// (or NVM power loss) always boots a cold cache. Best-effort:
 			// a bank too small for one slot per shard runs uncached.
-			o.rcache, _ = readcache.New(region, readcache.Options{})
+			o.rcache, _ = readcache.New(region, ro)
 		}
 	}
 	return o, nil
@@ -558,6 +611,9 @@ func (o *OSD) Start() error {
 	o.group.Go(func(stop <-chan struct{}) { o.acceptLoop(stop) })
 	o.group.Go(func(stop <-chan struct{}) { o.pendingSweepLoop(stop) })
 	o.group.Go(func(stop <-chan struct{}) { o.repairLoop(stop) })
+	if o.cfg.Mode.usesOplog() && o.cfg.ScrubInterval > 0 {
+		o.group.Go(func(stop <-chan struct{}) { o.scrubLoop(stop) })
+	}
 
 	if o.cfg.MonAddr != "" {
 		if err := o.bootWithMonitor(); err != nil {
@@ -791,6 +847,19 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry, prefix string) {
 		return int64(o.MaxOccupancy() * 10000)
 	})
 	r.RegisterCounter(prefix+".repl.laggy_nacks", &o.LaggyNacks)
+	r.RegisterCounter(prefix+".cksum.read_errors", &o.CksumReadErrors)
+	r.RegisterCounter(prefix+".scrub.passes", &o.ScrubPasses)
+	r.RegisterCounter(prefix+".scrub.objects", &o.ScrubObjects)
+	r.RegisterCounter(prefix+".scrub.errors_found", &o.ScrubErrors)
+	r.RegisterCounter(prefix+".scrub.repairs", &o.ScrubRepairs)
+	r.RegisterCounter(prefix+".oplog.data_heals", &o.OplogHeals)
+	r.RegisterFunc(prefix+".scrub.last_age_ms", func() int64 {
+		t := o.lastScrub.Load()
+		if t == 0 {
+			return -1 // never scrubbed
+		}
+		return time.Since(time.Unix(0, t)).Milliseconds()
+	})
 	r.RegisterFunc(prefix+".repl.ack_ewma_us_max", func() int64 {
 		var max int64
 		for _, d := range o.PeerAckLatencies() {
@@ -816,6 +885,7 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry, prefix string) {
 		r.RegisterCounter(prefix+".rcache.invalidations", &st.Invalidations)
 		r.RegisterCounter(prefix+".rcache.fill_aborts", &st.FillAborts)
 		r.RegisterCounter(prefix+".rcache.patches", &st.Patches)
+		r.RegisterCounter(prefix+".rcache.verify_rejects", &st.VerifyRejects)
 		r.RegisterFunc(prefix+".rcache.occupancy", rc.Occupancy)
 		r.RegisterFunc(prefix+".rcache.hit_rate_x100", func() int64 {
 			h, m := st.Hits.Load(), st.Misses.Load()

@@ -1,6 +1,7 @@
 package osd
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -340,6 +341,10 @@ func recvPullReply(pull messenger.Conn, id uint64) (wire.Message, error) {
 			if m.ReqID == id {
 				return msg, nil
 			}
+		case *wire.ScrubChunk:
+			if m.ReqID == id {
+				return msg, nil
+			}
 		}
 	}
 }
@@ -459,8 +464,18 @@ func (o *OSD) serveBackfillPull(conn messenger.Conn, msg *wire.BackfillPull) {
 	}
 	for _, info := range infos {
 		data, err := o.st.Read(msg.PG, info.OID, 0, uint32(info.Size))
+		if errors.Is(err, store.ErrNotFound) {
+			continue // deleted between list and read
+		}
 		if err != nil {
-			continue
+			// Includes checksum failures: silently skipping the object
+			// would make the puller prune it as deleted — turning one
+			// rotten replica into cluster-wide data loss. Abort the chunk;
+			// scrub/read-repair restores the object, then backfill retries.
+			reply.Status = wire.StatusIOError
+			reply.Objects = nil
+			_ = conn.Send(reply)
+			return
 		}
 		reply.Objects = append(reply.Objects, wire.BackfillObject{
 			OID:     info.OID,

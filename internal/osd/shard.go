@@ -268,7 +268,11 @@ func (sh *shard) processRun(run []runOp) {
 		}
 		t.pgs = pgs
 		// Every run op is a mutation (reads bypass processRun): move the
-		// repair fence so an in-flight push read-back goes stale.
+		// repair fence so an in-flight push read-back goes stale. The
+		// pending-fan-out count moves first: a repair that snapshots muts
+		// with this op counted must also see its fan-out as pending until
+		// it completes (see pgState.replPend).
+		pgs.replPend.Add(1)
 		pgs.muts.Add(1)
 		if !t.client {
 			o.ReplOps.Inc()
@@ -356,6 +360,7 @@ func (sh *shard) processRun(run []runOp) {
 				ReqID: t.reqID, PG: t.pg, Seq: t.op.Seq,
 				From: o.cfg.ID, Status: wire.StatusOK,
 			})
+			t.pgs.replPend.Add(-1) // secondary role: the ack is the whole obligation
 			continue
 		}
 		conn, reqID, pg, oid, version := t.conn, t.reqID, t.pg, t.op.OID, t.op.Version
@@ -370,7 +375,9 @@ func (sh *shard) processRun(run []runOp) {
 		// A failed fan-out leaves this primary ahead of a replica with no
 		// guarantee the client retries: queue the object for repair so
 		// the replicas reconverge even if this was its last write.
+		pgs := t.pgs
 		id := o.pending.register(len(t.secondaries), func(status wire.Status) {
+			pgs.replPend.Add(-1)
 			if status != wire.StatusOK {
 				o.noteRepair(pg, oid)
 			}
@@ -385,6 +392,11 @@ func (sh *shard) processRun(run []runOp) {
 // marks it done.
 func (sh *shard) finishStatus(t *runOp, status wire.Status) {
 	t.done = true
+	if t.pgs != nil {
+		// Counted in phase A (t.pgs is only set after the increment);
+		// the op dies here, so its fan-out obligation dies with it.
+		t.pgs.replPend.Add(-1)
+	}
 	if t.client {
 		_ = t.conn.Send(&wire.Reply{ReqID: t.reqID, Status: status})
 		return

@@ -267,6 +267,12 @@ func (o *OSD) drainBatch(owned []*pgState) {
 			s.flushMu.Unlock()
 			continue
 		}
+		if err := o.verifyStaged(s, batch); err != nil {
+			s.log.Requeue(batch)
+			o.noteFlushErr(s, err)
+			s.flushMu.Unlock()
+			continue
+		}
 		if batchHasRead(batch) {
 			err := o.applyAndComplete(s, batch, flushGen)
 			s.flushMu.Unlock()
@@ -370,7 +376,24 @@ func (o *OSD) flushPG(s *pgState) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	if err := o.verifyStaged(s, batch); err != nil {
+		s.log.Requeue(batch)
+		return err
+	}
 	return o.applyAndComplete(s, batch, flushGen)
+}
+
+// verifyStaged checks every staged payload against the CRC recorded at
+// append time, restoring any corrupted DRAM copy from its NVM frame before
+// the batch reaches the store. Errors only when a payload is corrupt AND
+// its frame is unreadable — requeue and retry is all that's left then.
+func (o *OSD) verifyStaged(s *pgState, batch []*oplog.Entry) error {
+	healed, err := s.log.VerifyStagedData(batch)
+	if healed > 0 {
+		o.OplogHeals.Add(int64(healed))
+		log.Printf("osd %d: pg %d restored %d staged payloads from NVM", o.cfg.ID, s.pg, healed)
+	}
+	return err
 }
 
 // applyAndComplete applies one PG's taken batch and completes (or, on
@@ -437,6 +460,15 @@ func (o *OSD) applyEntries(s *pgState, batch []*oplog.Entry, flushGen uint64) er
 			if w, ok := o.readWaiters.LoadAndDelete(key); ok {
 				rt := w.(*readTask)
 				data, err := o.storeRead(s.pg, rt.oid, rt.off, rt.length)
+				if errors.Is(err, store.ErrChecksum) {
+					// Read-repair, without re-entering flushPG (the caller
+					// holds s.flushMu and the writes ordered before this
+					// read just landed).
+					o.CksumReadErrors.Inc()
+					if full, ok := o.repairCore(s.pg, s, rt.oid, s.muts.Load()); ok {
+						data, err = rangeOf(full, rt.off, rt.length), nil
+					}
+				}
 				if err != nil {
 					rt.reply(storeStatus(err), nil)
 				} else {
@@ -572,7 +604,7 @@ func (o *OSD) storeRead(pg uint32, oid wire.ObjectID, off uint64, length uint32)
 func (o *OSD) serveColdRead(pg uint32, msg *readTask) {
 	rc := o.rcache
 	if rc == nil || o.cosStore == nil {
-		data, err := o.storeRead(pg, msg.oid, msg.off, msg.length)
+		data, err := o.verifiedRead(pg, msg.oid, msg.off, msg.length)
 		if err != nil {
 			msg.reply(storeStatus(err), nil)
 			return
@@ -585,6 +617,16 @@ func (o *OSD) serveColdRead(pg uint32, msg *readTask) {
 	buf := o.getReadBuf(int(n))
 	if err := o.cosStore.ReadInto(pg, msg.oid, off, *buf); err != nil {
 		o.putReadBuf(buf)
+		if errors.Is(err, store.ErrChecksum) {
+			// Read-repair: serve the requested range from a clean replica
+			// and queue the fenced local rewrite. The failing fill is never
+			// admitted to the cache.
+			o.CksumReadErrors.Inc()
+			if full, ok := o.repairFromReplica(pg, msg.oid); ok {
+				msg.reply(wire.StatusOK, rangeOf(full, msg.off, uint32(msg.length)))
+				return
+			}
+		}
 		msg.reply(storeStatus(err), nil)
 		return
 	}

@@ -65,6 +65,14 @@ type Options struct {
 	// Shards is the internal lock-shard count (default 8). All blocks of
 	// one object live in one shard, so invalidation is single-shard.
 	Shards int
+	// Verify, when non-nil, is consulted before any bytes are installed
+	// into a slot (miss fills, flush admissions and patches alike): it
+	// reports whether block — covering [off, off+len(block)) of the
+	// object — matches the backend's integrity metadata. A false return
+	// drops that admission (counted in VerifyRejects). The OSD wires the
+	// store's block-checksum table here, so bytes that fail verification
+	// can never be served at cache latency later.
+	Verify func(pg uint32, oid wire.ObjectID, off uint64, block []byte) bool
 }
 
 // Stats counts cache activity.
@@ -76,11 +84,13 @@ type Stats struct {
 	Invalidations metrics.Counter // blocks dropped by strict invalidation
 	FillAborts    metrics.Counter // admissions refused by a moved generation
 	Patches       metrics.Counter // partially-covered resident blocks patched in place
+	VerifyRejects metrics.Counter // admissions refused by the Verify hook
 }
 
 // Cache is the NVM-resident read cache of one OSD.
 type Cache struct {
 	slotBytes int
+	verify    func(pg uint32, oid wire.ObjectID, off uint64, block []byte) bool
 	buf       []byte // the whole region, sliced once (volatile view)
 	shards    []*cshard
 	stats     Stats
@@ -164,7 +174,7 @@ func New(region *nvm.Region, opts Options) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cache{slotBytes: slot, buf: buf, nslots: nslots}
+	c := &Cache{slotBytes: slot, buf: buf, nslots: nslots, verify: opts.Verify}
 	per := nslots / nsh
 	for i := 0; i < nsh; i++ {
 		n := per
@@ -514,6 +524,10 @@ func (c *Cache) AdmitFill(pg uint32, gen uint64, oid wire.ObjectID, off uint64, 
 		if hi > uint64(len(data)) {
 			hi = uint64(len(data))
 		}
+		if c.verify != nil && !c.verify(pg, oid, b*slot, data[lo:hi]) {
+			c.stats.VerifyRejects.Inc()
+			continue
+		}
 		sh.admitLocked(h, pg, oid, b, data[lo:hi])
 	}
 }
@@ -566,6 +580,10 @@ func (c *Cache) FlushAdmit(pg uint32, gen uint64, oid wire.ObjectID, off uint64,
 			hi = end - blkStart
 		}
 		seg := data[blkStart+lo-off : blkStart+hi-off]
+		if c.verify != nil && !c.verify(pg, oid, blkStart+lo, seg) {
+			c.stats.VerifyRejects.Inc()
+			continue
+		}
 		if lo == 0 && hi == slot {
 			if e := sh.admitLocked(h, pg, oid, b, seg); e != nil {
 				e.flushed = true

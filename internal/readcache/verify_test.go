@@ -1,0 +1,121 @@
+package readcache
+
+import (
+	"sync"
+	"testing"
+
+	"rebloc/internal/wire"
+)
+
+// rejectBlocks builds a Verify hook that fails any block whose first byte
+// matches bad, and counts consultations.
+func rejectBlocks(bad byte, calls *int32, mu *sync.Mutex) func(uint32, wire.ObjectID, uint64, []byte) bool {
+	return func(pg uint32, o wire.ObjectID, off uint64, block []byte) bool {
+		mu.Lock()
+		*calls++
+		mu.Unlock()
+		return len(block) == 0 || block[0] != bad
+	}
+}
+
+// TestVerifyRejectsMissFill: a failing block must never be admitted on a
+// cold-miss fill — a later lookup has to miss, never serve the bad bytes.
+func TestVerifyRejectsMissFill(t *testing.T) {
+	var calls int32
+	var mu sync.Mutex
+	c := newCache(t, 64<<10, Options{Shards: 1, Verify: rejectBlocks(0xBD, &calls, &mu)})
+	o := oid("obj")
+
+	good := pattern(4096, 7)
+	bad := pattern(4096, 0) // block[0] == 0xBD after overwrite below
+	bad[0] = 0xBD
+	g := c.FillGen(1)
+	// Two-block fill: block 0 verifies, block 1 fails.
+	c.AdmitFill(1, g, o, 0, append(append([]byte(nil), good...), bad...))
+
+	mustHit(t, c, 1, o, 0, 4096, good)
+	if _, ok := c.Lookup(1, o, 4096, 4096); ok {
+		t.Fatal("unverified block served from cache")
+	}
+	if c.Stats().VerifyRejects.Load() != 1 {
+		t.Fatalf("VerifyRejects = %d, want 1", c.Stats().VerifyRejects.Load())
+	}
+	mu.Lock()
+	n := calls
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("verify consulted %d times, want 2", n)
+	}
+}
+
+// TestVerifyRejectsFlushAdmit: flush admission (full-block) and patch-in-
+// place both go through the hook; a failing segment leaves the resident
+// entry untouched rather than installing unverified bytes.
+func TestVerifyRejectsFlushAdmit(t *testing.T) {
+	var calls int32
+	var mu sync.Mutex
+	c := newCache(t, 64<<10, Options{Shards: 1, Verify: rejectBlocks(0xBD, &calls, &mu)})
+	o := oid("obj")
+
+	good := pattern(4096, 7)
+	g := c.FlushGen(1)
+	c.FlushAdmit(1, g, o, 0, good)
+	mustHit(t, c, 1, o, 0, 4096, good)
+
+	// Full-block flush admit with failing bytes: rejected, old bytes stay.
+	bad := pattern(4096, 9)
+	bad[0] = 0xBD
+	c.FlushAdmit(1, g, o, 0, bad)
+	mustHit(t, c, 1, o, 0, 4096, good)
+
+	// Patch-in-place with failing bytes: rejected, old bytes stay.
+	seg := []byte{0xBD, 2, 3}
+	c.FlushAdmit(1, g, o, 100, seg)
+	mustHit(t, c, 1, o, 0, 4096, good)
+
+	// A verifying patch still lands.
+	okSeg := []byte{1, 2, 3}
+	c.FlushAdmit(1, g, o, 100, okSeg)
+	want := append([]byte(nil), good...)
+	copy(want[100:], okSeg)
+	mustHit(t, c, 1, o, 0, 4096, want)
+
+	if got := c.Stats().VerifyRejects.Load(); got != 2 {
+		t.Fatalf("VerifyRejects = %d, want 2", got)
+	}
+}
+
+// TestVerifyHookConcurrent drives fills and flush admits through the hook
+// from many goroutines; the race detector is the assertion.
+func TestVerifyHookConcurrent(t *testing.T) {
+	var calls int32
+	var mu sync.Mutex
+	c := newCache(t, 256<<10, Options{Verify: rejectBlocks(0xBD, &calls, &mu)})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := oid("obj")
+			data := pattern(8192, byte(w+1))
+			for i := 0; i < 200; i++ {
+				pg := uint32(w)
+				if i%3 == 0 {
+					data[0] = 0xBD // some admissions fail verification
+				} else {
+					data[0] = byte(w + 1)
+				}
+				c.AdmitFill(pg, c.FillGen(pg), o, 0, data)
+				c.FlushAdmit(pg, c.FlushGen(pg), o, 4096, data[:4096])
+				if v, ok := c.Lookup(pg, o, 0, 4096); ok {
+					buf := make([]byte, 4096)
+					v.CopyTo(buf)
+					v.Release()
+				}
+				c.Invalidate(pg, o)
+			}
+		}()
+	}
+	wg.Wait()
+}

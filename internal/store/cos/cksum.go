@@ -1,0 +1,321 @@
+package cos
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"rebloc/internal/device"
+	"rebloc/internal/store"
+)
+
+// Block checksums at rest: every data block carries a CRC32C in a
+// dedicated checksum area between the misc snapshot and the data blocks.
+// The onode's 512-byte slot cannot hold per-4KiB CRCs for a 4 MiB
+// pre-allocated object, so the extent checksums live in a block-indexed
+// table instead — one u32 per data block, persisted in 512-byte chunks
+// (128 CRCs) through the same NVM metadata cache the onodes use, or in
+// place when the cache is off.
+//
+// Invariant: cks[i] != 0 implies CRC32C(current content of block i) ==
+// cks[i]. A zero entry means "unknown — skip verification": partial-block
+// writes invalidate their edge blocks, freed extents are invalidated on
+// reclaim, and a computed CRC that happens to be zero is stored as the
+// unknown marker (a deliberate 2^-32 coverage hole, not a correctness
+// bug). CRCs are computed from the submitted data during write planning —
+// the bytes are already in hand before WriteAtv — and the table is only
+// updated after the device accepts the batch, so a torn write leaves the
+// old CRC in place and the mismatch surfaces as store.ErrChecksum on the
+// next read, where the OSD's read-repair path takes over.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcBlock is the checksum of a block's content.
+func crcBlock(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// ckChunkBytes is the persistence granularity of the checksum table:
+// 128 CRCs per 512-byte chunk, the same payload size as an onode slot so
+// the NVM metadata cache can hold either kind of entry.
+const (
+	ckPerChunk   = ckChunkBytes / 4
+	ckChunkBytes = 512
+)
+
+// ckUpdate is one planned table update; crc 0 invalidates the block.
+type ckUpdate struct {
+	idx uint32
+	crc uint32
+}
+
+// initCksums sizes the in-memory table to the data area. Caller has run
+// layout(); the table never reallocates, so distinct elements can be read
+// without the partition lock (readers are fenced from same-object writers
+// by the claim protocol, see readInto).
+func (p *partition) initCksums() {
+	if !p.cfg.Checksums {
+		return
+	}
+	nblocks := (p.dataEnd - p.dataBase) / uint64(p.cfg.BlockBytes)
+	p.cks = make([]uint32, nblocks)
+	p.dirtyCks = make(map[uint32]struct{})
+	zeros := make([]byte, p.cfg.BlockBytes)
+	p.crcZero = crcBlock(zeros)
+}
+
+// ckIndexOf maps a device offset to its data-block index.
+func (p *partition) ckIndexOf(devOff uint64) uint64 {
+	return (devOff - p.dataBase) / uint64(p.cfg.BlockBytes)
+}
+
+// ckSet updates one table entry and marks its chunk dirty for the next
+// persist. Caller holds p.mu.
+func (p *partition) ckSet(idx uint64, crc uint32) {
+	if p.cks == nil || idx >= uint64(len(p.cks)) {
+		return
+	}
+	p.cks[idx] = crc
+	p.dirtyCks[uint32(idx/ckPerChunk)] = struct{}{}
+}
+
+// noteZeroed records that [off, off+length) now holds zeros: full blocks
+// get the precomputed zero-block CRC, partial edge blocks become unknown.
+// Caller holds p.mu.
+func (p *partition) noteZeroed(off, length uint64) {
+	if p.cks == nil {
+		return
+	}
+	bb := uint64(p.cfg.BlockBytes)
+	end := off + length
+	a := roundUp(off, bb)
+	if a > off {
+		p.ckSet(p.ckIndexOf(off), 0)
+	}
+	for ; a+bb <= end; a += bb {
+		p.ckSet(p.ckIndexOf(a), p.crcZero)
+	}
+	if a < end {
+		p.ckSet(p.ckIndexOf(a), 0)
+	}
+}
+
+// noteInvalid marks every block touching [off, off+length) unknown (spill
+// writes, freed extents). Caller holds p.mu.
+func (p *partition) noteInvalid(off, length uint64) {
+	if p.cks == nil || length == 0 {
+		return
+	}
+	first := p.ckIndexOf(off)
+	last := p.ckIndexOf(off + length - 1)
+	for i := first; i <= last; i++ {
+		p.ckSet(i, 0)
+	}
+}
+
+// planVecCks appends the table updates implied by a batch's data vectors:
+// fully covered blocks get their content CRC, partial edge blocks are
+// invalidated. Runs without the partition lock — it only reads the
+// caller-owned vectors. Applied later, in submit order, so overlapping
+// vectors resolve to the later write like the device does.
+func (p *partition) planVecCks(upd []ckUpdate, vecs []device.IOVec) []ckUpdate {
+	if p.cks == nil {
+		return upd
+	}
+	bb := uint64(p.cfg.BlockBytes)
+	for _, v := range vecs {
+		off := uint64(v.Off)
+		end := off + uint64(len(v.Data))
+		a := roundUp(off, bb)
+		if a > off {
+			upd = append(upd, ckUpdate{idx: uint32(p.ckIndexOf(off))})
+		}
+		for ; a+bb <= end; a += bb {
+			upd = append(upd, ckUpdate{
+				idx: uint32(p.ckIndexOf(a)),
+				crc: crcBlock(v.Data[a-off : a-off+bb]),
+			})
+		}
+		if a < end {
+			upd = append(upd, ckUpdate{idx: uint32(p.ckIndexOf(a))})
+		}
+	}
+	return upd
+}
+
+// applyCkUpdates installs a batch's planned updates. Caller holds p.mu and
+// the batch's device write has succeeded.
+func (p *partition) applyCkUpdates(upd []ckUpdate) {
+	for _, u := range upd {
+		p.ckSet(uint64(u.idx), u.crc)
+	}
+}
+
+// verifyVecs checks every fully covered, block-aligned region of a read's
+// filled vectors against the table. Runs without the partition lock: the
+// reader's claim (on.readers) keeps same-object writers out of planning,
+// so the entries covering these extents cannot change underneath it.
+func (p *partition) verifyVecs(vecs []device.IOVec) error {
+	if p.cks == nil {
+		return nil
+	}
+	bb := uint64(p.cfg.BlockBytes)
+	for _, v := range vecs {
+		off := uint64(v.Off)
+		end := off + uint64(len(v.Data))
+		for a := roundUp(off, bb); a+bb <= end; a += bb {
+			idx := p.ckIndexOf(a)
+			if idx >= uint64(len(p.cks)) {
+				continue
+			}
+			want := p.cks[idx]
+			if want == 0 {
+				continue
+			}
+			if got := crcBlock(v.Data[a-off : a-off+bb]); got != want {
+				return fmt.Errorf("cos: partition %d block %d crc %08x != %08x: %w",
+					p.id, idx, got, want, store.ErrChecksum)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyEdges covers the partial edge blocks verifyVecs must skip: a block
+// only partially covered by a read vector cannot be checked from the
+// vector's bytes alone, so its WHOLE block is re-read into scratch and
+// verified. Without this, every sub-block read would bypass verification —
+// exactly the reads a client issues most. Aligned reads (the cache-fill
+// path) have no partial edges and pay nothing. Runs under the same reader
+// claim as verifyVecs.
+func (p *partition) verifyEdges(vecs []device.IOVec) error {
+	if p.cks == nil {
+		return nil
+	}
+	bb := uint64(p.cfg.BlockBytes)
+	var scratch []byte
+	check := func(blockOff uint64) error {
+		idx := p.ckIndexOf(blockOff)
+		if idx >= uint64(len(p.cks)) {
+			return nil
+		}
+		want := p.cks[idx]
+		if want == 0 {
+			return nil
+		}
+		if scratch == nil {
+			scratch = make([]byte, bb)
+		}
+		if _, err := p.dev.ReadAt(scratch, int64(blockOff)); err != nil {
+			return fmt.Errorf("cos: edge block read: %w", err)
+		}
+		if got := crcBlock(scratch); got != want {
+			return fmt.Errorf("cos: partition %d block %d crc %08x != %08x: %w",
+				p.id, idx, got, want, store.ErrChecksum)
+		}
+		return nil
+	}
+	for _, v := range vecs {
+		off := uint64(v.Off)
+		end := off + uint64(len(v.Data))
+		head := off / bb * bb
+		tail := (end - 1) / bb * bb
+		if off%bb != 0 {
+			if err := check(head); err != nil {
+				return err
+			}
+		}
+		if end%bb != 0 && (tail != head || off%bb == 0) {
+			if err := check(tail); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verifyRange re-checks [off, off+length) of an object's content already
+// in buf (same block-granularity rules as verifyVecs). segs is the
+// device-extent resolution of the range; holes are skipped. Caller holds
+// p.mu (the check is pure memory compare against the table).
+func (p *partition) verifyRange(segs []segment, buf []byte) bool {
+	if p.cks == nil {
+		return true
+	}
+	bb := uint64(p.cfg.BlockBytes)
+	pos := uint64(0)
+	for _, seg := range segs {
+		if seg.hole {
+			pos += seg.length
+			continue
+		}
+		off := seg.devOff
+		end := off + seg.length
+		for a := roundUp(off, bb); a+bb <= end; a += bb {
+			idx := p.ckIndexOf(a)
+			if idx >= uint64(len(p.cks)) {
+				continue
+			}
+			want := p.cks[idx]
+			if want == 0 {
+				continue
+			}
+			b := buf[pos+(a-off) : pos+(a-off)+bb]
+			if crcBlock(b) != want {
+				return false
+			}
+		}
+		pos += seg.length
+	}
+	return true
+}
+
+// persistDirtyCks writes every dirty chunk of the table through the NVM
+// metadata cache (or in place when the cache is off) and clears the dirty
+// set. Caller holds p.mu.
+func (p *partition) persistDirtyCks() error {
+	if p.cks == nil || len(p.dirtyCks) == 0 {
+		return nil
+	}
+	img := make([]byte, ckChunkBytes)
+	for chunk := range p.dirtyCks {
+		base := uint64(chunk) * ckPerChunk
+		for i := 0; i < ckPerChunk; i++ {
+			var v uint32
+			if base+uint64(i) < uint64(len(p.cks)) {
+				v = p.cks[base+uint64(i)]
+			}
+			putLE32(img[i*4:], v)
+		}
+		if p.md != nil {
+			if err := p.md.putCksum(chunk, img); err != nil {
+				return err
+			}
+		} else {
+			if _, err := p.dev.WriteAt(img, int64(p.cksumBase+uint64(chunk)*ckChunkBytes)); err != nil {
+				return fmt.Errorf("cos: checksum chunk write: %w", err)
+			}
+		}
+		delete(p.dirtyCks, chunk)
+	}
+	return nil
+}
+
+// loadCksums restores the table from the device checksum area, then
+// overlays any newer chunks surviving in the NVM metadata cache.
+func (p *partition) loadCksums(nvmChunks map[uint32][]byte) error {
+	if p.cks == nil {
+		return nil
+	}
+	buf := make([]byte, p.cksumSize)
+	if _, err := p.dev.ReadAt(buf, int64(p.cksumBase)); err != nil {
+		return fmt.Errorf("cos: read checksum area: %w", err)
+	}
+	for i := range p.cks {
+		p.cks[i] = getLE32(buf[i*4:])
+	}
+	for chunk, img := range nvmChunks {
+		base := uint64(chunk) * ckPerChunk
+		for i := 0; i < ckPerChunk && base+uint64(i) < uint64(len(p.cks)); i++ {
+			p.cks[base+uint64(i)] = getLE32(img[i*4:])
+		}
+	}
+	return nil
+}

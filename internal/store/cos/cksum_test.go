@@ -1,0 +1,211 @@
+package cos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rebloc/internal/device"
+	"rebloc/internal/nvm"
+	"rebloc/internal/store"
+)
+
+// corruptObjectBlock flips one byte of the object's first data block
+// directly on the backing device, below the store — silent bit rot.
+func corruptObjectBlock(t *testing.T, s *Store, mem *device.Mem, pg uint32, name string) {
+	t.Helper()
+	p := s.partFor(pg)
+	p.mu.Lock()
+	on, err := p.lookup(uint64(store.MakeKey(pg, oid(name))), name)
+	if err != nil {
+		p.mu.Unlock()
+		t.Fatalf("lookup: %v", err)
+	}
+	segs := p.resolveInto(nil, on, 0, 4096)
+	p.mu.Unlock()
+	if len(segs) == 0 || segs[0].hole {
+		t.Fatal("object has no backing extent")
+	}
+	b := make([]byte, 1)
+	if _, err := mem.ReadAt(b, int64(segs[0].devOff)+100); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := mem.WriteAt(b, int64(segs[0].devOff)+100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsBitRot(t *testing.T) {
+	mem := device.NewMem(256 << 20)
+	s := openTestStore(t, mem, smallOpts())
+	defer s.Close()
+
+	data := bytes.Repeat([]byte{0x42}, 8192)
+	writeObj(t, s, 1, "obj", 0, data)
+	if _, err := s.Read(1, oid("obj"), 0, 8192); err != nil {
+		t.Fatalf("clean read: %v", err)
+	}
+
+	corruptObjectBlock(t, s, mem, 1, "obj")
+
+	// Read: typed error, never garbage.
+	if _, err := s.Read(1, oid("obj"), 0, 4096); !errors.Is(err, store.ErrChecksum) {
+		t.Fatalf("Read err = %v, want ErrChecksum", err)
+	}
+	// Pooled ReadInto: same contract.
+	buf := make([]byte, 8192)
+	if err := s.ReadInto(1, oid("obj"), 0, buf); !errors.Is(err, store.ErrChecksum) {
+		t.Fatalf("ReadInto err = %v, want ErrChecksum", err)
+	}
+	// The second block is untouched and still readable.
+	got, err := s.Read(1, oid("obj"), 4096, 4096)
+	if err != nil || !bytes.Equal(got, data[4096:]) {
+		t.Fatalf("untouched block: %v", err)
+	}
+	// Rewriting the block restores it.
+	writeObj(t, s, 1, "obj", 0, data[:4096])
+	if _, err := s.Read(1, oid("obj"), 0, 8192); err != nil {
+		t.Fatalf("read after rewrite: %v", err)
+	}
+}
+
+func TestChecksumPartialBlockWritesSkipVerification(t *testing.T) {
+	mem := device.NewMem(256 << 20)
+	s := openTestStore(t, mem, smallOpts())
+	defer s.Close()
+
+	// A sub-block write invalidates its edge blocks: no false positives,
+	// no protection either — only full-block writes record a CRC.
+	writeObj(t, s, 1, "frag", 0, bytes.Repeat([]byte{9}, 4096))
+	writeObj(t, s, 1, "frag", 100, []byte("partial"))
+	got, err := s.Read(1, oid("frag"), 0, 4096)
+	if err != nil {
+		t.Fatalf("read after partial write: %v", err)
+	}
+	if string(got[100:107]) != "partial" {
+		t.Fatal("partial write content lost")
+	}
+	// The invalidated block no longer detects rot…
+	corruptObjectBlock(t, s, mem, 1, "frag")
+	if _, err := s.Read(1, oid("frag"), 0, 4096); err != nil {
+		t.Fatalf("invalidated block must not verify: %v", err)
+	}
+	// …until the next full-block write re-arms it.
+	writeObj(t, s, 1, "frag", 0, bytes.Repeat([]byte{8}, 4096))
+	corruptObjectBlock(t, s, mem, 1, "frag")
+	if _, err := s.Read(1, oid("frag"), 0, 4096); !errors.Is(err, store.ErrChecksum) {
+		t.Fatalf("re-armed block: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestChecksumSurvivesRestart(t *testing.T) {
+	// CRCs persist through the NVM metadata cache: a crash (no Close)
+	// keeps the table's tail in NVM, and recovery overlays it onto the
+	// device area — corruption injected before reopen is still caught.
+	bank := nvm.NewBank(32 << 20)
+	mem := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.Bank = bank
+	opts.MDCache = true
+	s := openTestStore(t, mem, opts)
+
+	data := bytes.Repeat([]byte{0x17}, 4096)
+	writeObj(t, s, 2, "persist", 0, data)
+	// Crash: no Close, no Flush — the chunk lives only in NVM.
+	corruptObjectBlock(t, s, mem, 2, "persist")
+
+	s2 := openTestStore(t, mem, opts)
+	defer s2.Close()
+	if _, err := s2.Read(2, oid("persist"), 0, 4096); !errors.Is(err, store.ErrChecksum) {
+		t.Fatalf("after crash-reopen: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestChecksumSurvivesCleanRestartNoCache(t *testing.T) {
+	// Without the NVM cache the chunks are written in place per batch, so
+	// even a crash-style reopen sees them.
+	mem := device.NewMem(256 << 20)
+	s := openTestStore(t, mem, smallOpts())
+	writeObj(t, s, 3, "plain", 0, bytes.Repeat([]byte{0x55}, 4096))
+	corruptObjectBlock(t, s, mem, 3, "plain")
+
+	s2 := openTestStore(t, mem, smallOpts())
+	defer s2.Close()
+	if _, err := s2.Read(3, oid("plain"), 0, 4096); !errors.Is(err, store.ErrChecksum) {
+		t.Fatalf("after reopen: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestChecksumsOffServesGarbage(t *testing.T) {
+	// The ablation knob: with checksums off the same corruption sails
+	// through — this is the behaviour the integrity layer exists to end.
+	mem := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.Checksums = false
+	s := openTestStore(t, mem, opts)
+	defer s.Close()
+	data := bytes.Repeat([]byte{0x33}, 4096)
+	writeObj(t, s, 1, "naked", 0, data)
+	corruptObjectBlock(t, s, mem, 1, "naked")
+	got, err := s.Read(1, oid("naked"), 0, 4096)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if bytes.Equal(got, data) {
+		t.Fatal("corruption did not reach the reader — test is vacuous")
+	}
+}
+
+func TestVerifyData(t *testing.T) {
+	mem := device.NewMem(256 << 20)
+	s := openTestStore(t, mem, smallOpts())
+	defer s.Close()
+	data := bytes.Repeat([]byte{0x77}, 8192)
+	writeObj(t, s, 1, "vd", 0, data)
+
+	if !s.VerifyData(1, oid("vd"), 0, data) {
+		t.Fatal("correct bytes must verify")
+	}
+	bad := append([]byte(nil), data...)
+	bad[5] ^= 1
+	if s.VerifyData(1, oid("vd"), 0, bad) {
+		t.Fatal("corrupted bytes must not verify")
+	}
+	// Sub-block slices span no full block: nothing to check, passes.
+	if !s.VerifyData(1, oid("vd"), 100, bad[100:600]) {
+		t.Fatal("unaligned short slice must pass (no covered block)")
+	}
+	// Unknown objects pass (nothing to contradict).
+	if !s.VerifyData(1, oid("missing"), 0, data) {
+		t.Fatal("missing object must pass")
+	}
+}
+
+func TestChecksumDeleteRecreateInvalidates(t *testing.T) {
+	// Reclaimed extents must not leave stale CRCs behind for the next
+	// owner of the blocks.
+	mem := device.NewMem(256 << 20)
+	opts := smallOpts()
+	opts.Partitions = 1
+	s := openTestStore(t, mem, opts)
+	defer s.Close()
+
+	writeObj(t, s, 1, "cycle", 0, bytes.Repeat([]byte{1}, 4096))
+	var txn store.Transaction
+	txn.AddDelete(1, oid("cycle"))
+	if err := s.Submit(&txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil { // runs the delayed reclaim
+		t.Fatal(err)
+	}
+	writeObj(t, s, 1, "cycle", 0, bytes.Repeat([]byte{2}, 4096))
+	got, err := s.Read(1, oid("cycle"), 0, 4096)
+	if err != nil {
+		t.Fatalf("read recreated object: %v", err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("recreated content wrong: %#x", got[0])
+	}
+}

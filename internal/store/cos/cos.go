@@ -44,6 +44,11 @@ type Options struct {
 	// RegionName prefixes the NVM regions carved by this store, so several
 	// stores can share one bank.
 	RegionName string
+	// Checksums enables per-block CRC32C at rest: computed during submit
+	// planning, verified on every read, persisted through the NVM metadata
+	// cache (cksum.go). The checksum area is reserved in the partition
+	// layout either way, so the knob can be toggled across restarts.
+	Checksums bool
 }
 
 // DefaultOptions returns the paper's proposed configuration (pre-allocation
@@ -57,6 +62,7 @@ func DefaultOptions() Options {
 		PreallocZeroFill:       true,
 		MaxObjectsPerPartition: 4096,
 		MDCacheBytes:           2 << 20,
+		Checksums:              true,
 	}
 }
 
@@ -109,8 +115,11 @@ func Open(dev device.Device, opts Options) (*Store, error) {
 	devSize := uint64(dev.Size())
 	partSize := (devSize - superBytes) / uint64(opts.Partitions)
 	partSize = partSize / uint64(opts.BlockBytes) * uint64(opts.BlockBytes)
+	// The checksum area scales with the partition (4 bytes per block),
+	// so the minimum must account for it before layout() runs.
+	cksumEstimate := roundUp(partSize/uint64(opts.BlockBytes)*4, ckChunkBytes) + ckChunkBytes
 	minPart := uint64(superBytes) + uint64(opts.MaxObjectsPerPartition)*OnodeBytes +
-		allocAreaBytes + miscAreaBytes + 4*uint64(opts.BlockBytes)
+		allocAreaBytes + miscAreaBytes + cksumEstimate + 4*uint64(opts.BlockBytes)
 	if partSize < minPart {
 		return nil, fmt.Errorf("cos: device too small: partition %d < minimum %d", partSize, minPart)
 	}
@@ -141,7 +150,7 @@ func Open(dev device.Device, opts Options) (*Store, error) {
 					return nil, fmt.Errorf("cos: carve NVM cache: %w", err)
 				}
 			}
-			p.md = newMDCache(region, dev, p.onodeBase)
+			p.md = newMDCache(region, dev, p.onodeBase, p.cksumBase)
 		}
 		s.parts = append(s.parts, p)
 	}
@@ -362,6 +371,32 @@ func (s *Store) ReadInto(pg uint32, oid wire.ObjectID, off uint64, out []byte) e
 	}
 	p := s.partFor(pg)
 	return p.readInto(uint64(store.MakeKey(pg, oid)), oid.Name, off, out)
+}
+
+// VerifyData reports whether data, purported to be the object's content
+// at [off, off+len(data)), is consistent with the stored block checksums.
+// Blocks without a recorded checksum (partial writes, holes) pass, as
+// does everything when checksums are off — the result is "no evidence of
+// corruption", not proof of integrity. The read cache consults this
+// before admitting bytes so a corrupt fill can never be cached.
+func (s *Store) VerifyData(pg uint32, oid wire.ObjectID, off uint64, data []byte) bool {
+	if s.closed.Load() || len(data) == 0 {
+		return true
+	}
+	p := s.partFor(pg)
+	if p.cks == nil {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	on, err := p.lookup(uint64(store.MakeKey(pg, oid)), oid.Name)
+	if err != nil {
+		return true // object gone; nothing to contradict
+	}
+	segs := p.resolveInto(p.segScratch[:0], on, off, uint64(len(data)))
+	ok := p.verifyRange(segs, data)
+	p.segScratch = segs[:0]
+	return ok
 }
 
 // GetAttr implements store.ObjectStore.

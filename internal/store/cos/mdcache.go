@@ -12,14 +12,20 @@ import (
 // per-write metadata I/O. Entries are written back to the device only on
 // eviction or flush, so the store's steady-state WAF approaches 1.
 //
-// Entry layout: [u32 valid magic][u32 slot][OnodeBytes onode image].
+// Entry layout: [u32 kind magic][u32 key][512-byte payload]. Two entry
+// kinds share the cache: onode images (key = slot, written back to the
+// onode area) and checksum-table chunks (key = chunk index, written back
+// to the checksum area) — both payloads are exactly 512 bytes, so one
+// entry geometry serves both.
 type mdcache struct {
 	region    *nvm.Region
 	dev       deviceWriter
 	onodeBase uint64
+	cksumBase uint64
 
 	capacity int
-	bySlot   map[uint32]int
+	bySlot   map[uint32]int // onode slot -> entry
+	byChunk  map[uint32]int // checksum chunk -> entry
 	free     []int
 	clock    int // eviction cursor
 }
@@ -33,17 +39,20 @@ type deviceWriter interface {
 const (
 	mdEntryHeader = 8
 	mdEntryBytes  = mdEntryHeader + OnodeBytes
-	mdValidMagic  = 0x4D444341
+	mdValidMagic  = 0x4D444341 // onode image entry
+	mdCksumMagic  = 0x4D444343 // checksum-table chunk entry
 )
 
-func newMDCache(region *nvm.Region, dev deviceWriter, onodeBase uint64) *mdcache {
+func newMDCache(region *nvm.Region, dev deviceWriter, onodeBase, cksumBase uint64) *mdcache {
 	capacity := int(region.Size() / mdEntryBytes)
 	c := &mdcache{
 		region:    region,
 		dev:       dev,
 		onodeBase: onodeBase,
+		cksumBase: cksumBase,
 		capacity:  capacity,
 		bySlot:    make(map[uint32]int, capacity),
+		byChunk:   make(map[uint32]int),
 	}
 	for i := capacity - 1; i >= 0; i-- {
 		c.free = append(c.free, i)
@@ -81,6 +90,31 @@ func (c *mdcache) put(on *onode) error {
 	return c.region.Persist(off, mdEntryBytes)
 }
 
+// putCksum stores one 512-byte checksum-table chunk in NVM, evicting an
+// older entry if the cache is full. img must be ckChunkBytes long.
+func (c *mdcache) putCksum(chunk uint32, img []byte) error {
+	idx, ok := c.byChunk[chunk]
+	if !ok {
+		var err error
+		idx, err = c.takeEntry()
+		if err != nil {
+			return err
+		}
+		c.byChunk[chunk] = idx
+	}
+	var hdr [mdEntryHeader]byte
+	putLE32(hdr[0:], mdCksumMagic)
+	putLE32(hdr[4:], chunk)
+	off := c.entryOff(idx)
+	if _, err := c.region.WriteAt(hdr[:], off); err != nil {
+		return err
+	}
+	if _, err := c.region.WriteAt(img, off+mdEntryHeader); err != nil {
+		return err
+	}
+	return c.region.Persist(off, mdEntryBytes)
+}
+
 // takeEntry returns a free entry index, evicting the clock victim when the
 // cache is full ("if there is not enough space in NVM, an update on the
 // metadata area is required").
@@ -94,28 +128,35 @@ func (c *mdcache) takeEntry() (int, error) {
 	for scanned := 0; scanned < c.capacity; scanned++ {
 		idx := c.clock
 		c.clock = (c.clock + 1) % c.capacity
-		slot, valid, err := c.readHeader(idx)
+		key, magic, err := c.readHeader(idx)
 		if err != nil {
 			return 0, err
 		}
-		if !valid {
+		switch magic {
+		case mdValidMagic:
+			if err := c.writeBackEntry(idx, key); err != nil {
+				return 0, err
+			}
+			delete(c.bySlot, key)
+		case mdCksumMagic:
+			if err := c.writeBackCksum(idx, key); err != nil {
+				return 0, err
+			}
+			delete(c.byChunk, key)
+		default:
 			continue
 		}
-		if err := c.writeBackEntry(idx, slot); err != nil {
-			return 0, err
-		}
-		delete(c.bySlot, slot)
 		return idx, nil
 	}
 	return 0, fmt.Errorf("cos: metadata cache has no evictable entries")
 }
 
-func (c *mdcache) readHeader(idx int) (slot uint32, valid bool, err error) {
+func (c *mdcache) readHeader(idx int) (key uint32, magic uint32, err error) {
 	var hdr [mdEntryHeader]byte
 	if _, err := c.region.ReadAt(hdr[:], c.entryOff(idx)); err != nil {
-		return 0, false, err
+		return 0, 0, err
 	}
-	return getLE32(hdr[4:]), getLE32(hdr[0:]) == mdValidMagic, nil
+	return getLE32(hdr[4:]), getLE32(hdr[0:]), nil
 }
 
 // writeBackEntry copies an entry's onode image to the device onode area.
@@ -126,6 +167,18 @@ func (c *mdcache) writeBackEntry(idx int, slot uint32) error {
 	}
 	if _, err := c.dev.WriteAt(img, int64(c.onodeBase+uint64(slot)*OnodeBytes)); err != nil {
 		return fmt.Errorf("cos: metadata write-back: %w", err)
+	}
+	return nil
+}
+
+// writeBackCksum copies a checksum-chunk entry to the device checksum area.
+func (c *mdcache) writeBackCksum(idx int, chunk uint32) error {
+	img := make([]byte, ckChunkBytes)
+	if _, err := c.region.ReadAt(img, c.entryOff(idx)+mdEntryHeader); err != nil {
+		return err
+	}
+	if _, err := c.dev.WriteAt(img, int64(c.cksumBase+uint64(chunk)*ckChunkBytes)); err != nil {
+		return fmt.Errorf("cos: checksum write-back: %w", err)
 	}
 	return nil
 }
@@ -148,17 +201,25 @@ func (c *mdcache) drop(slot uint32) {
 // write — a flush of N cached onodes is one queue submission, not N
 // 512-B writes — then invalidates the entries.
 func (c *mdcache) writeBackAll() error {
-	if len(c.bySlot) == 0 {
+	if len(c.bySlot) == 0 && len(c.byChunk) == 0 {
 		return nil
 	}
-	vecs := make([]device.IOVec, 0, len(c.bySlot))
-	idxs := make([]int, 0, len(c.bySlot))
+	vecs := make([]device.IOVec, 0, len(c.bySlot)+len(c.byChunk))
+	idxs := make([]int, 0, len(c.bySlot)+len(c.byChunk))
 	for slot, idx := range c.bySlot {
 		img := make([]byte, OnodeBytes)
 		if _, err := c.region.ReadAt(img, c.entryOff(idx)+mdEntryHeader); err != nil {
 			return err
 		}
 		vecs = append(vecs, device.IOVec{Off: int64(c.onodeBase + uint64(slot)*OnodeBytes), Data: img})
+		idxs = append(idxs, idx)
+	}
+	for chunk, idx := range c.byChunk {
+		img := make([]byte, ckChunkBytes)
+		if _, err := c.region.ReadAt(img, c.entryOff(idx)+mdEntryHeader); err != nil {
+			return err
+		}
+		vecs = append(vecs, device.IOVec{Off: int64(c.cksumBase + uint64(chunk)*ckChunkBytes), Data: img})
 		idxs = append(idxs, idx)
 	}
 	if _, err := c.dev.WriteAtv(vecs); err != nil {
@@ -175,37 +236,49 @@ func (c *mdcache) writeBackAll() error {
 		c.free = append(c.free, idx)
 	}
 	c.bySlot = make(map[uint32]int, c.capacity)
+	c.byChunk = make(map[uint32]int)
 	return nil
 }
 
-// load returns the onodes cached in NVM (survivors of a crash), keyed by
-// slot. It also rebuilds the in-memory entry maps.
-func (c *mdcache) load() (map[uint32]*onode, error) {
+// load returns the onodes and checksum-table chunks cached in NVM
+// (survivors of a crash), keyed by slot and chunk index respectively. It
+// also rebuilds the in-memory entry maps.
+func (c *mdcache) load() (map[uint32]*onode, map[uint32][]byte, error) {
 	out := make(map[uint32]*onode)
+	chunks := make(map[uint32][]byte)
 	c.bySlot = make(map[uint32]int, c.capacity)
+	c.byChunk = make(map[uint32]int)
 	c.free = c.free[:0]
 	img := make([]byte, OnodeBytes)
 	for idx := 0; idx < c.capacity; idx++ {
-		slot, valid, err := c.readHeader(idx)
+		key, magic, err := c.readHeader(idx)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if !valid {
+		switch magic {
+		case mdValidMagic:
+			if _, err := c.region.ReadAt(img, c.entryOff(idx)+mdEntryHeader); err != nil {
+				return nil, nil, err
+			}
+			on, ok, err := decodeOnode(img, key)
+			if err != nil || !ok {
+				c.free = append(c.free, idx)
+				continue
+			}
+			out[key] = on
+			c.bySlot[key] = idx
+		case mdCksumMagic:
+			ck := make([]byte, ckChunkBytes)
+			if _, err := c.region.ReadAt(ck, c.entryOff(idx)+mdEntryHeader); err != nil {
+				return nil, nil, err
+			}
+			chunks[key] = ck
+			c.byChunk[key] = idx
+		default:
 			c.free = append(c.free, idx)
-			continue
 		}
-		if _, err := c.region.ReadAt(img, c.entryOff(idx)+mdEntryHeader); err != nil {
-			return nil, err
-		}
-		on, ok, err := decodeOnode(img, slot)
-		if err != nil || !ok {
-			c.free = append(c.free, idx)
-			continue
-		}
-		out[slot] = on
-		c.bySlot[slot] = idx
 	}
-	return out, nil
+	return out, chunks, nil
 }
 
 func putLE32(b []byte, v uint32) {

@@ -36,8 +36,17 @@ type partition struct {
 	allocSize uint64
 	miscBase  uint64 // attr/KV snapshot area
 	miscSize  uint64
+	cksumBase uint64 // per-block CRC32C table area
+	cksumSize uint64
 	dataBase  uint64
 	dataEnd   uint64
+
+	// Block checksum state (cksum.go); cks is nil when checksums are off.
+	// The slice is sized once and never reallocates, so verifyVecs can
+	// read distinct elements without p.mu (see the claim protocol notes).
+	cks      []uint32
+	dirtyCks map[uint32]struct{} // chunk indices pending persist
+	crcZero  uint32              // CRC32C of one all-zeros block
 
 	mu        sync.Mutex
 	cond      *sync.Cond // signalled when a batch's in-flight claims clear
@@ -59,7 +68,9 @@ type partition struct {
 	segScratch []segment
 }
 
-// layout computes the partition's area offsets.
+// layout computes the partition's area offsets. The checksum area is
+// always reserved — geometry must not depend on the Checksums knob, or a
+// store formatted with checksums off could not be recovered with them on.
 func (p *partition) layout() {
 	p.onodeBase = p.base + superBytes
 	onodeArea := uint64(p.maxOnodes) * OnodeBytes
@@ -67,8 +78,14 @@ func (p *partition) layout() {
 	p.allocSize = allocAreaBytes
 	p.miscBase = p.allocBase + p.allocSize
 	p.miscSize = miscAreaBytes
-	p.dataBase = roundUp(p.miscBase+p.miscSize, uint64(p.cfg.BlockBytes))
+	p.cksumBase = p.miscBase + p.miscSize
+	// One u32 per potential data block; sizing against the span from the
+	// area's own base over-counts slightly, which only wastes a few chunks.
+	nblocks := (p.base + p.size - p.cksumBase) / uint64(p.cfg.BlockBytes)
+	p.cksumSize = roundUp(nblocks*4, ckChunkBytes)
+	p.dataBase = roundUp(p.cksumBase+p.cksumSize, uint64(p.cfg.BlockBytes))
 	p.dataEnd = p.base + p.size
+	p.initCksums()
 }
 
 const (
@@ -98,6 +115,10 @@ func (p *partition) format() error {
 		if _, err := p.dev.WriteAt(zeros, int64(p.onodeBase+uint64(i)*OnodeBytes)); err != nil {
 			return fmt.Errorf("cos: format partition %d: %w", p.id, err)
 		}
+	}
+	// Zero the checksum area: recovery reads every entry as "unknown".
+	if err := p.zeroRange(p.cksumBase, p.cksumSize); err != nil {
+		return fmt.Errorf("cos: format checksum area %d: %w", p.id, err)
 	}
 	return p.writeSuper()
 }
@@ -161,14 +182,19 @@ func (p *partition) recover() error {
 		}
 	}
 	// NVM metadata cache entries are newer than the device images.
+	var nvmChunks map[uint32][]byte
 	if p.md != nil {
-		cached, err := p.md.load()
+		cached, chunks, err := p.md.load()
 		if err != nil {
 			return err
 		}
 		for slot, on := range cached {
 			used[slot] = on
 		}
+		nvmChunks = chunks
+	}
+	if err := p.loadCksums(nvmChunks); err != nil {
+		return err
 	}
 	p.freeSlots = p.freeSlots[:0]
 	for i := int(p.maxOnodes) - 1; i >= 0; i-- {
@@ -262,6 +288,11 @@ func (p *partition) create(key uint64, pg uint32, oid wire.ObjectID) (*onode, er
 				p.freeSlots = append(p.freeSlots, slot)
 				return nil, err
 			}
+			p.noteZeroed(base, preLen)
+		} else {
+			// Unwritten pre-allocated blocks hold whatever the previous
+			// owner left; any inherited CRC must not be trusted.
+			p.noteInvalid(base, preLen)
 		}
 		on.prealloc = true
 		on.preBase = base
@@ -382,11 +413,13 @@ func (p *partition) ensureAllocated(on *onode, off, length uint64) (bool, error)
 				if err := p.zeroRange(devOff, wStart); err != nil {
 					return changed, err
 				}
+				p.noteZeroed(devOff, wStart)
 			}
 			if wEnd < allocChunkBytes {
 				if err := p.zeroRange(devOff+wEnd, allocChunkBytes-wEnd); err != nil {
 					return changed, err
 				}
+				p.noteZeroed(devOff+wEnd, allocChunkBytes-wEnd)
 			}
 			on.runs = insertRun(on.runs, run{logChunk: chunk, devOff: devOff, length: allocChunkBytes})
 			changed = true
@@ -421,6 +454,9 @@ func (p *partition) writeSpill(on *onode) error {
 	if _, err := p.dev.WriteAt(buf, int64(on.spillDevOff)); err != nil {
 		return fmt.Errorf("cos: spill write: %w", err)
 	}
+	// Spill blocks live in the data area but are never read through the
+	// verified object path; keep the table's invariant anyway.
+	p.noteInvalid(on.spillDevOff, roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes)))
 	return nil
 }
 
@@ -615,6 +651,13 @@ func (p *partition) applyWrites(ops []store.TxnOp) error {
 	p.segScratch = segs[:0]
 	p.mu.Unlock()
 
+	// Checksum the batch's data while it is in hand — before the device
+	// write, outside the lock (the vectors are caller-owned memory).
+	var ckUpd []ckUpdate
+	if p.cks != nil {
+		ckUpd = p.planVecCks(nil, vecs)
+	}
+
 	// Data I/O outside the lock: one device call for the whole batch.
 	var werr error
 	if len(vecs) > 0 {
@@ -628,8 +671,11 @@ func (p *partition) applyWrites(ops []store.TxnOp) error {
 	}
 	p.cond.Broadcast()
 	if werr != nil {
+		// The table keeps the pre-batch CRCs: any block the torn write did
+		// reach reads back as a checksum mismatch, not as silent garbage.
 		return fmt.Errorf("cos: data write: %w", werr)
 	}
+	p.applyCkUpdates(ckUpd)
 	allocRecs := 0
 	for i := range plans {
 		pl := &plans[i]
@@ -648,6 +694,12 @@ func (p *partition) applyWrites(ops []store.TxnOp) error {
 		if err := p.persistOnode(on); err != nil {
 			return err
 		}
+	}
+	// Checksum chunks persist with the same cadence as the onodes — per
+	// batch, through the NVM cache when enabled — so a crash never leaves
+	// the persisted table older than the persisted object metadata.
+	if err := p.persistDirtyCks(); err != nil {
+		return err
 	}
 	for ; allocRecs > 0; allocRecs-- {
 		if err := p.appendAllocRecord(); err != nil {
@@ -722,6 +774,16 @@ func (p *partition) readInto(key uint64, name string, off uint64, out []byte) er
 	if len(sc.vecs) > 0 {
 		if _, err := p.dev.ReadAtv(sc.vecs); err != nil {
 			rerr = fmt.Errorf("cos: data read: %w", err)
+		} else {
+			// Verify fully covered blocks against the table before the
+			// bytes can reach a caller. The reader claim taken above keeps
+			// same-object writers out of planning, so the entries covering
+			// these extents are stable without p.mu.
+			rerr = p.verifyVecs(sc.vecs)
+			if rerr == nil {
+				// Partial edge blocks need a whole-block re-read to check.
+				rerr = p.verifyEdges(sc.vecs)
+			}
 		}
 	}
 	for i := range sc.vecs {
@@ -776,12 +838,15 @@ func (p *partition) reclaim() error {
 func (p *partition) reclaimOne(on *onode) error {
 	if on.prealloc && on.preLen > 0 {
 		p.blocks.Free(on.preBase, on.preLen)
+		p.noteInvalid(on.preBase, on.preLen)
 	}
 	for _, r := range on.runs {
 		p.blocks.Free(r.devOff, uint64(r.length))
+		p.noteInvalid(r.devOff, uint64(r.length))
 	}
 	if on.spillDevOff != 0 {
 		p.blocks.Free(on.spillDevOff, roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes)))
+		p.noteInvalid(on.spillDevOff, roundUp(uint64(on.spillLen), uint64(p.cfg.BlockBytes)))
 	}
 	key := uint64(on.pgKey(wire.ObjectID{Pool: on.pool, Name: on.name}))
 	// The key may have been reused: delete-then-recreate installs a fresh
@@ -811,6 +876,9 @@ func (p *partition) flush() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.reclaim(); err != nil {
+		return err
+	}
+	if err := p.persistDirtyCks(); err != nil {
 		return err
 	}
 	if p.md != nil {

@@ -19,6 +19,11 @@ var (
 	ErrClosed        = errors.New("store: closed")
 	ErrHashCollision = errors.New("store: object key hash collision")
 	ErrNoSpace       = errors.New("store: out of space")
+	// ErrChecksum reports that data read back from the device failed its
+	// stored block checksum: the device returned success and garbage
+	// (silent bit rot). Callers must not surface the bytes; the OSD read
+	// path turns this into a read-repair from a clean replica.
+	ErrChecksum = errors.New("store: data checksum mismatch")
 )
 
 // Key is the 64-bit object key: the placement group in the high 16 bits

@@ -27,6 +27,8 @@ const (
 	TBackfillPull
 	TBackfillChunk
 	TReplBatch
+	TScrubPull
+	TScrubChunk
 )
 
 // String names the message type.
@@ -66,6 +68,10 @@ func (t MsgType) String() string {
 		return "BackfillChunk"
 	case TReplBatch:
 		return "ReplBatch"
+	case TScrubPull:
+		return "ScrubPull"
+	case TScrubChunk:
+		return "ScrubChunk"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -778,6 +784,10 @@ func New(t MsgType) Message {
 		return &BackfillChunk{}
 	case TReplBatch:
 		return &ReplBatch{}
+	case TScrubPull:
+		return &ScrubPull{}
+	case TScrubChunk:
+		return &ScrubChunk{}
 	default:
 		return nil
 	}

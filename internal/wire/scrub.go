@@ -1,0 +1,122 @@
+package wire
+
+// ScrubPull asks a replica for its view of a PG's objects so the primary
+// can cross-check replicas during scrub. Two shapes share the message:
+//
+//   - Range walk (OID.Name == ""): return up to Max object summaries
+//     starting at Cursor ("" to start). Deep scrub sets Deep, asking the
+//     replica to read every object back and include a whole-object CRC
+//     (and flag locally-detected checksum errors as Bad).
+//   - Exact fetch (OID.Name != ""): return that single object including
+//     its data — the read-repair path uses this to fetch a clean copy of
+//     an object whose local blocks failed checksum verification.
+type ScrubPull struct {
+	ReqID  uint64
+	PG     uint32
+	Cursor string
+	Max    uint32
+	Deep   bool
+	OID    ObjectID // Name != "": exact-object fetch with data
+}
+
+// Type implements Message.
+func (*ScrubPull) Type() MsgType { return TScrubPull }
+
+// Encode implements Message.
+func (m *ScrubPull) Encode(e *Encoder) {
+	e.U64(m.ReqID)
+	e.U32(m.PG)
+	e.String32(m.Cursor)
+	e.U32(m.Max)
+	e.Bool(m.Deep)
+	m.OID.encode(e)
+}
+
+// Decode implements Message.
+func (m *ScrubPull) Decode(d *Decoder) {
+	m.ReqID = d.U64()
+	m.PG = d.U32()
+	m.Cursor = d.String32()
+	m.Max = d.U32()
+	m.Deep = d.Bool()
+	m.OID = decodeObjectID(d)
+}
+
+// ScrubObject is one object summary inside a ScrubChunk. CRC is the
+// whole-object Castagnoli CRC (deep scrubs and exact fetches only; 0
+// otherwise). Bad marks an object the replica itself could not read back
+// cleanly — its checksums failed locally — so the primary must treat the
+// replica's copy as damaged rather than merely divergent. Data is filled
+// only for exact fetches.
+type ScrubObject struct {
+	OID     ObjectID
+	Version uint64
+	Size    uint64
+	CRC     uint32
+	Bad     bool
+	Data    []byte
+}
+
+// ScrubChunk answers a ScrubPull. Clean and the authority rules mirror
+// OplogChunk: a primary must never repair from a replica that reports
+// itself unclean (mid-backfill), because its objects may be stale.
+type ScrubChunk struct {
+	ReqID      uint64
+	PG         uint32
+	Status     Status
+	Clean      bool
+	Objects    []ScrubObject
+	NextCursor string
+	Done       bool
+}
+
+// Type implements Message.
+func (*ScrubChunk) Type() MsgType { return TScrubChunk }
+
+// Encode implements Message.
+func (m *ScrubChunk) Encode(e *Encoder) {
+	e.U64(m.ReqID)
+	e.U32(m.PG)
+	e.U8(uint8(m.Status))
+	e.Bool(m.Clean)
+	e.U32(uint32(len(m.Objects)))
+	for i := range m.Objects {
+		o := &m.Objects[i]
+		o.OID.encode(e)
+		e.U64(o.Version)
+		e.U64(o.Size)
+		e.U32(o.CRC)
+		e.Bool(o.Bad)
+		e.Bytes32(o.Data)
+	}
+	e.String32(m.NextCursor)
+	e.Bool(m.Done)
+}
+
+// Decode implements Message.
+func (m *ScrubChunk) Decode(d *Decoder) {
+	m.ReqID = d.U64()
+	m.PG = d.U32()
+	m.Status = Status(d.U8())
+	m.Clean = d.Bool()
+	n := int(d.U32())
+	if n != 0 {
+		if n < 0 || n > 1<<20 || n > d.Remaining()/16 {
+			d.err = ErrShortBuffer
+			return
+		}
+		m.Objects = make([]ScrubObject, 0, n)
+		for i := 0; i < n; i++ {
+			m.Objects = append(m.Objects, ScrubObject{
+				OID:     decodeObjectID(d),
+				Version: d.U64(),
+				Size:    d.U64(),
+				CRC:     d.U32(),
+				Bad:     d.Bool(),
+				Data:    d.Bytes32(),
+			})
+		}
+	}
+	m.NextCursor = d.String32()
+	m.Done = d.Bool()
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRoundTripScrubPull(t *testing.T) {
+	in := &ScrubPull{ReqID: 3, PG: 7, Cursor: "00000000000000a0", Max: 32, Deep: true}
+	got, ok := roundTrip(t, in).(*ScrubPull)
+	if !ok || !reflect.DeepEqual(in, got) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+	// Exact-object fetch shape.
+	in = &ScrubPull{ReqID: 4, PG: 1, OID: ObjectID{Pool: 2, Name: "img.3"}}
+	got, ok = roundTrip(t, in).(*ScrubPull)
+	if !ok || !reflect.DeepEqual(in, got) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestRoundTripScrubChunk(t *testing.T) {
+	in := &ScrubChunk{
+		ReqID: 9, PG: 5, Status: StatusOK, Clean: true,
+		Objects: []ScrubObject{
+			{OID: ObjectID{Pool: 1, Name: "a"}, Version: 3, Size: 8192, CRC: 0xDEADBEEF},
+			{OID: ObjectID{Pool: 1, Name: "b"}, Version: 1, Size: 4096, Bad: true},
+			{OID: ObjectID{Pool: 1, Name: "c"}, Version: 2, Size: 5, CRC: 7, Data: []byte("bytes")},
+		},
+		NextCursor: "0000000000000010",
+		Done:       false,
+	}
+	got, ok := roundTrip(t, in).(*ScrubChunk)
+	if !ok {
+		t.Fatal("wrong message type")
+	}
+	// Normalise nil-vs-empty Data before the deep compare.
+	for i := range got.Objects {
+		if len(got.Objects[i].Data) == 0 {
+			got.Objects[i].Data = nil
+		}
+		if len(in.Objects[i].Data) == 0 {
+			in.Objects[i].Data = nil
+		}
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+	// Empty chunk (unclean refusal) survives too.
+	in = &ScrubChunk{ReqID: 1, PG: 2, Status: StatusAgain, Done: true}
+	got, ok = roundTrip(t, in).(*ScrubChunk)
+	if !ok || !reflect.DeepEqual(in, got) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
